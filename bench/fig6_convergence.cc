@@ -1,0 +1,84 @@
+// Fig. 6: model convergence over wall-clock time on four frameworks —
+// JANUS, Symbolic (hand-written-graph analogue), Imperative (TF Eager
+// analogue), and Tracing (TF defun analogue). Five workloads as in the
+// paper: (a) ResNet50 test accuracy, (b) LM validation perplexity,
+// (c) TreeLSTM test accuracy, (d) PPO episode reward, (e) AN discriminator
+// loss. The Tracing rows reproduce defun's correctness failures: the
+// batch-norm branch is baked (a), cross-sequence state passing is dropped
+// (b), and the monitoring state writes of (d)/(e) never commit.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace janus::bench {
+namespace {
+
+struct Curve {
+  std::string framework;
+  std::vector<std::pair<double, double>> points;  // (seconds, metric)
+};
+
+Curve TrainCurve(const models::ModelSpec& spec, const std::string& framework,
+                 const EngineOptions& options, int total_steps,
+                 int sample_every) {
+  Curve curve;
+  curve.framework = framework;
+  models::ModelSession session(spec, options, /*seed=*/21);
+  Timer timer;
+  double elapsed = 0.0;
+  for (int i = 0; i < total_steps; ++i) {
+    session.Step();
+    if (i % sample_every == sample_every - 1) {
+      elapsed += timer.Seconds();  // exclude eval cost from the clock
+      const double metric = session.Eval();
+      curve.points.push_back({elapsed, metric});
+      timer.Reset();
+    }
+  }
+  return curve;
+}
+
+void PrintPanel(const char* panel, const models::ModelSpec& spec,
+                int total_steps, int sample_every) {
+  std::printf("\n(%s) %s — %s vs wall-clock seconds\n", panel,
+              spec.name.c_str(), spec.metric_name.c_str());
+  const struct {
+    const char* label;
+    EngineOptions options;
+  } frameworks[] = {
+      {"JANUS", JanusConfig()},
+      {"Symbolic", SymbolicConfig()},
+      {"Imperative", ImperativeConfig()},
+      {"Tracing", TracingConfig()},
+  };
+  for (const auto& fw : frameworks) {
+    const Curve curve =
+        TrainCurve(spec, fw.label, fw.options, total_steps, sample_every);
+    std::printf("  %-11s", fw.label);
+    for (const auto& [t, m] : curve.points) {
+      std::printf(" (%6.2fs, %7.3f)", t, m);
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+}
+
+int Run() {
+  std::printf("Fig. 6: convergence over time, four frameworks\n");
+  PrintPanel("a", models::FindModel("ResNet50"), 280, 40);
+  PrintPanel("b", models::FindModel("LM"), 320, 40);
+  PrintPanel("c", models::FindModel("TreeLSTM"), 320, 80);
+  PrintPanel("d", models::FindModel("PPO"), 400, 100);
+  PrintPanel("e", models::FindModel("AN"), 160, 40);
+  std::printf(
+      "\nReading guide (paper): JANUS and Symbolic reach the target metric\n"
+      "fastest and agree; Imperative reaches the same metric slowly;\n"
+      "Tracing converges to WRONG values where dynamic features matter —\n"
+      "(b) state passing dropped, (d)/(e) monitoring writes never commit.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace janus::bench
+
+int main() { return janus::bench::Run(); }

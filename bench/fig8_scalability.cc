@@ -1,0 +1,121 @@
+// Fig. 8: data-parallel scalability of ResNet50, Inception-v3, LM, and PPO
+// on JANUS, Symbolic, and Imperative executors across worker counts.
+//
+// The paper's testbed (6 machines x 6 TITAN Xp over 100 Gbps InfiniBand) is
+// reproduced on the discrete-event cluster simulator (src/sim), calibrated
+// with per-iteration compute times measured on this host and gradient sizes
+// taken from each model's real parameter store. Graph-based executors
+// overlap allreduce with backward compute; the imperative executor issues
+// ops synchronously (§6.3.2's explanation for TF Eager's poor scaling).
+// A real ring allreduce (src/dist) is exercised by tests and examples; the
+// timing here is simulated because the host has a single CPU.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "sim/cluster.h"
+
+namespace janus::bench {
+namespace {
+
+// Measures single-worker per-iteration compute seconds for a framework.
+double MeasureIterationSeconds(const models::ModelSpec& spec,
+                               const EngineOptions& options, int steps) {
+  models::ModelSession session(spec, options);
+  const ThroughputResult result = MeasureThroughput(session, 10, steps);
+  return result.seconds / result.iterations;
+}
+
+// Total gradient bytes = total float parameter bytes of the model.
+std::int64_t GradientBytes(const models::ModelSpec& spec) {
+  models::ModelSession session(spec, ImperativeConfig());
+  session.Step();  // materialise variables
+  std::int64_t bytes = 0;
+  minipy::Interpreter& interp = session.interpreter();
+  for (const std::string& name : interp.variables()->Names()) {
+    const Tensor& t = interp.variables()->Read(name);
+    if (t.dtype() == DType::kFloat32) bytes += t.num_elements() * 4;
+  }
+  return bytes;
+}
+
+// Splits measured compute across synthetic layers (1/3 forward, 2/3
+// backward, paper-typical) with gradients spread evenly.
+std::vector<sim::LayerCost> MakeLayers(double iteration_seconds,
+                                       std::int64_t gradient_bytes,
+                                       int layers,
+                                       double comm_scale) {
+  std::vector<sim::LayerCost> result(static_cast<std::size_t>(layers));
+  for (auto& layer : result) {
+    layer.forward_s = iteration_seconds / 3.0 / layers;
+    layer.backward_s = iteration_seconds * 2.0 / 3.0 / layers;
+    layer.gradient_bytes =
+        static_cast<std::int64_t>(gradient_bytes * comm_scale) / layers;
+  }
+  return result;
+}
+
+void PrintModel(const char* name, const std::vector<int>& worker_counts,
+                double comm_scale, int layers) {
+  const models::ModelSpec& spec = models::FindModel(name);
+  const int steps = 16;
+  const double janus_s = MeasureIterationSeconds(spec, JanusConfig(), steps);
+  const double sym_s = MeasureIterationSeconds(spec, SymbolicConfig(), steps);
+  const double imp_s =
+      MeasureIterationSeconds(spec, ImperativeConfig(), steps / 2);
+  const std::int64_t grad_bytes = GradientBytes(spec);
+
+  // The paper's LM has 0.83B parameters; our scaled-down replica's gradient
+  // volume is scaled up relative to compute via comm_scale so the
+  // network-to-compute ratio matches the paper's testbed (see
+  // EXPERIMENTS.md calibration notes).
+  sim::ClusterConfig cluster;
+  // The imperative executor drives each ring step from the framework loop;
+  // use the same calibrated dispatch cost as the single-machine benches.
+  cluster.imperative_op_overhead_s = 50e-6;
+  const double items = spec.items_per_iteration;
+
+  std::printf("\n%s (grad bytes %lld, comm scale x%.0f)\n", name,
+              static_cast<long long>(grad_bytes), comm_scale);
+  std::printf("  %-11s", "workers");
+  for (const int w : worker_counts) std::printf(" %9d", w);
+  std::printf("\n");
+
+  const struct {
+    const char* label;
+    double iter_s;
+    sim::ExecutionStyle style;
+  } rows[] = {
+      {"JANUS", janus_s, sim::ExecutionStyle::kGraphOverlapped},
+      {"Symbolic", sym_s, sim::ExecutionStyle::kGraphOverlapped},
+      {"Imperative", imp_s, sim::ExecutionStyle::kImperativeSerial},
+  };
+  for (const auto& row : rows) {
+    const auto layers_cost = MakeLayers(row.iter_s, grad_bytes, layers,
+                                        comm_scale);
+    const auto points = sim::SimulateScaling(cluster, layers_cost, row.style,
+                                             worker_counts, items);
+    std::printf("  %-11s", row.label);
+    for (const auto& point : points) std::printf(" %9.0f", point.throughput);
+    std::printf("   items/s (scale factor %.2f at %d)\n",
+                points.back().scale_factor, points.back().workers);
+  }
+}
+
+int Run() {
+  std::printf("Fig. 8: simulated data-parallel scalability\n");
+  PrintModel("ResNet50", {1, 3, 6, 12, 24, 36}, 40, 8);
+  PrintModel("Inception-v3", {1, 3, 6, 12, 24, 36}, 40, 8);
+  PrintModel("LM", {1, 2, 3, 6, 12}, 3000, 4);
+  PrintModel("PPO", {1, 2, 3, 4, 5, 6}, 30, 4);
+  std::printf(
+      "\nExpected shape (paper): scale factors ~0.77-0.81 for JANUS and\n"
+      "Symbolic on the CNNs, ~0.18 on the network-bound LM (saturating\n"
+      "beyond 2 machines), while the Imperative executor stalls at ~0.24\n"
+      "because it cannot overlap communication with computation.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace janus::bench
+
+int main() { return janus::bench::Run(); }

@@ -1,0 +1,134 @@
+// Microbenchmarks (google-benchmark) for the framework layers the paper's
+// evaluation reasons about: eager per-op dispatch, graph execution per op,
+// interpreter statement throughput, graph generation latency, and the
+// assumption-validation cost that §6.3.1 reports as negligible.
+#include <benchmark/benchmark.h>
+
+#include "core/engine.h"
+#include "frontend/builtins.h"
+#include "opt/passes.h"
+#include "runtime/executor.h"
+#include "tensor/ops.h"
+
+namespace janus {
+namespace {
+
+void BM_EagerOpDispatch(benchmark::State& state) {
+  VariableStore variables;
+  Rng rng(1);
+  minipy::EagerContext eager(&variables, &rng);
+  const Tensor a = Tensor::Full(Shape{8, 8}, 1.0f);
+  const Tensor b = Tensor::Full(Shape{8, 8}, 2.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eager.Execute("Add", {a, b}));
+  }
+}
+BENCHMARK(BM_EagerOpDispatch);
+
+void BM_GraphExecutionPerOp(benchmark::State& state) {
+  // A chain of N adds executed through the DAG executor (plan cached).
+  const int n = static_cast<int>(state.range(0));
+  Graph g;
+  NodeOutput v = g.Constant(Tensor::Full(Shape{8, 8}, 1.0f));
+  const NodeOutput one = g.Constant(Tensor::Full(Shape{8, 8}, 1.0f));
+  for (int i = 0; i < n; ++i) {
+    v = {g.AddNode("Add", {v, one}), 0};
+  }
+  FunctionLibrary library;
+  VariableStore variables;
+  Rng rng(1);
+  Executor executor(&library, &variables, nullptr, &rng);
+  const std::vector<NodeOutput> fetches{v};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(executor.Run(g, {}, fetches));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_GraphExecutionPerOp)->Arg(16)->Arg(128);
+
+void BM_InterpreterStatements(benchmark::State& state) {
+  VariableStore variables;
+  Rng rng(1);
+  minipy::Interpreter interp(&variables, &rng);
+  minipy::InstallBuiltins(interp);
+  interp.Run("def f(n):\n    total = 0\n    for i in range(n):\n"
+             "        total = total + i\n    return total\n");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(interp.EvaluateExpression("f(100)"));
+  }
+}
+BENCHMARK(BM_InterpreterStatements);
+
+void BM_GraphGeneration(benchmark::State& state) {
+  // Full profile->generate cycle for a small training function.
+  for (auto _ : state) {
+    state.PauseTiming();
+    VariableStore variables;
+    Rng rng(1);
+    minipy::Interpreter interp(&variables, &rng);
+    minipy::InstallBuiltins(interp);
+    JanusEngine engine(&interp, EngineOptions{});
+    engine.Attach();
+    interp.Run(R"(
+w = variable('w', constant([[0.5]]))
+x = constant([[1.0], [2.0]])
+def fn():
+    return reduce_mean(matmul(x, w))
+for i in range(3):
+    optimize(fn, 0.01)
+)");
+    state.ResumeTiming();
+    interp.Run("optimize(fn, 0.01)\n");  // triggers the generation
+  }
+}
+BENCHMARK(BM_GraphGeneration);
+
+void BM_AssertionOverhead(benchmark::State& state) {
+  // Graph execution with and without AssertOps (§6.3.1): toggled by arg.
+  const bool with_asserts = state.range(0) != 0;
+  VariableStore variables;
+  Rng rng(1);
+  minipy::Interpreter interp(&variables, &rng);
+  minipy::InstallBuiltins(interp);
+  EngineOptions options;
+  options.generator.insert_assertions = with_asserts;
+  JanusEngine engine(&interp, options);
+  engine.Attach();
+  interp.Run(R"(
+w = variable('w', constant([2.0]))
+mode = constant([1.0])
+def fn():
+    if reduce_sum(mode) > 0.0:
+        h = w * 2.0
+    else:
+        h = w * 3.0
+    return reduce_sum(h * h)
+for i in range(6):
+    optimize(fn, 0.0)
+)");
+  for (auto _ : state) {
+    interp.Run("optimize(fn, 0.0)\n");
+  }
+}
+BENCHMARK(BM_AssertionOverhead)->Arg(0)->Arg(1);
+
+void BM_OptimizationPasses(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    Graph g;
+    NodeOutput v = g.Constant(Tensor::Scalar(1.0f));
+    for (int i = 0; i < 200; ++i) {
+      const NodeOutput c = g.Constant(Tensor::Scalar(static_cast<float>(i)));
+      v = {g.AddNode("Add", {v, c}), 0};
+    }
+    std::vector<NodeOutput> fetches{v};
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(OptimizeGraph(g, fetches));
+  }
+}
+BENCHMARK(BM_OptimizationPasses);
+
+}  // namespace
+}  // namespace janus
+
+BENCHMARK_MAIN();

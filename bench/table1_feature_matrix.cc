@@ -1,0 +1,137 @@
+// Table 1: framework comparison on correctly supported dynamic features
+// (dynamic control flow, dynamic types, impure functions) and on the
+// ability to optimise with runtime information. Each cell is established
+// empirically: a probe program exercising exactly one feature runs under
+// each framework configuration and its result is compared against the
+// imperative executor's ground truth.
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "frontend/builtins.h"
+
+namespace janus::bench {
+namespace {
+
+struct Probe {
+  std::string feature;
+  std::string program;   // definition + warm-up phase
+  std::string flip;      // context change that a correct framework tracks
+  std::string readback;  // sets global `probe_out`
+};
+
+// DCF: a branch whose direction flips after warm-up.
+const Probe kDcfProbe{
+    "DCF (dynamic control flow)",
+    R"(
+flag = constant([1.0])
+w = variable('w', constant([2.0]))
+def fn():
+    if reduce_sum(flag) > 0.5:
+        return reduce_sum(w * 2.0)
+    return reduce_sum(w * 100.0)
+for i in range(6):
+    out = optimize(fn, 0.0)
+)",
+    "flag = constant([-1.0])\n",
+    "probe_out = float(optimize(fn, 0.0))\n"};
+
+// DT: a closure variable whose tensor shape changes after warm-up.
+const Probe kDtProbe{
+    "DT (dynamic types)",
+    R"(
+data = ones([4, 2])
+w = variable('w2', constant([[1.0], [1.0]]))
+def fn():
+    return reduce_sum(matmul(data, w))
+for i in range(6):
+    out = optimize(fn, 0.0)
+)",
+    "data = ones([3, 2]) * 2.0\n",
+    "probe_out = float(optimize(fn, 0.0))\n"};
+
+// IF: state passed between calls through an object attribute.
+const Probe kIfProbe{
+    "IF (impure functions)",
+    R"(
+class Counter:
+    def __init__(self):
+        self.total = constant([0.0])
+    def bump(self):
+        self.total = self.total + 1.0
+        return reduce_sum(self.total)
+c = Counter()
+for i in range(6):
+    out = optimize(lambda: c.bump(), 0.0)
+)",
+    "",
+    "probe_out = float(optimize(lambda: c.bump(), 0.0))\n"};
+
+struct Session {
+  Session(const EngineOptions& options)
+      : rng(99), interp(&variables, &rng), engine(&interp, options) {
+    minipy::InstallBuiltins(interp);
+    engine.Attach();
+  }
+  VariableStore variables;
+  Rng rng;
+  minipy::Interpreter interp;
+  JanusEngine engine;
+};
+
+double RunProbe(const Probe& probe, const EngineOptions& options) {
+  Session session(options);
+  session.interp.Run(probe.program);
+  if (!probe.flip.empty()) session.interp.Run(probe.flip);
+  session.interp.Run(probe.readback);
+  const auto v = session.interp.GetGlobal("probe_out");
+  return std::get<double>(v);
+}
+
+int Run() {
+  std::printf("Table 1: correctness of dynamic-feature support\n");
+  std::printf("(empirical: probe result compared with the imperative "
+              "ground truth)\n\n");
+  std::printf("%-30s %12s %12s %12s\n", "Feature", "Imperative", "Tracing",
+              "JANUS");
+  PrintRule(70);
+
+  int janus_correct = 0;
+  for (const Probe* probe : {&kDcfProbe, &kDtProbe, &kIfProbe}) {
+    const double truth = RunProbe(*probe, ImperativeConfig());
+    const auto verdict = [&](const EngineOptions& options) -> const char* {
+      try {
+        const double got = RunProbe(*probe, options);
+        return std::fabs(got - truth) < 1e-3 * std::fmax(1.0, std::fabs(truth))
+                   ? "correct"
+                   : "WRONG";
+      } catch (const Error&) {
+        return "unsupported";
+      }
+    };
+    const char* tracing = verdict(TracingConfig());
+    const char* janus = verdict(JanusConfig());
+    if (std::string(janus) == "correct") ++janus_correct;
+    std::printf("%-30s %12s %12s %12s\n", probe->feature.c_str(), "correct",
+                tracing, janus);
+  }
+  PrintRule(70);
+
+  // "Optimization w/ runtime info": JANUS specialises with profile data —
+  // shown by the graph-generation counter reacting to runtime shapes
+  // (Fig. 4) while correctness is preserved above.
+  std::printf(
+      "\nOptimization w/ runtime info: JANUS = yes (profile-driven\n"
+      "unrolling + shape/constant specialisation; see fig4_specialization\n"
+      "and fig7_ablation). Tracing = yes but UNSAFE (cells above).\n"
+      "Imperative = no graphs at all. JANUS correct on %d/3 features.\n",
+      janus_correct);
+  return janus_correct == 3 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace janus::bench
+
+int main() { return janus::bench::Run(); }

@@ -1,0 +1,59 @@
+// Table 3: single-machine training throughput of all 11 models under
+// (A) the imperative executor, (B) JANUS, and (C) the symbolic baseline.
+// Prints the same columns the paper reports: absolute throughput, the
+// JANUS-over-imperative speedup (B)/(A), and the gap to the symbolic upper
+// bound (B)/(C) - 1.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace janus::bench {
+namespace {
+
+int Run() {
+  std::printf("Table 3: single-machine training throughput\n");
+  std::printf("%-14s %-12s %12s %12s %12s %9s %9s\n", "Model", "Unit",
+              "(A) Imp.", "(B) JANUS", "(C) Sym.", "(B)/(A)", "(B)/(C)-1");
+  PrintRule(86);
+
+  // Iteration budget per model (heavier models get fewer iterations). The
+  // warmup must cover both batch shapes (every 8th batch is smaller) so
+  // shape relaxation completes before measurement.
+  const auto budget = [](const std::string& name) {
+    if (name == "ResNet50" || name == "Inception-v3" || name == "LM" ||
+        name == "pix2pix") {
+      return std::pair<int, int>{10, 24};
+    }
+    return std::pair<int, int>{10, 48};
+  };
+
+  for (const models::ModelSpec& spec : models::ModelZoo()) {
+    const auto [warmup, steps] = budget(spec.name);
+
+    models::ModelSession imperative(spec, ImperativeConfig());
+    const ThroughputResult imp = MeasureThroughput(imperative, 2, steps / 2);
+
+    models::ModelSession janus_session(spec, JanusConfig());
+    const ThroughputResult jns = MeasureThroughput(janus_session, warmup, steps);
+
+    models::ModelSession symbolic(spec, SymbolicConfig());
+    const ThroughputResult sym = MeasureThroughput(symbolic, warmup, steps);
+
+    std::printf("%-14s %-12s %12.1f %12.1f %12.1f %8.2fx %8.1f%%\n",
+                spec.name.c_str(), spec.unit.c_str(), imp.items_per_second,
+                jns.items_per_second, sym.items_per_second,
+                jns.items_per_second / imp.items_per_second,
+                (jns.items_per_second / sym.items_per_second - 1.0) * 100.0);
+    std::fflush(stdout);
+  }
+  PrintRule(86);
+  std::printf(
+      "Expected shape (paper): (B)/(A) from ~1.06x (coarse-grained CNNs) to\n"
+      "~47.6x (TreeRNN); (B)/(C)-1 within a few percent of zero.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace janus::bench
+
+int main() { return janus::bench::Run(); }

@@ -1,0 +1,49 @@
+// Data-parallel training example (§5's Horovod integration, in-process):
+// four workers train replicas of one model on disjoint data shards; after
+// every step a real ring allreduce averages the replicas' parameters —
+// mathematically identical to gradient averaging for SGD. Each worker's
+// JANUS engine converts its training step independently.
+#include <cstdio>
+
+#include "dist/trainer.h"
+
+int main() {
+  using namespace janus;
+
+  dist::DataParallelTrainer trainer(/*num_workers=*/4, EngineOptions{},
+                                    /*seed=*/5);
+  // Each worker regresses onto a different target slope; the averaged
+  // objective's optimum is the mean slope — reached only if the allreduce
+  // keeps replicas in sync.
+  trainer.RunOnAll(R"(
+w = variable('w', constant([[0.0]]))
+def loss_fn():
+    slope = 1.0 + 1.0 * worker_rank     # shard-specific target
+    x = fill([8, 1], 1.0 + 0.25 * worker_rank)
+    y = x * slope
+    pred = matmul(x, w)
+    err = pred - y
+    return reduce_mean(err * err)
+)");
+
+  std::printf("4 workers, ring allreduce after every step\n");
+  double loss = 0.0;
+  for (int step = 0; step < 50; ++step) {
+    loss = trainer.Step("loss = optimize(loss_fn, 0.02)\n");
+    if (step % 10 == 0) {
+      std::printf("  step %2d  mean loss %8.4f  replicas in sync: %s\n",
+                  step, loss, trainer.ReplicasInSync() ? "yes" : "NO");
+    }
+  }
+
+  const float w = trainer.variables(0).Read("w").data<float>()[0];
+  std::printf("\nlearned shared slope w = %.3f (weighted mean of "
+              "{1, 2, 3, 4})\n", w);
+  std::printf("worker 0 executed %lld converted graphs\n",
+              static_cast<long long>(
+                  trainer.engine(0).stats().graph_executions));
+  return trainer.ReplicasInSync() &&
+                 trainer.engine(0).stats().graph_executions > 0
+             ? 0
+             : 1;
+}

@@ -1,0 +1,39 @@
+// Recursive-model example: a TreeLSTM sentiment classifier over per-sample
+// tree objects — the hardest conversion case in the paper's evaluation
+// (recursion + base/inductive conditionals + dynamic attribute types; the
+// tracing baseline cannot convert it at all). JANUS compiles the recursive
+// function into an InvokeOp graph with dynamic object pointers and trains
+// through it.
+#include <cstdio>
+
+#include "models/zoo.h"
+
+int main() {
+  using namespace janus;
+  using namespace janus::models;
+
+  const ModelSpec& spec = FindModel("TreeLSTM");
+  ModelSession session(spec, EngineOptions{}, /*seed=*/13);
+
+  std::printf("training a TreeLSTM on synthetic sentiment trees...\n");
+  double accuracy_before = session.Eval();
+  for (int step = 0; step < 220; ++step) {
+    const double loss = session.Step();
+    if (step % 40 == 0) {
+      std::printf("  step %3d  loss %.4f\n", step, loss);
+    }
+  }
+  const double accuracy_after = session.Eval();
+
+  const EngineStats& stats = session.engine().stats();
+  std::printf("\naccuracy: %.2f -> %.2f (averaged over fresh trees)\n",
+              accuracy_before, accuracy_after);
+  std::printf("graph executions %lld | generations %lld | refusals %lld\n",
+              static_cast<long long>(stats.graph_executions),
+              static_cast<long long>(stats.graph_generations),
+              static_cast<long long>(stats.not_convertible));
+  std::printf(
+      "every tree is a fresh heap object: the converted graph walks it\n"
+      "through PyGetAttr pointer dereferences and recursive InvokeOps.\n");
+  return stats.graph_executions > 0 && accuracy_after > 0.6 ? 0 : 1;
+}

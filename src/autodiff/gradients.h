@@ -1,0 +1,67 @@
+// Symbolic reverse-mode automatic differentiation over the dataflow graph
+// IR. The paper (§3.1) inserts differentiation and parameter-update
+// operations into the generated graph automatically; this module is that
+// machinery.
+//
+// Supported structures:
+//  * straight-line and DAG graphs (all differentiable kernels),
+//  * conditionals built from Switch/Merge (the gradient of a Merge is a
+//    Switch keyed on the Merge's taken-index output and vice versa, so
+//    deadness routes gradients down the taken branch only),
+//  * functional While loops (the forward loop records a per-iteration tape;
+//    the gradient is a WhileGrad op that re-applies the body's gradient
+//    function backwards over the tape),
+//  * Invoke function calls, including recursion (a gradient function
+//    f_grad is generated per called function; recursive calls reference
+//    f_grad by name before its body is complete, mirroring how recursive
+//    gradients work in Jeong et al., EuroSys'18).
+#ifndef JANUS_AUTODIFF_GRADIENTS_H_
+#define JANUS_AUTODIFF_GRADIENTS_H_
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace janus {
+
+// A (forward output, incoming gradient) seed pair.
+struct GradientSeed {
+  NodeOutput value;
+  NodeOutput gradient;
+};
+
+// Appends gradient nodes to `graph`, differentiating the seeded outputs with
+// respect to `targets`. Returns one gradient per target, in order; targets
+// that the seeds do not reach get a ZerosLike gradient. `library` receives
+// generated gradient functions for Invoke/While nodes on the path.
+std::vector<NodeOutput> AddGradients(Graph& graph, FunctionLibrary& library,
+                                     std::span<const GradientSeed> seeds,
+                                     std::span<const NodeOutput> targets);
+
+// Convenience overload: dLoss/dTargets with an implicit OnesLike(loss) seed.
+std::vector<NodeOutput> AddGradients(Graph& graph, FunctionLibrary& library,
+                                     NodeOutput loss,
+                                     std::span<const NodeOutput> targets);
+
+// Builds (or returns the cached) gradient function of `fn`:
+//   parameters: fn.parameters..., then one gradient per fn.result
+//   results:    one gradient per fn.parameter
+// The forward body is inlined (recomputed) inside the gradient function.
+// The generated function is registered in `library` as "<fn.name>__grad".
+const GraphFunction& EnsureGradientFunction(FunctionLibrary& library,
+                                            const GraphFunction& fn);
+
+// Builds the While-body gradient function used by the WhileGrad kernel:
+//   parameters: body params (carried..., captures...), then gradients of the
+//               body results (grad_carried_out...)
+//   results:    grad_carried_in..., grad_captures...
+// Registered as "<body.name>__loopgrad".
+const GraphFunction& EnsureLoopBodyGradient(FunctionLibrary& library,
+                                            const GraphFunction& body,
+                                            int num_carried);
+
+}  // namespace janus
+
+#endif  // JANUS_AUTODIFF_GRADIENTS_H_

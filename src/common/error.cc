@@ -1,0 +1,14 @@
+#include "common/error.h"
+
+#include <sstream>
+
+namespace janus::detail {
+
+void ContractFailed(const char* kind, const char* condition, const char* file,
+                    int line) {
+  std::ostringstream oss;
+  oss << kind << " failed: (" << condition << ") at " << file << ":" << line;
+  throw ContractViolation(oss.str());
+}
+
+}  // namespace janus::detail

@@ -1,0 +1,69 @@
+// Error reporting primitives for the JANUS reproduction.
+//
+// Following the C++ Core Guidelines (E.2, E.14), errors that a caller can
+// reasonably handle are reported via exceptions derived from janus::Error.
+// Programming-logic violations are caught with the contract macros
+// JANUS_EXPECTS / JANUS_ENSURES (GSL-style), which throw ContractViolation
+// so tests can observe them.
+#ifndef JANUS_COMMON_ERROR_H_
+#define JANUS_COMMON_ERROR_H_
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace janus {
+
+// Base class of all exceptions thrown by the library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(std::string message) : std::runtime_error(std::move(message)) {}
+};
+
+// Invalid user input: malformed program text, bad shapes, unknown ops.
+class InvalidArgument : public Error {
+ public:
+  using Error::Error;
+};
+
+// An internal invariant was violated (a bug in this library).
+class InternalError : public Error {
+ public:
+  using Error::Error;
+};
+
+// A feature is recognised but intentionally not supported by a component
+// (e.g. the Speculative Graph Generator refusing generators/coroutines).
+class NotConvertible : public Error {
+ public:
+  using Error::Error;
+};
+
+// A contract (precondition/postcondition) failed.
+class ContractViolation : public InternalError {
+ public:
+  using InternalError::InternalError;
+};
+
+namespace detail {
+[[noreturn]] void ContractFailed(const char* kind, const char* condition,
+                                 const char* file, int line);
+}  // namespace detail
+
+}  // namespace janus
+
+#define JANUS_EXPECTS(cond)                                                  \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::janus::detail::ContractFailed("Precondition", #cond, __FILE__,       \
+                                      __LINE__);                             \
+  } while (false)
+
+#define JANUS_ENSURES(cond)                                                  \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::janus::detail::ContractFailed("Postcondition", #cond, __FILE__,      \
+                                      __LINE__);                             \
+  } while (false)
+
+#endif  // JANUS_COMMON_ERROR_H_

@@ -1,0 +1,51 @@
+#include "common/logging.h"
+
+#include <mutex>
+
+namespace janus {
+
+LogLevel& GlobalLogLevel() {
+  static LogLevel level = LogLevel::kWarning;
+  return level;
+}
+
+namespace detail {
+namespace {
+std::mutex& LogMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+  }
+  return "?";
+}
+}  // namespace
+
+LogMessage::LogMessage(LogLevel level, std::string_view file, int line)
+    : enabled_(level >= GlobalLogLevel()) {
+  if (enabled_) {
+    const auto slash = file.rfind('/');
+    if (slash != std::string_view::npos) file = file.substr(slash + 1);
+    stream_ << "[" << LevelName(level) << " " << file << ":" << line << "] ";
+  }
+}
+
+LogMessage::~LogMessage() {
+  if (enabled_) {
+    const std::lock_guard<std::mutex> lock(LogMutex());
+    std::cerr << stream_.str() << '\n';
+  }
+}
+
+}  // namespace detail
+}  // namespace janus

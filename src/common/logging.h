@@ -1,0 +1,43 @@
+// Minimal leveled logging. Logging is off by default below kWarning so
+// benchmarks stay quiet; tests may raise the level.
+#ifndef JANUS_COMMON_LOGGING_H_
+#define JANUS_COMMON_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string_view>
+
+namespace janus {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Returns the mutable global log threshold; messages below it are dropped.
+LogLevel& GlobalLogLevel();
+
+namespace detail {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, std::string_view file, int line);
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace janus
+
+#define JANUS_LOG(level)                                              \
+  ::janus::detail::LogMessage(::janus::LogLevel::level, __FILE__, __LINE__)
+
+#endif  // JANUS_COMMON_LOGGING_H_

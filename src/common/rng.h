@@ -1,0 +1,45 @@
+// Deterministic random number generation. All stochastic components of the
+// library (weight initialisation, synthetic datasets, simulated environments)
+// draw from an explicitly seeded Rng so experiments are reproducible.
+#ifndef JANUS_COMMON_RNG_H_
+#define JANUS_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+
+namespace janus {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) : engine_(seed) {}
+
+  // Uniform in [0, 1).
+  double Uniform() { return uniform_(engine_); }
+
+  // Uniform in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+  // Standard normal.
+  double Normal() { return normal_(engine_); }
+
+  double Normal(double mean, double stddev) {
+    return mean + stddev * Normal();
+  }
+
+  // Uniform integer in [0, n).
+  std::uint64_t Below(std::uint64_t n) {
+    std::uniform_int_distribution<std::uint64_t> dist(0, n - 1);
+    return dist(engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uniform_real_distribution<double> uniform_{0.0, 1.0};
+  std::normal_distribution<double> normal_{0.0, 1.0};
+};
+
+}  // namespace janus
+
+#endif  // JANUS_COMMON_RNG_H_

@@ -1,0 +1,41 @@
+// A fixed-size work-stealing-free thread pool used by the parallel dataflow
+// executor (+PARL in Fig. 7). Tasks are plain std::function<void()>; the pool
+// joins all workers on destruction (RAII per Core Guidelines CP.24/R.1).
+#ifndef JANUS_COMMON_THREAD_POOL_H_
+#define JANUS_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace janus {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads);
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+  ~ThreadPool();
+
+  // Enqueues a task for asynchronous execution. Never blocks.
+  void Schedule(std::function<void()> task);
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace janus
+
+#endif  // JANUS_COMMON_THREAD_POOL_H_

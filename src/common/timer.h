@@ -1,0 +1,27 @@
+// Wall-clock timing helpers for the benchmark harness.
+#ifndef JANUS_COMMON_TIMER_H_
+#define JANUS_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace janus {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  // Seconds elapsed since construction or the last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  void Reset() { start_ = Clock::now(); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace janus
+
+#endif  // JANUS_COMMON_TIMER_H_

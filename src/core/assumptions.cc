@@ -1,0 +1,124 @@
+#include "core/assumptions.h"
+
+#include <sstream>
+
+#include "common/error.h"
+
+namespace janus {
+
+ShapeAssumption ShapeAssumption::Exact(const Shape& shape) {
+  ShapeAssumption a;
+  a.dims_.reserve(static_cast<std::size_t>(shape.rank()));
+  for (const std::int64_t d : shape.dims()) a.dims_.emplace_back(d);
+  return a;
+}
+
+ShapeAssumption ShapeAssumption::Unknown() {
+  ShapeAssumption a;
+  a.unknown_ = true;
+  return a;
+}
+
+bool ShapeAssumption::Matches(const Shape& shape) const {
+  if (unknown_) return true;
+  if (static_cast<int>(dims_.size()) != shape.rank()) return false;
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (dims_[i].has_value() && *dims_[i] != shape.dim(static_cast<int>(i))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+ShapeAssumption ShapeAssumption::Relaxed(const Shape& observed) const {
+  if (unknown_) return *this;
+  if (static_cast<int>(dims_.size()) != observed.rank()) return Unknown();
+  ShapeAssumption relaxed = *this;
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (relaxed.dims_[i].has_value() &&
+        *relaxed.dims_[i] != observed.dim(static_cast<int>(i))) {
+      relaxed.dims_[i] = std::nullopt;
+    }
+  }
+  return relaxed;
+}
+
+bool ShapeAssumption::IsExact() const {
+  if (unknown_) return false;
+  for (const auto& d : dims_) {
+    if (!d.has_value()) return false;
+  }
+  return true;
+}
+
+Shape ShapeAssumption::ExactShape() const {
+  JANUS_EXPECTS(IsExact());
+  std::vector<std::int64_t> dims;
+  dims.reserve(dims_.size());
+  for (const auto& d : dims_) dims.push_back(*d);
+  return Shape(std::move(dims));
+}
+
+std::string ShapeAssumption::ToString() const {
+  if (unknown_) return "(unknown)";
+  std::ostringstream oss;
+  oss << '(';
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (i > 0) oss << ", ";
+    if (dims_[i].has_value()) {
+      oss << *dims_[i];
+    } else {
+      oss << '?';
+    }
+  }
+  oss << ')';
+  return oss.str();
+}
+
+const char* ObservedKindName(ObservedKind kind) {
+  switch (kind) {
+    case ObservedKind::kNone: return "None";
+    case ObservedKind::kBool: return "bool";
+    case ObservedKind::kInt: return "int";
+    case ObservedKind::kFloat: return "float";
+    case ObservedKind::kString: return "str";
+    case ObservedKind::kTensor: return "tensor";
+    case ObservedKind::kVariable: return "variable";
+    case ObservedKind::kList: return "list";
+    case ObservedKind::kDict: return "dict";
+    case ObservedKind::kObject: return "object";
+    case ObservedKind::kFunction: return "function";
+    case ObservedKind::kClass: return "class";
+    case ObservedKind::kBuiltin: return "builtin";
+    case ObservedKind::kMixed: return "mixed";
+  }
+  return "?";
+}
+
+void ValueProfile::Observe(ObservedKind k, DType dt, const Shape* shape_in,
+                           double numeric, const std::string& str,
+                           std::int64_t heap) {
+  ++observations;
+  if (!seen) {
+    seen = true;
+    kind = k;
+    dtype = dt;
+    if (shape_in != nullptr) shape = ShapeAssumption::Exact(*shape_in);
+    numeric_value = numeric;
+    string_value = str;
+    heap_id = heap;
+    return;
+  }
+  if (kind != k) {
+    kind = ObservedKind::kMixed;
+    value_stable = false;
+    heap_stable = false;
+    return;
+  }
+  if (dt != dtype) dtype_stable = false;
+  if (shape_in != nullptr) shape = shape.Relaxed(*shape_in);
+  if (numeric != numeric_value || str != string_value) value_stable = false;
+  if (heap != heap_id) heap_stable = false;
+}
+
+}  // namespace janus

@@ -1,0 +1,122 @@
+// Speculative program-context assumptions (paper §3, §4.2).
+//
+// JANUS simplifies a dynamic program to a static one by assuming parts of
+// the context stay fixed: branch directions, loop trip counts, callee
+// identities, expression types, tensor shapes (with the Fig. 4 relaxation
+// lattice: exact -> per-dimension wildcards -> unknown), and constant
+// values. Assumptions validated from host state before execution guard the
+// graph-cache lookup (Fig. 2 ①); the rest become AssertOps in the graph
+// (Fig. 2 ②).
+#ifndef JANUS_CORE_ASSUMPTIONS_H_
+#define JANUS_CORE_ASSUMPTIONS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace janus {
+
+// The Fig. 4 shape lattice: every dimension is either pinned or wildcard;
+// the bottom element is "unknown rank".
+class ShapeAssumption {
+ public:
+  // Exact shape (all dimensions pinned).
+  static ShapeAssumption Exact(const Shape& shape);
+  // Unknown: matches anything.
+  static ShapeAssumption Unknown();
+
+  bool Matches(const Shape& shape) const;
+
+  // Least upper bound of this assumption and an observed shape: keeps
+  // matching dimensions, wildcards mismatched ones, and collapses to
+  // Unknown on rank mismatch. This is the relaxation step of Fig. 4.
+  ShapeAssumption Relaxed(const Shape& observed) const;
+
+  bool is_unknown() const { return unknown_; }
+  // Pinned dims (nullopt = wildcard). Empty + !unknown = scalar.
+  const std::vector<std::optional<std::int64_t>>& dims() const {
+    return dims_;
+  }
+  // True when every dimension is pinned (usable for static specialisation).
+  bool IsExact() const;
+  // The pinned shape; requires IsExact().
+  Shape ExactShape() const;
+
+  std::string ToString() const;
+
+ private:
+  bool unknown_ = false;
+  std::vector<std::optional<std::int64_t>> dims_;
+};
+
+// The kind of value observed at a profiling site (function argument,
+// attribute load, subscript load). Mirrors the paper's type hierarchy:
+// numeric values become tensors; everything else becomes a heap pointer.
+enum class ObservedKind {
+  kNone,
+  kBool,
+  kInt,
+  kFloat,
+  kString,
+  kTensor,
+  kVariable,   // framework parameter handle
+  kList,
+  kDict,
+  kObject,
+  kFunction,
+  kClass,
+  kBuiltin,
+  kMixed,      // observations disagree -> no type assumption possible
+};
+
+const char* ObservedKindName(ObservedKind kind);
+
+// Accumulated observations for one profiling site.
+struct ValueProfile {
+  ObservedKind kind = ObservedKind::kNone;
+  bool seen = false;
+  // Tensor observations.
+  DType dtype = DType::kFloat32;
+  bool dtype_stable = true;
+  ShapeAssumption shape;
+  // Constant-value tracking (for +SPCN): scalar int/float/bool/str stability.
+  bool value_stable = true;
+  double numeric_value = 0.0;
+  std::string string_value;
+  std::int64_t heap_id = 0;     // last observed heap object
+  bool heap_stable = true;      // same heap object every time
+  std::int64_t observations = 0;
+
+  void Observe(ObservedKind k, DType dt, const Shape* shape_in,
+               double numeric, const std::string& str, std::int64_t heap);
+};
+
+// Statistics for one conditional branch site.
+struct BranchProfile {
+  std::int64_t taken = 0;
+  std::int64_t not_taken = 0;
+  bool Stable() const { return taken == 0 || not_taken == 0; }
+  bool Direction() const { return taken > 0; }
+};
+
+// Statistics for one loop site.
+struct LoopProfile {
+  bool seen = false;
+  bool stable = true;
+  std::int64_t trip_count = 0;
+  void Observe(std::int64_t trips) {
+    if (!seen) {
+      seen = true;
+      trip_count = trips;
+    } else if (trip_count != trips) {
+      stable = false;
+    }
+  }
+};
+
+}  // namespace janus
+
+#endif  // JANUS_CORE_ASSUMPTIONS_H_

@@ -1,0 +1,84 @@
+#include "core/compiled_graph.h"
+
+#include <sstream>
+
+#include "common/error.h"
+
+namespace janus {
+
+using minipy::Value;
+
+Value ContextRef::Resolve(std::span<const Value> args) const {
+  Value current;
+  if (arg_index >= 0) {
+    if (arg_index >= static_cast<int>(args.size())) {
+      throw InvalidArgument("context ref: argument index out of range");
+    }
+    current = args[static_cast<std::size_t>(arg_index)];
+  } else {
+    if (env == nullptr) throw InternalError("context ref has no root");
+    // Find through the scope chain, as a name lookup would.
+    minipy::Environment* scope = env.get();
+    Value* found = scope->Find(name);
+    if (found == nullptr) {
+      throw InvalidArgument("context ref: name '" + name +
+                            "' no longer defined");
+    }
+    current = *found;
+  }
+  for (const Step& step : steps) {
+    if (step.is_attr) {
+      const auto* obj =
+          std::get_if<std::shared_ptr<minipy::ObjectValue>>(&current);
+      if (obj == nullptr) {
+        throw InvalidArgument("context ref: attr step on non-object");
+      }
+      const auto it = (*obj)->attrs.find(step.attr);
+      if (it == (*obj)->attrs.end()) {
+        throw InvalidArgument("context ref: missing attribute '" +
+                              step.attr + "'");
+      }
+      current = it->second;
+    } else {
+      const auto* list =
+          std::get_if<std::shared_ptr<minipy::ListValue>>(&current);
+      if (list == nullptr) {
+        throw InvalidArgument("context ref: index step on non-list");
+      }
+      const auto n = static_cast<std::int64_t>((*list)->items.size());
+      if (step.index < 0 || step.index >= n) {
+        throw InvalidArgument("context ref: index out of range");
+      }
+      current = (*list)->items[static_cast<std::size_t>(step.index)];
+    }
+  }
+  return current;
+}
+
+std::string ContextRef::ToString() const {
+  std::ostringstream oss;
+  if (arg_index >= 0) {
+    oss << "arg" << arg_index;
+  } else {
+    oss << name;
+  }
+  for (const Step& step : steps) {
+    if (step.is_attr) {
+      oss << '.' << step.attr;
+    } else {
+      oss << '[' << step.index << ']';
+    }
+  }
+  return oss.str();
+}
+
+bool EntryValueMatches(const Value& actual, const Value& expected) {
+  // Heap values and callables compare by identity; tensors are never entry
+  // expectations (they become captures); scalars compare by value.
+  if (std::holds_alternative<Tensor>(expected)) {
+    throw InternalError("tensors must be captures, not entry checks");
+  }
+  return minipy::ValuesEqual(actual, expected);
+}
+
+}  // namespace janus

@@ -1,0 +1,82 @@
+// The artifact produced by the Speculative Graph Generator and stored in
+// the Graph Cache: the symbolic graph, how to feed it from the live program
+// context, the entry-time checks that guard cache hits (Fig. 2 ①), and the
+// fetches (loss value + deferred-update anchor).
+#ifndef JANUS_CORE_COMPILED_GRAPH_H_
+#define JANUS_CORE_COMPILED_GRAPH_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/assumptions.h"
+#include "frontend/value.h"
+#include "graph/graph.h"
+
+namespace janus {
+
+// A path from the live program context to a value. The root is either a
+// positional argument of the converted call or a name in a (still-live)
+// lexical environment; steps descend through object attributes and list
+// indices. Resolved again on every execution to feed placeholders and on
+// every cache lookup to validate environment assumptions.
+struct ContextRef {
+  int arg_index = -1;  // >= 0: root is argument #arg_index
+  std::shared_ptr<minipy::Environment> env;  // else: `name` in this env
+  std::string name;
+
+  struct Step {
+    bool is_attr = true;
+    std::string attr;
+    std::int64_t index = 0;
+  };
+  std::vector<Step> steps;
+
+  // Reads the referenced value from the given call arguments + captured
+  // environments. Throws if the path no longer resolves.
+  minipy::Value Resolve(std::span<const minipy::Value> args) const;
+
+  std::string ToString() const;
+};
+
+// A placeholder fed from the live context at every execution.
+struct CaptureSpec {
+  ContextRef ref;
+  std::string placeholder_name;
+  ObservedKind kind = ObservedKind::kTensor;
+  DType dtype = DType::kFloat32;
+  // Entry-checked shape assumption (Fig. 4 lattice); Unknown = type-only.
+  ShapeAssumption shape = ShapeAssumption::Unknown();
+  std::string assumption_id;
+};
+
+// A context value baked into the graph at generation time; re-validated on
+// every cache lookup (identity for heap values, equality for scalars).
+struct EntryCheck {
+  ContextRef ref;
+  minipy::Value expected;
+  std::string assumption_id;
+};
+
+struct CompiledGraph {
+  Graph graph;
+  std::shared_ptr<FunctionLibrary> library;  // Invoke/While bodies + grads
+  std::vector<CaptureSpec> captures;
+  std::vector<EntryCheck> entry_checks;
+  // [0] = function result (loss); [1] = side-effect anchor.
+  std::vector<NodeOutput> fetches;
+  // Ids of assumptions asserted inside the graph (Fig. 2 ②).
+  std::vector<std::string> runtime_assumptions;
+  bool training = false;
+  double learning_rate = 0.0;
+  int num_assert_ops = 0;
+};
+
+// Compares a resolved context value against an expectation: identity for
+// heap values and functions, equality for scalars/strings/variables.
+bool EntryValueMatches(const minipy::Value& actual,
+                       const minipy::Value& expected);
+
+}  // namespace janus
+
+#endif  // JANUS_CORE_COMPILED_GRAPH_H_

@@ -1,0 +1,358 @@
+#include "core/engine.h"
+
+#include "common/logging.h"
+#include "frontend/builtins.h"
+#include "tensor/ops.h"
+
+namespace janus {
+
+using minipy::FunctionValue;
+using minipy::Value;
+
+EngineOptions EngineOptions::ImperativePreset() {
+  EngineOptions options;
+  options.enabled = false;
+  return options;
+}
+
+EngineOptions EngineOptions::TracingPreset() {
+  EngineOptions options;
+  options.profile_threshold = 1;
+  options.validate_entry_checks = false;
+  options.generator.insert_assertions = false;
+  options.generator.tracing_semantics = true;
+  return options;
+}
+
+struct JanusEngine::CacheEntry {
+  std::unique_ptr<CompiledGraph> compiled;
+  std::shared_ptr<minipy::Environment> closure;
+};
+
+struct JanusEngine::UnitState {
+  std::int64_t calls = 0;
+  bool imperative_only = false;
+  int failed_generations = 0;
+  std::int64_t next_generation_attempt = 0;
+  std::string refusal_reason;
+  std::vector<CacheEntry> candidates;
+};
+
+JanusEngine::JanusEngine(minipy::Interpreter* interp, EngineOptions options)
+    : interp_(interp),
+      options_(options),
+      generator_(interp, &profiler_, options.generator),
+      host_state_(interp) {
+  if (options_.enabled && options_.parallel_execution) {
+    pool_ = std::make_unique<ThreadPool>(
+        static_cast<std::size_t>(options_.pool_threads));
+  }
+}
+
+JanusEngine::~JanusEngine() {
+  if (attached_) Detach();
+}
+
+void JanusEngine::Attach() {
+  JANUS_EXPECTS(!attached_);
+  attached_ = true;
+  interp_->set_observer(&profiler_);
+  interp_->set_interceptor(this);
+  interp_->eager().set_dispatch_penalty_ns(options_.eager_dispatch_penalty_ns);
+  // Engine-aware training entry point, replacing the imperative builtin.
+  interp_->RegisterBuiltin(
+      "optimize", [this](minipy::Interpreter& in,
+                         std::span<Value> args) -> Value {
+        if (args.empty() || args.size() > 2) {
+          throw minipy::MiniPyError("optimize(): wrong number of arguments");
+        }
+        const auto* fn = std::get_if<std::shared_ptr<FunctionValue>>(&args[0]);
+        if (fn == nullptr) {
+          throw minipy::MiniPyError("optimize(): expected a function");
+        }
+        double lr = 0.01;
+        if (args.size() == 2) {
+          if (const auto* d = std::get_if<double>(&args[1])) {
+            lr = *d;
+          } else if (const auto* i = std::get_if<std::int64_t>(&args[1])) {
+            lr = static_cast<double>(*i);
+          } else {
+            throw minipy::MiniPyError("optimize(): bad learning rate");
+          }
+        }
+        (void)in;
+        return RunTraining(*fn, lr);
+      });
+  // Marks a function for graph conversion on ordinary (inference) calls.
+  interp_->RegisterBuiltin(
+      "janus_function", [this](minipy::Interpreter&,
+                               std::span<Value> args) -> Value {
+        if (args.size() != 1) {
+          throw minipy::MiniPyError("janus_function(): expected a function");
+        }
+        const auto* fn = std::get_if<std::shared_ptr<FunctionValue>>(&args[0]);
+        if (fn == nullptr) {
+          throw minipy::MiniPyError("janus_function(): expected a function");
+        }
+        MarkRoot(*fn);
+        return args[0];
+      });
+}
+
+void JanusEngine::Detach() {
+  attached_ = false;
+  interp_->set_observer(nullptr);
+  interp_->set_interceptor(nullptr);
+}
+
+const void* JanusEngine::UnitKey(const FunctionValue& fn) {
+  return fn.def != nullptr ? static_cast<const void*>(fn.def)
+                           : static_cast<const void*>(fn.lambda);
+}
+
+void JanusEngine::MarkRoot(const std::shared_ptr<FunctionValue>& fn) {
+  roots_[UnitKey(*fn)] = true;
+}
+
+bool JanusEngine::MaybeIntercept(const std::shared_ptr<FunctionValue>& fn,
+                                 std::span<Value> args, Value* result) {
+  if (!options_.enabled || in_imperative_run_) return false;
+  const auto it = roots_.find(UnitKey(*fn));
+  if (it == roots_.end() || !it->second) return false;
+  std::vector<Value> full_args;
+  // Bound receiver becomes argument 0, matching CallFunction's convention.
+  if (!std::holds_alternative<minipy::NoneType>(fn->self)) {
+    full_args.push_back(fn->self);
+  }
+  full_args.insert(full_args.end(), args.begin(), args.end());
+  *result = Run(fn, std::move(full_args), /*training=*/false, 0.0);
+  return true;
+}
+
+minipy::Value JanusEngine::RunTraining(
+    const std::shared_ptr<FunctionValue>& fn, double lr) {
+  std::vector<Value> args;
+  if (!std::holds_alternative<minipy::NoneType>(fn->self)) {
+    args.push_back(fn->self);
+  }
+  return Run(fn, std::move(args), /*training=*/true, lr);
+}
+
+minipy::Value JanusEngine::Run(const std::shared_ptr<FunctionValue>& fn,
+                               std::vector<Value> args, bool training,
+                               double lr) {
+  if (!options_.enabled) {
+    return RunImperative(fn, std::move(args), training, lr);
+  }
+  const void* key = UnitKey(*fn);
+  auto& unit = units_[key];
+  if (unit == nullptr) unit = std::make_unique<UnitState>();
+  ++unit->calls;
+
+  if (unit->imperative_only) {
+    ++stats_.imperative_executions;
+    return RunImperative(fn, std::move(args), training, lr);
+  }
+
+  // (D) Try cached graphs whose entry assumptions hold (Fig. 2 ①).
+  for (std::size_t i = 0; i < unit->candidates.size(); ++i) {
+    CacheEntry& entry = unit->candidates[i];
+    if (entry.compiled->training != training) continue;
+    if (training && entry.compiled->learning_rate != lr) continue;
+    if (!EntryValid(entry, fn, args)) continue;
+    try {
+      Value result = ExecuteCompiled(entry, args);
+      ++stats_.graph_executions;
+      return result;
+    } catch (const AssumptionFailed& failure) {
+      // (E) Runtime assumption failure: nothing was committed; mark the
+      // assumption so regeneration relaxes it, drop this graph, and fall
+      // back to the imperative executor (§3.2).
+      ++stats_.assumption_failures;
+      ++stats_.fallbacks;
+      profiler_.MarkAssumptionFailed(failure.assumption_id());
+      unit->candidates.erase(unit->candidates.begin() +
+                             static_cast<std::ptrdiff_t>(i));
+      ++stats_.imperative_executions;
+      return RunImperative(fn, std::move(args), training, lr);
+    } catch (const Error& error) {
+      // A kernel crashed on data that violates an assumption before the
+      // guarding AssertOp ran (assertions execute in parallel with the
+      // network, §6.3.1). The run committed nothing, so dropping the graph
+      // and falling back is safe; re-profiling relaxes the assumption.
+      ++stats_.fallbacks;
+      JANUS_LOG(kInfo) << "speculative graph failed (" << error.what()
+                       << "); falling back";
+      unit->candidates.erase(unit->candidates.begin() +
+                             static_cast<std::ptrdiff_t>(i));
+      ++stats_.imperative_executions;
+      return RunImperative(fn, std::move(args), training, lr);
+    }
+  }
+  if (!unit->candidates.empty()) ++stats_.cache_misses;
+
+  // (B) Generate once enough profile information exists (§3.1). After a
+  // refusal, retry with exponential backoff — later profiles may relax the
+  // assumption that made the program unconvertible.
+  if (unit->calls > options_.profile_threshold &&
+      unit->calls >= unit->next_generation_attempt) {
+    try {
+      auto compiled = generator_.Compile(fn, args, training, lr);
+      ++stats_.graph_generations;
+      CacheEntry entry{std::move(compiled), fn->closure};
+      if (static_cast<int>(unit->candidates.size()) >=
+          options_.max_cached_graphs_per_unit) {
+        unit->candidates.erase(unit->candidates.begin());
+      }
+      unit->candidates.push_back(std::move(entry));
+      CacheEntry& fresh = unit->candidates.back();
+      if (EntryValid(fresh, fn, args)) {
+        try {
+          Value result = ExecuteCompiled(fresh, args);
+          ++stats_.graph_executions;
+          return result;
+        } catch (const AssumptionFailed& failure) {
+          ++stats_.assumption_failures;
+          ++stats_.fallbacks;
+          profiler_.MarkAssumptionFailed(failure.assumption_id());
+          unit->candidates.pop_back();
+        } catch (const Error& error) {
+          ++stats_.fallbacks;
+          JANUS_LOG(kInfo) << "fresh speculative graph failed ("
+                           << error.what() << "); falling back";
+          unit->candidates.pop_back();
+        }
+      }
+    } catch (const NotConvertible& refusal) {
+      // (C) Outside the convertible subset (§4.3). Pin to the imperative
+      // executor after repeated refusals.
+      ++stats_.not_convertible;
+      ++unit->failed_generations;
+      unit->refusal_reason = refusal.what();
+      unit->next_generation_attempt = unit->calls * 2;
+      if (unit->failed_generations >= 4) unit->imperative_only = true;
+      JANUS_LOG(kInfo) << "not convertible: " << refusal.what();
+    }
+  }
+  ++stats_.imperative_executions;
+  return RunImperative(fn, std::move(args), training, lr);
+}
+
+minipy::Value JanusEngine::RunImperative(
+    const std::shared_ptr<FunctionValue>& fn, std::vector<Value> args,
+    bool training, double lr) {
+  // Reentrancy guard: nested calls run plainly (and keep being profiled).
+  const bool saved = in_imperative_run_;
+  in_imperative_run_ = true;
+  struct Restore {
+    bool* flag;
+    bool value;
+    ~Restore() { *flag = value; }
+  } restore{&in_imperative_run_, saved};
+
+  // Strip the bound receiver again: CallFunction re-inserts it.
+  std::vector<Value> call_args = std::move(args);
+  if (!std::holds_alternative<minipy::NoneType>(fn->self) &&
+      !call_args.empty()) {
+    call_args.erase(call_args.begin());
+  }
+  if (!training) {
+    return interp_->CallFunction(fn, std::move(call_args));
+  }
+  // Imperative training step (the eager-tape path of the default builtin).
+  interp_->eager().StartTape();
+  const Value loss_value = interp_->CallFunction(fn, std::move(call_args));
+  const Tensor loss = interp_->ToTensor(loss_value);
+  const auto grads = interp_->eager().GradientsAndStopTape(loss);
+  for (const auto& [name, grad] : grads) {
+    const Tensor current = interp_->variables()->Read(name);
+    interp_->variables()->Assign(
+        name, ops::Sub(current, ops::Mul(Tensor::Scalar(
+                                             static_cast<float>(lr)),
+                                         grad)));
+  }
+  return loss;
+}
+
+bool JanusEngine::EntryValid(const CacheEntry& entry,
+                             const std::shared_ptr<FunctionValue>& fn,
+                             std::span<const Value> args) {
+  if (entry.closure != fn->closure) return false;
+  if (!options_.validate_entry_checks) return true;
+  try {
+    for (const EntryCheck& check : entry.compiled->entry_checks) {
+      if (!EntryValueMatches(check.ref.Resolve(args), check.expected)) {
+        return false;
+      }
+    }
+    for (const CaptureSpec& capture : entry.compiled->captures) {
+      const Value value = capture.ref.Resolve(args);
+      // Every validation is also a profile observation, so shape/constant
+      // assumptions keep relaxing along the Fig. 4 lattice.
+      profiler_.ObserveContext(capture.ref.ToString(), value);
+      switch (capture.kind) {
+        case ObservedKind::kTensor: {
+          const auto* tensor = std::get_if<Tensor>(&value);
+          if (tensor == nullptr || tensor->dtype() != capture.dtype ||
+              !capture.shape.Matches(tensor->shape())) {
+            return false;
+          }
+          break;
+        }
+        case ObservedKind::kInt:
+          if (!std::holds_alternative<std::int64_t>(value)) return false;
+          break;
+        case ObservedKind::kFloat:
+          if (!std::holds_alternative<double>(value)) return false;
+          break;
+        case ObservedKind::kBool:
+          if (!std::holds_alternative<bool>(value)) return false;
+          break;
+        case ObservedKind::kObject:
+          if (!std::holds_alternative<
+                  std::shared_ptr<minipy::ObjectValue>>(value)) {
+            return false;
+          }
+          break;
+        case ObservedKind::kList:
+          if (!std::holds_alternative<
+                  std::shared_ptr<minipy::ListValue>>(value)) {
+            return false;
+          }
+          break;
+        case ObservedKind::kDict:
+          if (!std::holds_alternative<
+                  std::shared_ptr<minipy::DictValue>>(value)) {
+            return false;
+          }
+          break;
+        default:
+          return false;
+      }
+    }
+  } catch (const Error&) {
+    return false;  // ref no longer resolves: context changed shape
+  }
+  return true;
+}
+
+minipy::Value JanusEngine::ExecuteCompiled(CacheEntry& entry,
+                                           std::span<const Value> args) {
+  std::map<std::string, Tensor> feeds;
+  for (const CaptureSpec& capture : entry.compiled->captures) {
+    feeds[capture.placeholder_name] =
+        EncodeValueAsTensor(capture.ref.Resolve(args));
+  }
+  ExecutorOptions exec_options;
+  exec_options.parallel = options_.parallel_execution && pool_ != nullptr;
+  exec_options.pool = pool_.get();
+  Executor executor(entry.compiled->library.get(), interp_->variables(),
+                    &host_state_, interp_->rng(), exec_options);
+  std::int64_t ops = 0;
+  std::vector<Tensor> results = executor.Run(
+      entry.compiled->graph, feeds, entry.compiled->fetches, &ops);
+  stats_.graph_ops_executed += ops;
+  return results.at(0);
+}
+
+}  // namespace janus

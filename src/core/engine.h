@@ -1,0 +1,129 @@
+// The JANUS engine: orchestrates the execution model of Fig. 2.
+//
+// It attaches to a MiniPy interpreter as Profiler (observer) + Speculative
+// Graph Executor (call interceptor + `optimize` builtin). Every conversion
+// unit (a function passed to optimize(), or one marked via MarkRoot /
+// the janus_function builtin) flows through:
+//
+//   profile imperatively (A) -> after `profile_threshold` calls, generate a
+//   speculative graph (B) -> cache it -> execute the graph when its entry
+//   assumptions hold (D) -> on entry mismatch: cache miss, imperative run,
+//   regenerate with relaxed assumptions -> on AssertOp failure mid-graph:
+//   discard staged state, fall back to the imperative executor (E), mark
+//   the assumption so regeneration stops speculating on it -> programs the
+//   generator refuses (C) stay imperative forever.
+//
+// Configuration presets reproduce the paper's comparison systems:
+//   Imperative (TF Eager)        : enabled = false
+//   JANUS                        : defaults
+//   JANUS ablations (Fig. 7)     : generator.{speculative_unroll,specialize},
+//                                  parallel_execution
+//   Tracing (TF defun)           : TracingPreset() — single-trace conversion
+//                                  with no assertions, no entry validation,
+//                                  baked state reads and dropped state
+//                                  writes, reproducing defun's silent
+//                                  incorrectness on DCF/IF programs.
+#ifndef JANUS_CORE_ENGINE_H_
+#define JANUS_CORE_ENGINE_H_
+
+#include <map>
+#include <memory>
+
+#include "common/thread_pool.h"
+#include "core/generator.h"
+#include "core/host_state.h"
+#include "runtime/executor.h"
+
+namespace janus {
+
+struct EngineOptions {
+  bool enabled = true;
+  GeneratorOptions generator;
+  bool parallel_execution = true;  // +PARL
+  int pool_threads = 4;
+  int profile_threshold = 3;  // §3.1 footnote 3
+  bool validate_entry_checks = true;
+  int max_cached_graphs_per_unit = 8;
+  // Calibrated per-op cost (ns) of the imperative executor's dispatch,
+  // standing in for CPython + TF Eager overhead (the MiniPy interpreter is
+  // a compiled tree-walker, orders of magnitude faster than CPython; the
+  // benchmarks set this to reproduce the paper's framework-overhead
+  // ratios). Applied at Attach().
+  std::int64_t eager_dispatch_penalty_ns = 0;
+
+  static EngineOptions ImperativePreset();
+  static EngineOptions TracingPreset();
+};
+
+struct EngineStats {
+  std::int64_t graph_executions = 0;
+  std::int64_t imperative_executions = 0;
+  std::int64_t graph_generations = 0;
+  std::int64_t cache_misses = 0;
+  std::int64_t assumption_failures = 0;
+  std::int64_t fallbacks = 0;
+  std::int64_t not_convertible = 0;
+  std::int64_t graph_ops_executed = 0;
+};
+
+class JanusEngine : public minipy::CallInterceptor {
+ public:
+  JanusEngine(minipy::Interpreter* interp, EngineOptions options);
+  ~JanusEngine() override;
+
+  // Installs the profiler, interceptor, and engine builtins (`optimize`,
+  // `janus_function`) into the interpreter.
+  void Attach();
+  void Detach();
+
+  // Marks a function as a conversion root: calls to it are intercepted.
+  void MarkRoot(const std::shared_ptr<minipy::FunctionValue>& fn);
+
+  // Training step on a conversion unit: the engine's `optimize`.
+  minipy::Value RunTraining(const std::shared_ptr<minipy::FunctionValue>& fn,
+                            double lr);
+
+  // ---- CallInterceptor ----
+  bool MaybeIntercept(const std::shared_ptr<minipy::FunctionValue>& fn,
+                      std::span<minipy::Value> args,
+                      minipy::Value* result) override;
+
+  const EngineStats& stats() const { return stats_; }
+  Profiler& profiler() { return profiler_; }
+  const EngineOptions& options() const { return options_; }
+
+ private:
+  struct CacheEntry;
+  struct UnitState;
+
+  // Identity of a conversion unit: its def or lambda AST node.
+  static const void* UnitKey(const minipy::FunctionValue& fn);
+
+  minipy::Value Run(const std::shared_ptr<minipy::FunctionValue>& fn,
+                    std::vector<minipy::Value> args, bool training,
+                    double lr);
+  minipy::Value RunImperative(const std::shared_ptr<minipy::FunctionValue>& fn,
+                              std::vector<minipy::Value> args, bool training,
+                              double lr);
+  bool EntryValid(const CacheEntry& entry,
+                  const std::shared_ptr<minipy::FunctionValue>& fn,
+                  std::span<const minipy::Value> args);
+  minipy::Value ExecuteCompiled(CacheEntry& entry,
+                                std::span<const minipy::Value> args);
+
+  minipy::Interpreter* interp_;
+  EngineOptions options_;
+  Profiler profiler_;
+  GraphGenerator generator_;
+  InterpreterHostState host_state_;
+  std::unique_ptr<ThreadPool> pool_;
+  EngineStats stats_;
+  std::map<const void*, std::unique_ptr<UnitState>> units_;
+  std::map<const void*, bool> roots_;
+  bool attached_ = false;
+  bool in_imperative_run_ = false;
+};
+
+}  // namespace janus
+
+#endif  // JANUS_CORE_ENGINE_H_

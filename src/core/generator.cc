@@ -1,0 +1,2788 @@
+#include "core/generator.h"
+
+#include <algorithm>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+
+#include "autodiff/gradients.h"
+#include "core/host_state.h"
+#include "frontend/builtins.h"
+#include "opt/passes.h"
+
+namespace janus {
+namespace {
+
+using minipy::BinaryOp;
+using minipy::BoolOpKind;
+using minipy::CompareOp;
+using minipy::Expr;
+using minipy::ExprKind;
+using minipy::Stmt;
+using minipy::StmtKind;
+using minipy::UnaryOp;
+using minipy::Value;
+
+[[noreturn]] void Refuse(const std::string& why) { throw NotConvertible(why); }
+
+// ---------------------------------------------------------------------------
+// Symbolic values
+// ---------------------------------------------------------------------------
+
+struct SymValue {
+  enum class Kind { kStatic, kNode, kList };
+  Kind kind = Kind::kStatic;
+
+  // kStatic
+  Value static_value{minipy::NoneType{}};
+  std::optional<ContextRef> origin;  // provenance for entry checks
+
+  // kNode
+  NodeOutput node{};
+  Graph* owner = nullptr;
+  DType dtype = DType::kFloat32;
+  bool is_pointer = false;
+  ShapeAssumption shape = ShapeAssumption::Unknown();
+
+  // kList (shared for aliasing: two names bound to one list see mutations)
+  std::shared_ptr<std::vector<SymValue>> elements;
+
+  static SymValue Static(Value v, std::optional<ContextRef> origin = {}) {
+    SymValue s;
+    s.kind = Kind::kStatic;
+    s.static_value = std::move(v);
+    s.origin = std::move(origin);
+    return s;
+  }
+  static SymValue OfNode(NodeOutput n, Graph* g, DType dt,
+                         bool pointer = false,
+                         ShapeAssumption sh = ShapeAssumption::Unknown()) {
+    SymValue s;
+    s.kind = Kind::kNode;
+    s.node = n;
+    s.owner = g;
+    s.dtype = dt;
+    s.is_pointer = pointer;
+    s.shape = std::move(sh);
+    return s;
+  }
+  static SymValue List(std::vector<SymValue> items) {
+    SymValue s;
+    s.kind = Kind::kList;
+    s.elements =
+        std::make_shared<std::vector<SymValue>>(std::move(items));
+    return s;
+  }
+
+  bool IsStatic() const { return kind == Kind::kStatic; }
+  bool IsNode() const { return kind == Kind::kNode; }
+  bool IsList() const { return kind == Kind::kList; }
+
+  // Shallow identity, used to detect branch-local rebinding.
+  bool SameAs(const SymValue& other) const {
+    if (kind != other.kind) return false;
+    switch (kind) {
+      case Kind::kNode:
+        return node == other.node;
+      case Kind::kList:
+        return elements == other.elements;
+      case Kind::kStatic:
+        return minipy::ValuesEqual(static_value, other.static_value);
+    }
+    return false;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Frames and scopes
+// ---------------------------------------------------------------------------
+
+// A gate marks "we are generating inside a dynamic branch": values produced
+// before `watermark` must pass through Switch(value, cond) side `side`.
+struct Gate {
+  NodeOutput cond;
+  bool side;
+  int watermark;  // node ids below this existed before the branch
+};
+
+struct Frame {
+  Graph* graph = nullptr;
+  Frame* parent = nullptr;
+  // Function frames import root-graph values through appended Params.
+  GraphFunction* fn = nullptr;
+  std::map<std::pair<Node*, int>, NodeOutput> imports;
+  std::vector<NodeOutput> import_sources;  // values in parent frame's graph
+  // Dynamic-branch gates (innermost last).
+  std::vector<Gate> gates;
+  std::map<std::tuple<Node*, int, bool>, NodeOutput> gate_cache;
+  // State-op ordering: (heap id, attr or "[i]") -> last read/write node.
+  std::map<std::pair<std::int64_t, std::string>, Node*> last_state_write;
+  std::map<std::pair<std::int64_t, std::string>, std::vector<Node*>>
+      readers_since_write;
+  // Side-effecting / assertion nodes that must be anchored to the fetches.
+  std::vector<Node*> side_nodes;
+};
+
+struct Scope {
+  std::map<std::string, SymValue> vars;
+  Scope* parent = nullptr;  // enclosing symbolic scope (loop bodies)
+  // Real environment for closure captures (function scopes only).
+  std::shared_ptr<minipy::Environment> closure;
+  std::set<std::string> global_names;
+
+  SymValue* Find(const std::string& name) {
+    const auto it = vars.find(name);
+    if (it != vars.end()) return &it->second;
+    if (parent != nullptr) return parent->Find(name);
+    return nullptr;
+  }
+  // The closure environment of the nearest function scope.
+  std::shared_ptr<minipy::Environment> ClosureEnv() {
+    Scope* s = this;
+    while (s != nullptr && s->closure == nullptr) s = s->parent;
+    return s != nullptr ? s->closure : nullptr;
+  }
+};
+
+// Control-flow signals during symbolic execution.
+struct GenReturn {
+  SymValue value;
+};
+struct GenBreak {};
+struct GenContinue {};
+
+// Syntactically collects names assigned anywhere in a statement list
+// (loop-carried variable analysis).
+void CollectAssigned(const std::vector<minipy::StmtPtr>& body,
+                     std::set<std::string>* out) {
+  for (const auto& stmt : body) {
+    switch (stmt->kind) {
+      case StmtKind::kAssign:
+      case StmtKind::kAugAssign:
+        if (stmt->target->kind == ExprKind::kName) {
+          out->insert(stmt->target->str_value);
+        } else if (stmt->target->kind == ExprKind::kTuple) {
+          for (const auto& el : stmt->target->elements) {
+            if (el->kind == ExprKind::kName) out->insert(el->str_value);
+          }
+        }
+        break;
+      case StmtKind::kFor:
+        out->insert(stmt->target->str_value);
+        CollectAssigned(stmt->body, out);
+        break;
+      case StmtKind::kIf:
+        CollectAssigned(stmt->body, out);
+        CollectAssigned(stmt->else_body, out);
+        break;
+      case StmtKind::kWhile:
+        CollectAssigned(stmt->body, out);
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+DType ArithResultDType(const std::string& op, DType a, DType b) {
+  if (op == "Equal" || op == "NotEqual" || op == "Less" ||
+      op == "LessEqual" || op == "Greater" || op == "GreaterEqual" ||
+      op == "LogicalAnd" || op == "LogicalOr") {
+    return DType::kBool;
+  }
+  if (op == "Div") return DType::kFloat32;
+  if (a == DType::kFloat32 || b == DType::kFloat32) return DType::kFloat32;
+  if (a == DType::kInt64 || b == DType::kInt64) return DType::kInt64;
+  return a;
+}
+
+const char* BinOpName(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd: return "Add";
+    case BinaryOp::kSub: return "Sub";
+    case BinaryOp::kMul: return "Mul";
+    case BinaryOp::kDiv: return "Div";
+    case BinaryOp::kFloorDiv: return "FloorDiv";
+    case BinaryOp::kMod: return "Mod";
+    case BinaryOp::kPow: return "Pow";
+  }
+  return "?";
+}
+
+const char* CmpOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq: return "Equal";
+    case CompareOp::kNe: return "NotEqual";
+    case CompareOp::kLt: return "Less";
+    case CompareOp::kLe: return "LessEqual";
+    case CompareOp::kGt: return "Greater";
+    case CompareOp::kGe: return "GreaterEqual";
+    case CompareOp::kIn: return "In";
+  }
+  return "?";
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Generator implementation
+// ---------------------------------------------------------------------------
+
+struct GraphGenerator::Impl {
+  minipy::Interpreter* interp;
+  Profiler* prof;
+  GeneratorOptions opt;
+
+  CompiledGraph* out = nullptr;
+  Frame* root = nullptr;
+  std::span<const Value> root_args;
+  std::int64_t budget = 0;
+  int depth = 0;
+
+  // Root-graph ReadVariable nodes, one per variable name.
+  std::map<std::string, NodeOutput> variable_reads;
+  // Generated GraphFunctions: signature -> name; plus in-progress set for
+  // recursion detection and post-patching of self-recursive Invoke sites.
+  std::map<std::string, std::string> fn_cache;
+  std::set<std::string> fn_generating;
+  // Self-recursive Invoke sites awaiting import-list completion, with the
+  // dynamic-branch gates that were active where the site sits (appended
+  // inputs must be gated identically or dead/live tokens mismatch).
+  struct PendingSite {
+    Node* site;
+    Graph* graph;
+    std::vector<Gate> gates;
+  };
+  std::map<std::string, std::vector<PendingSite>> pending_recursive_sites;
+  // For completed functions: their import sources (root-graph values) and
+  // result dtype.
+  std::map<std::string, std::vector<NodeOutput>> fn_import_sources;
+  std::map<std::string, DType> fn_result_dtype;
+  std::set<std::string> entry_check_seen;
+  // Functions currently being inlined (recursion through inlining is
+  // rerouted to InvokeOp).
+  std::vector<const void*> inline_stack;
+  // Tracing semantics: trace-local attribute bindings. A traced write is
+  // visible to later reads *within the trace* (as in TF defun, where the
+  // Python assignment stores the symbolic tensor) but never propagates
+  // across calls.
+  std::map<std::pair<std::int64_t, std::string>, SymValue> trace_attrs;
+  int fresh_counter = 0;
+
+  // ---- small helpers ----
+
+  void SpendBudget(std::int64_t amount = 1) {
+    budget -= amount;
+    if (budget < 0) Refuse("static expansion budget exceeded");
+  }
+
+  std::string Fresh(const std::string& base) {
+    return base + "_" + std::to_string(fresh_counter++);
+  }
+
+  // Whether we may speculate on this assumption. Assertion emission is a
+  // separate concern: with insert_assertions off (tracing baseline,
+  // §6.3.1's overhead measurement) speculation proceeds unguarded.
+  bool AssumptionUsable(const std::string& id) const {
+    return !prof->HasFailed(id);
+  }
+
+  // Applies active dynamic-branch gates to a value consumed inside them.
+  // Values created before the branch (id < watermark) need gating; so do
+  // context sources materialised on demand *inside* the branch (import
+  // Params, ReadVariable, Placeholders) — they are semantically
+  // pre-existing, and ungated uses would leak ungated (dead) gradient
+  // contributions out of the branch.
+  NodeOutput ApplyGates(Frame& frame, NodeOutput v) {
+    const std::string& producer_op = v.node->op();
+    const bool always_gate = producer_op == "Param" ||
+                             producer_op == "Placeholder" ||
+                             producer_op == "ReadVariable";
+    for (Gate& gate : frame.gates) {
+      if (!always_gate && v.node->id() >= gate.watermark) continue;
+      const auto key = std::make_tuple(v.node, v.index, gate.side);
+      auto it = frame.gate_cache.find(key);
+      if (it == frame.gate_cache.end()) {
+        Node* sw = frame.graph->AddNode("Switch", {v, gate.cond}, {}, 2);
+        it = frame.gate_cache
+                 .emplace(key, NodeOutput{sw, gate.side ? 1 : 0})
+                 .first;
+      }
+      v = it->second;
+    }
+    return v;
+  }
+
+  Node* AddOp(Frame& frame, const std::string& op,
+              std::vector<NodeOutput> inputs, AttrMap attrs = {},
+              int num_outputs = 1) {
+    for (NodeOutput& input : inputs) input = ApplyGates(frame, input);
+    return frame.graph->AddNode(op, std::move(inputs), std::move(attrs),
+                                num_outputs);
+  }
+
+  // Brings a node value produced in an outer frame into `frame` (function
+  // frames import via appended Params; see header design notes).
+  NodeOutput ImportValue(Frame& frame, const SymValue& sym) {
+    JANUS_EXPECTS(sym.IsNode());
+    if (sym.owner == frame.graph) return sym.node;
+    if (frame.parent == nullptr) {
+      throw InternalError("value from unrelated graph reached root frame");
+    }
+    // Ensure the value is available in the parent frame first.
+    SymValue parent_sym = sym;
+    const NodeOutput in_parent = ImportValue(*frame.parent, sym);
+    const auto key = std::make_pair(in_parent.node, in_parent.index);
+    const auto it = frame.imports.find(key);
+    if (it != frame.imports.end()) return it->second;
+    JANUS_EXPECTS(frame.fn != nullptr);
+    Node* param = frame.graph->AddNode(
+        "Param", {},
+        {{"index",
+          static_cast<std::int64_t>(frame.fn->parameters.size())}});
+    frame.fn->parameters.push_back(param);
+    frame.import_sources.push_back(in_parent);
+    frame.imports.emplace(key, NodeOutput{param, 0});
+    return {param, 0};
+  }
+
+  // Materialises a symbolic value as a node in `frame`. `want` requests a
+  // dtype for static numerics (alignment with a tensor operand).
+  NodeOutput ToNode(Frame& frame, const SymValue& sym,
+                    std::optional<DType> want = std::nullopt,
+                    DType* out_dtype = nullptr, bool* out_pointer = nullptr) {
+    const auto set_meta = [&](DType dt, bool ptr) {
+      if (out_dtype != nullptr) *out_dtype = dt;
+      if (out_pointer != nullptr) *out_pointer = ptr;
+    };
+    if (sym.IsNode()) {
+      set_meta(sym.dtype, sym.is_pointer);
+      return ApplyGates(frame, ImportValue(frame, sym));
+    }
+    if (sym.IsList()) Refuse("a list has no tensor representation here");
+    const Value& v = sym.static_value;
+    Tensor t;
+    bool pointer = false;
+    if (const auto* i = std::get_if<std::int64_t>(&v)) {
+      t = (want == DType::kFloat32)
+              ? Tensor::Scalar(static_cast<float>(*i))
+              : Tensor::ScalarInt(*i);
+    } else if (const auto* d = std::get_if<double>(&v)) {
+      t = Tensor::Scalar(static_cast<float>(*d));
+    } else if (const auto* b = std::get_if<bool>(&v)) {
+      t = (want == DType::kFloat32)
+              ? Tensor::Scalar(*b ? 1.0f : 0.0f)
+              : Tensor::ScalarBool(*b);
+    } else if (std::holds_alternative<minipy::NoneType>(v)) {
+      t = Tensor::ScalarInt(0);  // null pointer
+      pointer = true;
+    } else if (const auto* var = std::get_if<minipy::VariableRef>(&v)) {
+      const NodeOutput read = VariableRead(var->name);
+      SymValue root_sym = SymValue::OfNode(read, root->graph,
+                                           DType::kFloat32);
+      set_meta(DType::kFloat32, false);
+      return ApplyGates(frame, ImportValue(frame, root_sym));
+    } else if (const auto* obj =
+                   std::get_if<std::shared_ptr<minipy::ObjectValue>>(&v)) {
+      t = Tensor::ScalarInt((*obj)->heap_id());
+      pointer = true;
+    } else if (const auto* list =
+                   std::get_if<std::shared_ptr<minipy::ListValue>>(&v)) {
+      t = Tensor::ScalarInt((*list)->heap_id());
+      pointer = true;
+    } else if (const auto* dict =
+                   std::get_if<std::shared_ptr<minipy::DictValue>>(&v)) {
+      t = Tensor::ScalarInt((*dict)->heap_id());
+      pointer = true;
+    } else {
+      Refuse(std::string("cannot embed a ") + minipy::ValueTypeName(v) +
+             " value in the graph");
+    }
+    set_meta(t.dtype(), pointer);
+    return {frame.graph->AddNode("Const", {}, {{"value", std::move(t)}}), 0};
+  }
+
+  // Reads a model parameter: one ReadVariable node per name, in the root
+  // graph, so gradients can target it.
+  NodeOutput VariableRead(const std::string& name) {
+    const auto it = variable_reads.find(name);
+    if (it != variable_reads.end()) return it->second;
+    Node* read = root->graph->AddNode("ReadVariable", {}, {{"var", name}});
+    const NodeOutput out_v{read, 0};
+    variable_reads.emplace(name, out_v);
+    return out_v;
+  }
+
+  // ---- context capture ----
+
+  // Converts a live context value into a symbolic value, recording capture
+  // specs / entry checks (§4.2.2 specialisation decisions).
+  SymValue Capture(const ContextRef& ref, const Value& current,
+                   const ValueProfile* profile) {
+    // Fold this observation into the context profile and prefer it when no
+    // site-specific (argument) profile was supplied.
+    prof->ObserveContext(ref.ToString(), current);
+    if (profile == nullptr) profile = prof->context(ref.ToString());
+    if (const auto* t = std::get_if<Tensor>(&current)) {
+      // Tensors are placeholders fed on every run.
+      CaptureSpec spec;
+      spec.ref = ref;
+      spec.placeholder_name = Fresh("cap_" + SanitizeName(ref.ToString()));
+      spec.kind = ObservedKind::kTensor;
+      spec.dtype = t->dtype();
+      const std::string id = "shape:" + ref.ToString();
+      if (opt.specialize && profile != nullptr &&
+          profile->kind == ObservedKind::kTensor && AssumptionUsable(id)) {
+        spec.shape = profile->shape;
+      } else {
+        spec.shape = ShapeAssumption::Unknown();
+      }
+      spec.assumption_id = id;
+      const NodeOutput ph =
+          out->graph.Placeholder(spec.placeholder_name, spec.dtype);
+      out->captures.push_back(spec);
+      return SymValue::OfNode(ph, &out->graph, spec.dtype, false, spec.shape);
+    }
+    if (const auto* i = std::get_if<std::int64_t>(&current)) {
+      return CaptureScalar(ref, current, profile, DType::kInt64,
+                           static_cast<double>(*i));
+    }
+    if (const auto* d = std::get_if<double>(&current)) {
+      return CaptureScalar(ref, current, profile, DType::kFloat32, *d);
+    }
+    if (const auto* b = std::get_if<bool>(&current)) {
+      return CaptureScalar(ref, current, profile, DType::kBool,
+                           *b ? 1.0 : 0.0);
+    }
+    // Heap values whose identity changes call-to-call (e.g. per-sample tree
+    // roots) become dynamic pointer placeholders; the graph dereferences
+    // them through PyGetAttr/PyGetSubscr (§4.2.2's pointer encoding).
+    const bool is_heap =
+        std::holds_alternative<std::shared_ptr<minipy::ObjectValue>>(
+            current) ||
+        std::holds_alternative<std::shared_ptr<minipy::ListValue>>(current) ||
+        std::holds_alternative<std::shared_ptr<minipy::DictValue>>(current);
+    if (is_heap && profile != nullptr &&
+        (profile->kind == ObservedKind::kObject ||
+         profile->kind == ObservedKind::kList ||
+         profile->kind == ObservedKind::kDict) &&
+        !profile->heap_stable) {
+      CaptureSpec spec;
+      spec.ref = ref;
+      spec.placeholder_name = Fresh("cap_" + SanitizeName(ref.ToString()));
+      spec.kind = profile->kind;
+      spec.dtype = DType::kInt64;
+      spec.assumption_id = "type:" + ref.ToString();
+      const NodeOutput ph =
+          out->graph.Placeholder(spec.placeholder_name, DType::kInt64);
+      out->captures.push_back(spec);
+      return SymValue::OfNode(ph, &out->graph, DType::kInt64, true,
+                              ShapeAssumption::Exact(Shape{}));
+    }
+    // Everything else is captured statically with an identity/equality
+    // entry check: objects, lists, dicts, functions, classes, builtins,
+    // strings, variables, None.
+    AddEntryCheck(ref, current);
+    return SymValue::Static(current, ref);
+  }
+
+  SymValue CaptureScalar(const ContextRef& ref, const Value& current,
+                         const ValueProfile* profile, DType dtype,
+                         double /*numeric*/) {
+    const std::string id = "const:" + ref.ToString();
+    if (opt.specialize && profile != nullptr && profile->value_stable &&
+        AssumptionUsable(id)) {
+      // Profiled-constant scalar: bake as Const, checked at entry (§4.2.2).
+      AddEntryCheck(ref, current);
+      return SymValue::Static(current, ref);
+    }
+    // Dynamic scalar: placeholder.
+    CaptureSpec spec;
+    spec.ref = ref;
+    spec.placeholder_name = Fresh("cap_" + SanitizeName(ref.ToString()));
+    spec.kind = dtype == DType::kInt64
+                    ? ObservedKind::kInt
+                    : (dtype == DType::kBool ? ObservedKind::kBool
+                                             : ObservedKind::kFloat);
+    spec.dtype = dtype;
+    spec.assumption_id = id;
+    const NodeOutput ph =
+        out->graph.Placeholder(spec.placeholder_name, dtype);
+    out->captures.push_back(spec);
+    return SymValue::OfNode(ph, &out->graph, dtype, false,
+                            ShapeAssumption::Exact(Shape{}));
+  }
+
+  void AddEntryCheck(const ContextRef& ref, const Value& expected) {
+    const std::string key = ref.ToString();
+    if (!entry_check_seen.insert(key).second) return;
+    if (std::holds_alternative<Tensor>(expected)) return;
+    out->entry_checks.push_back(EntryCheck{ref, expected, "entry:" + key});
+  }
+
+  static std::string SanitizeName(std::string s) {
+    for (char& c : s) {
+      if ((std::isalnum(static_cast<unsigned char>(c)) == 0) && c != '_') {
+        c = '_';
+      }
+    }
+    return s;
+  }
+
+  // Resolves a name that is not a symbolic local: looks through the live
+  // closure environments and captures the value.
+  SymValue ResolveClosure(Scope& scope, const std::string& name, int line) {
+    auto env = scope.ClosureEnv();
+    while (env != nullptr && !env->Has(name)) env = env->parent_ptr();
+    if (env == nullptr) {
+      Refuse("line " + std::to_string(line) + ": name '" + name +
+             "' is not defined during graph generation");
+    }
+    ContextRef ref;
+    ref.env = env;
+    ref.name = name;
+    const Value current = *env->Find(name);
+    return Capture(ref, current, nullptr);
+  }
+
+  // ---- state-op ordering (read/write hazards, Fig. 5) ----
+
+  std::string StateKeyName(const std::string& attr) { return attr; }
+
+  void OrderStateRead(Frame& frame, std::int64_t heap_id,
+                      const std::string& key, Node* read) {
+    const auto map_key = std::make_pair(heap_id, key);
+    const auto it = frame.last_state_write.find(map_key);
+    if (it != frame.last_state_write.end()) read->AddControlInput(it->second);
+    frame.readers_since_write[map_key].push_back(read);
+  }
+
+  void OrderStateWrite(Frame& frame, std::int64_t heap_id,
+                       const std::string& key, Node* write) {
+    const auto map_key = std::make_pair(heap_id, key);
+    const auto it = frame.last_state_write.find(map_key);
+    if (it != frame.last_state_write.end()) write->AddControlInput(it->second);
+    for (Node* reader : frame.readers_since_write[map_key]) {
+      write->AddControlInput(reader);
+    }
+    frame.readers_since_write[map_key].clear();
+    frame.last_state_write[map_key] = write;
+    frame.side_nodes.push_back(write);
+  }
+
+  void RefuseSideEffectInDynamicBranch(const Frame& frame,
+                                       const char* what) {
+    if (!frame.gates.empty()) {
+      Refuse(std::string(what) +
+             " inside a data-dependent branch cannot be converted");
+    }
+  }
+
+  // =========================================================================
+  // Statements
+  // =========================================================================
+
+  void ExecBlock(const std::vector<minipy::StmtPtr>& body, Frame& frame,
+                 Scope& scope) {
+    ExecStmts(body, 0, frame, scope);
+  }
+
+  // Executes body[start..]; `if` statements get the remaining statements as
+  // their continuation so early-return patterns (`if c: return a` followed
+  // by more code) can lower to a Merge of both return values.
+  void ExecStmts(const std::vector<minipy::StmtPtr>& body, std::size_t start,
+                 Frame& frame, Scope& scope) {
+    for (std::size_t i = start; i < body.size(); ++i) {
+      const Stmt* stmt = body[i].get();
+      if (stmt->kind == StmtKind::kIf) {
+        SpendBudget();
+        if (ExecIf(stmt, frame, scope, body, i + 1)) return;
+        continue;
+      }
+      ExecStmt(stmt, frame, scope);
+    }
+  }
+
+  void ExecStmt(const Stmt* stmt, Frame& frame, Scope& scope) {
+    SpendBudget();
+    switch (stmt->kind) {
+      case StmtKind::kExpr:
+        Eval(stmt->value.get(), frame, scope);
+        return;
+      case StmtKind::kAssign:
+        AssignTo(stmt->target.get(), Eval(stmt->value.get(), frame, scope),
+                 frame, scope);
+        return;
+      case StmtKind::kAugAssign: {
+        const SymValue current = Eval(stmt->target.get(), frame, scope);
+        SymValue updated =
+            Binary(stmt->aug_op, current,
+                   Eval(stmt->value.get(), frame, scope), frame, stmt->line);
+        AssignTo(stmt->target.get(), std::move(updated), frame, scope);
+        return;
+      }
+      case StmtKind::kIf: {
+        static const std::vector<minipy::StmtPtr> kNoContinuation;
+        ExecIf(stmt, frame, scope, kNoContinuation, 0);
+        return;
+      }
+      case StmtKind::kWhile:
+        ExecWhile(stmt, frame, scope);
+        return;
+      case StmtKind::kFor:
+        ExecFor(stmt, frame, scope);
+        return;
+      case StmtKind::kReturn:
+        throw GenReturn{stmt->value != nullptr
+                            ? Eval(stmt->value.get(), frame, scope)
+                            : SymValue::Static(minipy::NoneType{})};
+      case StmtKind::kPass:
+        return;
+      case StmtKind::kBreak:
+        throw GenBreak{};
+      case StmtKind::kContinue:
+        throw GenContinue{};
+      case StmtKind::kGlobal:
+        for (const std::string& name : stmt->globals) {
+          scope.global_names.insert(name);
+        }
+        return;
+      case StmtKind::kRaise:
+        Refuse("line " + std::to_string(stmt->line) +
+               ": 'raise' on a converted path (exceptions are "
+               "imperative-only, §4.3 / Appendix A)");
+      case StmtKind::kTry:
+        Refuse("line " + std::to_string(stmt->line) +
+               ": try/except is imperative-only (§4.3)");
+      case StmtKind::kDef:
+      case StmtKind::kClass:
+        Refuse("line " + std::to_string(stmt->line) +
+               ": nested def/class definitions are imperative-only");
+    }
+  }
+
+  void AssignTo(const Expr* target, SymValue value, Frame& frame,
+                Scope& scope) {
+    switch (target->kind) {
+      case ExprKind::kName: {
+        const std::string& name = target->str_value;
+        if (scope.global_names.count(name) != 0u) {
+          Refuse("assignment to global '" + name +
+                 "' is imperative-only (global heap mutation)");
+        }
+        // Assign to the scope that owns the name (loop bodies share the
+        // enclosing function scope), else define locally.
+        Scope* s = &scope;
+        while (s != nullptr && s->vars.find(name) == s->vars.end()) {
+          s = s->parent;
+        }
+        (s != nullptr ? s : &scope)->vars[name] = std::move(value);
+        return;
+      }
+      case ExprKind::kAttribute: {
+        const SymValue base = Eval(target->left.get(), frame, scope);
+        StoreAttr(base, target->str_value, std::move(value), frame,
+                  target->line);
+        return;
+      }
+      case ExprKind::kSubscript: {
+        const SymValue base = Eval(target->left.get(), frame, scope);
+        const SymValue index = Eval(target->right.get(), frame, scope);
+        StoreSubscript(base, index, std::move(value), frame, target->line);
+        return;
+      }
+      case ExprKind::kTuple: {
+        if (!value.IsList() ||
+            value.elements->size() != target->elements.size()) {
+          Refuse("cannot unpack value into tuple target");
+        }
+        for (std::size_t i = 0; i < target->elements.size(); ++i) {
+          AssignTo(target->elements[i].get(), (*value.elements)[i], frame,
+                   scope);
+        }
+        return;
+      }
+      default:
+        Refuse("unsupported assignment target");
+    }
+  }
+
+  void StoreAttr(const SymValue& base, const std::string& name,
+                 SymValue value, Frame& frame, int line) {
+    if (opt.tracing_semantics) {
+      // Tracing baseline: the write only binds trace-locally; it never
+      // reaches the Python heap (defun's impure-function failure mode).
+      if (base.IsStatic()) {
+        if (const auto* obj =
+                std::get_if<std::shared_ptr<minipy::ObjectValue>>(
+                    &base.static_value)) {
+          trace_attrs[{(*obj)->heap_id(), name}] = std::move(value);
+        }
+      }
+      return;
+    }
+    RefuseSideEffectInDynamicBranch(frame, "attribute write");
+    // Target object: static heap object or dynamic pointer.
+    std::int64_t static_id = -1;
+    NodeOutput ptr;
+    if (base.IsStatic()) {
+      const auto* obj = std::get_if<std::shared_ptr<minipy::ObjectValue>>(
+          &base.static_value);
+      if (obj == nullptr) {
+        Refuse("line " + std::to_string(line) +
+               ": attribute write on non-object");
+      }
+      static_id = (*obj)->heap_id();
+      ptr = ToNode(frame, base);
+    } else if (base.IsNode() && base.is_pointer) {
+      ptr = ToNode(frame, base);
+    } else {
+      Refuse("attribute write on non-object value");
+    }
+    const NodeOutput v = ToNode(frame, value);
+    Node* set = AddOp(frame, "PySetAttr", {ptr, v}, {{"attr", name}});
+    OrderStateWrite(frame, static_id, StateKeyName(name), set);
+  }
+
+  void StoreSubscript(const SymValue& base, const SymValue& index,
+                      SymValue value, Frame& frame, int line) {
+    // Local symbolic list with static index: pure data-structure update.
+    if (base.IsList() && index.IsStatic()) {
+      const auto* i = std::get_if<std::int64_t>(&index.static_value);
+      if (i == nullptr) Refuse("list index must be an int");
+      std::int64_t idx = *i;
+      const auto n = static_cast<std::int64_t>(base.elements->size());
+      if (idx < 0) idx += n;
+      if (idx < 0 || idx >= n) Refuse("static list index out of range");
+      (*base.elements)[static_cast<std::size_t>(idx)] = std::move(value);
+      return;
+    }
+    RefuseSideEffectInDynamicBranch(frame, "subscript write");
+    // Heap list/dict: deferred PySetSubscr.
+    std::int64_t static_id = -1;
+    if (base.IsStatic()) {
+      if (const auto* l = std::get_if<std::shared_ptr<minipy::ListValue>>(
+              &base.static_value)) {
+        static_id = (*l)->heap_id();
+      } else if (const auto* d =
+                     std::get_if<std::shared_ptr<minipy::DictValue>>(
+                         &base.static_value)) {
+        static_id = (*d)->heap_id();
+      } else {
+        Refuse("line " + std::to_string(line) +
+               ": subscript write on unsupported value");
+      }
+    } else if (!(base.IsNode() && base.is_pointer)) {
+      Refuse("subscript write on unsupported value");
+    }
+    const NodeOutput ptr = ToNode(frame, base);
+    const NodeOutput idx = ToNode(frame, index, DType::kInt64);
+    const NodeOutput v = ToNode(frame, value);
+    Node* set = AddOp(frame, "PySetSubscr", {ptr, idx, v});
+    OrderStateWrite(frame, static_id, "[]", set);
+  }
+
+  // ---- conditionals ----
+
+  // Returns true when the continuation (block[cont_start..]) was consumed
+  // inside a data-dependent branch join.
+  bool ExecIf(const Stmt* stmt, Frame& frame, Scope& scope,
+              const std::vector<minipy::StmtPtr>& block,
+              std::size_t cont_start) {
+    const SymValue cond = Eval(stmt->value.get(), frame, scope);
+    if (cond.IsStatic() || cond.IsList()) {
+      const bool static_tensorish =
+          cond.IsStatic() &&
+          (std::holds_alternative<minipy::VariableRef>(cond.static_value) ||
+           std::holds_alternative<Tensor>(cond.static_value));
+      if (!static_tensorish) {
+        const bool taken = cond.IsList()
+                               ? !cond.elements->empty()
+                               : minipy::Truthy(cond.static_value);
+        ExecBlock(taken ? stmt->body : stmt->else_body, frame, scope);
+        return false;
+      }
+    }
+    // Dynamic predicate. Speculate if profiled stable (§4.2.1).
+    const std::string id = "branch:stmt" + std::to_string(stmt->id);
+    const BranchProfile* profile = prof->branch(stmt);
+    if (opt.speculative_unroll && profile != nullptr && profile->Stable() &&
+        AssumptionUsable(id)) {
+      const bool taken = profile->Direction();
+      if (opt.insert_assertions) {
+        NodeOutput pred = ToBool(frame, cond);
+        if (!taken) {
+          pred = {AddOp(frame, "LogicalNot", {pred}), 0};
+        }
+        Node* check = AddOp(frame, "Assert", {pred}, {{"assumption", id}});
+        frame.side_nodes.push_back(check);
+        out->runtime_assumptions.push_back(id);
+        ++out->num_assert_ops;
+      }
+      ExecBlock(taken ? stmt->body : stmt->else_body, frame, scope);
+      return false;
+    }
+    return ExecDynamicIf(stmt, cond, frame, scope, block, cont_start);
+  }
+
+  bool ExecDynamicIf(const Stmt* stmt, const SymValue& cond, Frame& frame,
+                     Scope& scope,
+                     const std::vector<minipy::StmtPtr>& block,
+                     std::size_t cont_start) {
+    const NodeOutput pred = ToBool(frame, cond);
+
+    struct BranchOutcome {
+      std::map<std::string, SymValue> vars;
+      std::optional<SymValue> returned;
+    };
+    const auto run_branch = [&](const std::vector<minipy::StmtPtr>& body,
+                                bool side) {
+      BranchOutcome outcome;
+      const auto saved = scope.vars;
+      frame.gates.push_back(Gate{
+          pred, side, static_cast<int>(frame.graph->num_nodes()) + 1});
+      try {
+        ExecBlock(body, frame, scope);
+      } catch (GenReturn& ret) {
+        outcome.returned = std::move(ret.value);
+      }
+      frame.gates.pop_back();
+      outcome.vars = std::move(scope.vars);
+      scope.vars = saved;
+      return outcome;
+    };
+
+    const auto saved = scope.vars;
+    BranchOutcome then_out = run_branch(stmt->body, true);
+    BranchOutcome else_out = run_branch(stmt->else_body, false);
+
+    if (then_out.returned.has_value() && else_out.returned.has_value()) {
+      const NodeOutput tv =
+          GateSide(frame, pred, true, ToNode(frame, *then_out.returned));
+      DType dt = DType::kFloat32;
+      bool ptr = false;
+      NodeOutput ev = ToNode(frame, *else_out.returned, std::nullopt, &dt,
+                             &ptr);
+      ev = GateSide(frame, pred, false, ev);
+      Node* merge = frame.graph->AddNode("Merge", {tv, ev}, {}, 2);
+      throw GenReturn{
+          SymValue::OfNode({merge, 0}, frame.graph, dt, ptr)};
+    }
+    if (then_out.returned.has_value() || else_out.returned.has_value()) {
+      // Early-return pattern: the non-returning side continues with the
+      // rest of the enclosing block under its gate, and must itself return
+      // so both paths join in a Merge.
+      const bool then_returned = then_out.returned.has_value();
+      const BranchOutcome& live =
+          then_returned ? else_out : then_out;
+      const SymValue ret_value =
+          then_returned ? *then_out.returned : *else_out.returned;
+      scope.vars = live.vars;
+      frame.gates.push_back(Gate{
+          pred, !then_returned,
+          static_cast<int>(frame.graph->num_nodes()) + 1});
+      std::optional<SymValue> cont_return;
+      try {
+        ExecStmts(block, cont_start, frame, scope);
+      } catch (GenReturn& ret) {
+        cont_return = std::move(ret.value);
+      } catch (const GenBreak&) {
+        Refuse("'break' across a data-dependent branch join");
+      } catch (const GenContinue&) {
+        Refuse("'continue' across a data-dependent branch join");
+      }
+      frame.gates.pop_back();
+      if (!cont_return.has_value()) {
+        Refuse("all paths after a data-dependent early return must return");
+      }
+      const NodeOutput rv = GateSide(frame, pred, then_returned,
+                                     ToNode(frame, ret_value));
+      DType dt = DType::kFloat32;
+      bool ptr = false;
+      NodeOutput cv = ToNode(frame, *cont_return, std::nullopt, &dt, &ptr);
+      cv = GateSide(frame, pred, !then_returned, cv);
+      Node* merge = then_returned
+                        ? frame.graph->AddNode("Merge", {rv, cv}, {}, 2)
+                        : frame.graph->AddNode("Merge", {cv, rv}, {}, 2);
+      throw GenReturn{SymValue::OfNode({merge, 0}, frame.graph, dt, ptr)};
+    }
+
+    // Merge variables whose binding changed in either branch.
+    std::set<std::string> changed;
+    const auto collect = [&](const BranchOutcome& outcome) {
+      for (const auto& [name, sym] : outcome.vars) {
+        const auto it = saved.find(name);
+        if (it == saved.end() || !it->second.SameAs(sym)) {
+          changed.insert(name);
+        }
+      }
+    };
+    collect(then_out);
+    collect(else_out);
+
+    for (const std::string& name : changed) {
+      const auto pick = [&](const BranchOutcome& outcome)
+          -> const SymValue* {
+        const auto it = outcome.vars.find(name);
+        if (it != outcome.vars.end()) return &it->second;
+        const auto saved_it = saved.find(name);
+        return saved_it != saved.end() ? &saved_it->second : nullptr;
+      };
+      const SymValue* tv = pick(then_out);
+      const SymValue* ev = pick(else_out);
+      if (tv == nullptr || ev == nullptr) {
+        Refuse("variable '" + name +
+               "' is defined on only one side of a data-dependent branch");
+      }
+      DType dt_t = DType::kFloat32;
+      bool ptr_t = false;
+      NodeOutput tn = ToNode(frame, *tv, std::nullopt, &dt_t, &ptr_t);
+      tn = GateSide(frame, pred, true, tn);
+      NodeOutput en = ToNode(frame, *ev, dt_t);
+      en = GateSide(frame, pred, false, en);
+      Node* merge = frame.graph->AddNode("Merge", {tn, en}, {}, 2);
+      scope.vars[name] =
+          SymValue::OfNode({merge, 0}, frame.graph, dt_t, ptr_t);
+    }
+    return false;
+  }
+
+  NodeOutput GateSide(Frame& frame, NodeOutput pred, bool side,
+                      NodeOutput v) {
+    // Values produced *inside* the branch are already gated transitively;
+    // only pre-existing values need an explicit Switch. We can't cheaply
+    // know, so gate unconditionally through the cache (double-gating a
+    // branch-produced value is harmless: its tokens are dead exactly when
+    // the branch is untaken, and a Switch on it stays consistent).
+    Node* sw = frame.graph->AddNode("Switch", {v, pred}, {}, 2);
+    return {sw, side ? 1 : 0};
+  }
+
+  // ---- loops ----
+
+  void ExecStaticLoopBody(const Stmt* stmt, Frame& frame, Scope& scope,
+                          bool* broke) {
+    try {
+      ExecBlock(stmt->body, frame, scope);
+    } catch (const GenContinue&) {
+    } catch (const GenBreak&) {
+      *broke = true;
+    }
+  }
+
+  void ExecWhile(const Stmt* stmt, Frame& frame, Scope& scope) {
+    // Try fully-static evaluation first (condition statically decidable).
+    {
+      const SymValue cond = Eval(stmt->value.get(), frame, scope);
+      if (cond.IsStatic() || cond.IsList()) {
+        bool broke = false;
+        SymValue c = cond;
+        while (!broke) {
+          const bool truthy = c.IsList() ? !c.elements->empty()
+                                         : minipy::Truthy(c.static_value);
+          if (!truthy) break;
+          SpendBudget();
+          ExecStaticLoopBody(stmt, frame, scope, &broke);
+          c = Eval(stmt->value.get(), frame, scope);
+          if (!c.IsStatic() && !c.IsList()) {
+            Refuse("while condition turned dynamic mid-loop");
+          }
+        }
+        return;
+      }
+    }
+    const std::string id = "loop:stmt" + std::to_string(stmt->id);
+    const LoopProfile* profile = prof->loop(stmt);
+    if (opt.speculative_unroll && profile != nullptr && profile->stable &&
+        AssumptionUsable(id)) {
+      // Speculative unroll: assert the condition before each iteration and
+      // its negation after the last (§4.2.1).
+      out->runtime_assumptions.push_back(id);
+      for (std::int64_t k = 0; k < profile->trip_count; ++k) {
+        SpendBudget();
+        if (opt.insert_assertions) {
+          const NodeOutput pred =
+              ToBool(frame, Eval(stmt->value.get(), frame, scope));
+          Node* check = AddOp(frame, "Assert", {pred}, {{"assumption", id}});
+          frame.side_nodes.push_back(check);
+          ++out->num_assert_ops;
+        }
+        bool broke = false;
+        ExecStaticLoopBody(stmt, frame, scope, &broke);
+        if (broke) Refuse("'break' in a speculatively unrolled while loop");
+      }
+      if (opt.insert_assertions) {
+        const NodeOutput pred =
+            ToBool(frame, Eval(stmt->value.get(), frame, scope));
+        Node* done = AddOp(frame, "Assert",
+                           {{AddOp(frame, "LogicalNot", {pred}), 0}},
+                           {{"assumption", id}});
+        frame.side_nodes.push_back(done);
+        ++out->num_assert_ops;
+      }
+      return;
+    }
+    EmitFunctionalLoop(stmt, frame, scope, /*for_range=*/false, {});
+  }
+
+  void ExecFor(const Stmt* stmt, Frame& frame, Scope& scope) {
+    const std::string& var = stmt->target->str_value;
+    // `for i in range(...)` gets dedicated handling so dynamic bounds work.
+    const Expr* iter = stmt->value.get();
+    if (iter->kind == ExprKind::kCall &&
+        iter->left->kind == ExprKind::kName &&
+        iter->left->str_value == "range" &&
+        LooksLikeBuiltin(iter->left.get(), scope, "range")) {
+      std::vector<SymValue> bounds;
+      for (const auto& arg : iter->elements) {
+        bounds.push_back(Eval(arg.get(), frame, scope));
+      }
+      ExecForRange(stmt, var, bounds, frame, scope);
+      return;
+    }
+    const SymValue iterable = Eval(iter, frame, scope);
+    if (iterable.IsList()) {
+      // Data-structure iteration: statically expanded in all modes.
+      const std::vector<SymValue> snapshot = *iterable.elements;
+      bool broke = false;
+      for (const SymValue& item : snapshot) {
+        if (broke) break;
+        SpendBudget();
+        scope.vars[var] = item;
+        ExecStaticLoopBody(stmt, frame, scope, &broke);
+      }
+      return;
+    }
+    if (iterable.IsStatic()) {
+      if (const auto* list = std::get_if<std::shared_ptr<minipy::ListValue>>(
+              &iterable.static_value)) {
+        // Captured heap list: expand over its (entry-checked) length; each
+        // element resolves through the capture machinery so tensors become
+        // per-element placeholders.
+        const auto n = static_cast<std::int64_t>((*list)->items.size());
+        if (!iterable.origin.has_value()) {
+          Refuse("cannot iterate a heap list of unknown provenance");
+        }
+        bool broke = false;
+        for (std::int64_t i = 0; i < n && !broke; ++i) {
+          SpendBudget();
+          ContextRef ref = *iterable.origin;
+          ref.steps.push_back(ContextRef::Step{false, "", i});
+          scope.vars[var] =
+              Capture(ref, (*list)->items[static_cast<std::size_t>(i)],
+                      nullptr);
+          ExecStaticLoopBody(stmt, frame, scope, &broke);
+        }
+        return;
+      }
+      Refuse("cannot iterate a " +
+             std::string(minipy::ValueTypeName(iterable.static_value)) +
+             " symbolically");
+    }
+    // Tensor iteration along axis 0: requires a pinned leading dimension.
+    if (iterable.IsNode() && !iterable.is_pointer) {
+      if (iterable.shape.is_unknown() || iterable.shape.dims().empty() ||
+          !iterable.shape.dims()[0].has_value()) {
+        Refuse("iterating a tensor with unknown leading dimension");
+      }
+      const std::int64_t n = *iterable.shape.dims()[0];
+      bool broke = false;
+      for (std::int64_t i = 0; i < n && !broke; ++i) {
+        SpendBudget();
+        scope.vars[var] = TensorIndexStatic(frame, iterable, i);
+        ExecStaticLoopBody(stmt, frame, scope, &broke);
+      }
+      return;
+    }
+    Refuse("unsupported for-loop iterable");
+  }
+
+  void ExecForRange(const Stmt* stmt, const std::string& var,
+                    const std::vector<SymValue>& bounds, Frame& frame,
+                    Scope& scope) {
+    SymValue lo = SymValue::Static(std::int64_t{0});
+    SymValue hi;
+    SymValue step = SymValue::Static(std::int64_t{1});
+    if (bounds.size() == 1) {
+      hi = bounds[0];
+    } else if (bounds.size() >= 2) {
+      lo = bounds[0];
+      hi = bounds[1];
+      if (bounds.size() == 3) step = bounds[2];
+    } else {
+      Refuse("range() needs 1-3 arguments");
+    }
+    const auto static_int = [](const SymValue& s) -> std::optional<std::int64_t> {
+      if (!s.IsStatic()) return std::nullopt;
+      if (const auto* i = std::get_if<std::int64_t>(&s.static_value)) {
+        return *i;
+      }
+      return std::nullopt;
+    };
+    const auto lo_i = static_int(lo);
+    const auto hi_i = static_int(hi);
+    const auto step_i = static_int(step);
+    if (!step_i.has_value()) Refuse("range() step must be static");
+
+    if (lo_i.has_value() && hi_i.has_value()) {
+      // Fully static bounds: plain expansion (program structure, not a
+      // speculative assumption).
+      bool broke = false;
+      if (*step_i == 0) Refuse("range() step must not be zero");
+      for (std::int64_t i = *lo_i;
+           (*step_i > 0 ? i < *hi_i : i > *hi_i) && !broke; i += *step_i) {
+        SpendBudget();
+        scope.vars[var] = SymValue::Static(i);
+        ExecStaticLoopBody(stmt, frame, scope, &broke);
+      }
+      return;
+    }
+    // Dynamic bound: speculative unroll with a trip-count assertion, or a
+    // functional While loop.
+    const std::string id = "loop:stmt" + std::to_string(stmt->id);
+    const LoopProfile* profile = prof->loop(stmt);
+    if (opt.speculative_unroll && profile != nullptr && profile->stable &&
+        AssumptionUsable(id) && lo_i.has_value() && *step_i == 1) {
+      const std::int64_t trips = profile->trip_count;
+      if (opt.insert_assertions) {
+        const NodeOutput bound = ToNode(frame, hi, DType::kInt64);
+        const NodeOutput expected = ToNode(
+            frame, SymValue::Static(*lo_i + trips), DType::kInt64);
+        Node* eq = AddOp(frame, "Equal", {bound, expected});
+        Node* check =
+            AddOp(frame, "Assert", {{eq, 0}}, {{"assumption", id}});
+        frame.side_nodes.push_back(check);
+        out->runtime_assumptions.push_back(id);
+        ++out->num_assert_ops;
+      }
+      bool broke = false;
+      for (std::int64_t k = 0; k < trips && !broke; ++k) {
+        SpendBudget();
+        scope.vars[var] = SymValue::Static(*lo_i + k);
+        ExecStaticLoopBody(stmt, frame, scope, &broke);
+      }
+      if (broke) Refuse("'break' in a speculatively unrolled for loop");
+      return;
+    }
+    EmitFunctionalLoop(stmt, frame, scope, /*for_range=*/true,
+                       {lo, hi, step});
+  }
+
+  // Lowers a loop with a data-dependent bound into a functional While op
+  // (the conservative BASE path; gradient support via WhileGrad).
+  void EmitFunctionalLoop(const Stmt* stmt, Frame& frame, Scope& scope,
+                          bool for_range, std::vector<SymValue> range_bounds);
+
+  SymValue TensorIndexStatic(Frame& frame, const SymValue& tensor,
+                             std::int64_t i) {
+    // tensor[i] with static i: Slice + Reshape. Requires pinned shape.
+    if (tensor.shape.is_unknown()) {
+      Refuse("static tensor indexing requires a pinned shape");
+    }
+    const auto& dims = tensor.shape.dims();
+    std::vector<std::int64_t> begin(dims.size(), 0);
+    begin[0] = i;
+    std::vector<std::int64_t> size;
+    std::vector<std::int64_t> out_dims;
+    for (std::size_t d = 0; d < dims.size(); ++d) {
+      if (!dims[d].has_value()) {
+        Refuse("static tensor indexing requires fully pinned dimensions");
+      }
+      size.push_back(d == 0 ? 1 : *dims[d]);
+      if (d > 0) out_dims.push_back(*dims[d]);
+    }
+    const NodeOutput src = ToNode(frame, tensor);
+    Node* slice = AddOp(frame, "Slice", {src},
+                        {{"begin", begin}, {"size", size}});
+    Node* reshape = AddOp(frame, "Reshape", {{slice, 0}},
+                          {{"shape", out_dims}});
+    SymValue result = SymValue::OfNode({reshape, 0}, frame.graph,
+                                       tensor.dtype, false,
+                                       ShapeAssumption::Exact(Shape(out_dims)));
+    return result;
+  }
+
+  // =========================================================================
+  // Expressions
+  // =========================================================================
+
+  SymValue Eval(const Expr* expr, Frame& frame, Scope& scope) {
+    SpendBudget();
+    switch (expr->kind) {
+      case ExprKind::kIntLit:
+        return SymValue::Static(expr->int_value);
+      case ExprKind::kFloatLit:
+        return SymValue::Static(expr->float_value);
+      case ExprKind::kStringLit:
+        return SymValue::Static(expr->str_value);
+      case ExprKind::kBoolLit:
+        return SymValue::Static(expr->bool_value);
+      case ExprKind::kNoneLit:
+        return SymValue::Static(minipy::NoneType{});
+      case ExprKind::kName: {
+        SymValue* local = scope.Find(expr->str_value);
+        if (local != nullptr) return *local;
+        return ResolveClosure(scope, expr->str_value, expr->line);
+      }
+      case ExprKind::kUnary: {
+        SymValue operand = Eval(expr->left.get(), frame, scope);
+        if (expr->unary_op == UnaryOp::kNot) {
+          if (operand.IsStatic()) {
+            return SymValue::Static(!minipy::Truthy(operand.static_value));
+          }
+          const NodeOutput b = ToBool(frame, operand);
+          return SymValue::OfNode({AddOp(frame, "LogicalNot", {b}), 0},
+                                  frame.graph, DType::kBool);
+        }
+        if (operand.IsStatic()) {
+          if (const auto* i =
+                  std::get_if<std::int64_t>(&operand.static_value)) {
+            return SymValue::Static(-*i);
+          }
+          if (const auto* d = std::get_if<double>(&operand.static_value)) {
+            return SymValue::Static(-*d);
+          }
+        }
+        DType dt = DType::kFloat32;
+        const NodeOutput v = ToNode(frame, operand, std::nullopt, &dt);
+        return SymValue::OfNode({AddOp(frame, "Neg", {v}), 0}, frame.graph,
+                                dt, false, operand.shape);
+      }
+      case ExprKind::kBinary:
+        return Binary(expr->binary_op, Eval(expr->left.get(), frame, scope),
+                      Eval(expr->right.get(), frame, scope), frame,
+                      expr->line);
+      case ExprKind::kCompare:
+        return Compare(expr->compare_op,
+                       Eval(expr->left.get(), frame, scope),
+                       Eval(expr->right.get(), frame, scope), frame,
+                       expr->line);
+      case ExprKind::kBoolOp: {
+        SymValue left = Eval(expr->left.get(), frame, scope);
+        if (left.IsStatic()) {
+          const bool truthy = minipy::Truthy(left.static_value);
+          if (expr->bool_op == BoolOpKind::kAnd) {
+            return truthy ? Eval(expr->right.get(), frame, scope) : left;
+          }
+          return truthy ? left : Eval(expr->right.get(), frame, scope);
+        }
+        SymValue right = Eval(expr->right.get(), frame, scope);
+        const NodeOutput lb = ToBool(frame, left);
+        const NodeOutput rb = ToBool(frame, right);
+        const char* op =
+            expr->bool_op == BoolOpKind::kAnd ? "LogicalAnd" : "LogicalOr";
+        return SymValue::OfNode({AddOp(frame, op, {lb, rb}), 0}, frame.graph,
+                                DType::kBool);
+      }
+      case ExprKind::kCall:
+        return EvalCall(expr, frame, scope);
+      case ExprKind::kAttribute:
+        return EvalAttribute(expr, frame, scope);
+      case ExprKind::kSubscript:
+        return EvalSubscript(expr, frame, scope);
+      case ExprKind::kList:
+      case ExprKind::kTuple: {
+        std::vector<SymValue> items;
+        items.reserve(expr->elements.size());
+        for (const auto& el : expr->elements) {
+          items.push_back(Eval(el.get(), frame, scope));
+        }
+        return SymValue::List(std::move(items));
+      }
+      case ExprKind::kDict:
+        Refuse("dict literals are imperative-only in converted code");
+      case ExprKind::kLambda:
+        Refuse("lambda expressions inside converted code are "
+               "imperative-only");
+    }
+    throw InternalError("unhandled expression kind in generator");
+  }
+
+  NodeOutput ToBool(Frame& frame, const SymValue& sym) {
+    if (sym.IsStatic() &&
+        !std::holds_alternative<minipy::VariableRef>(sym.static_value) &&
+        !std::holds_alternative<Tensor>(sym.static_value)) {
+      return ToNode(frame,
+                    SymValue::Static(minipy::Truthy(sym.static_value)));
+    }
+    DType dt = DType::kFloat32;
+    const NodeOutput v = ToNode(frame, sym, std::nullopt, &dt);
+    if (dt == DType::kBool) return v;
+    // Non-bool scalar truthiness: x != 0.
+    const NodeOutput zero =
+        ToNode(frame, SymValue::Static(std::int64_t{0}), dt);
+    return {AddOp(frame, "NotEqual", {v, zero}), 0};
+  }
+
+  SymValue Binary(BinaryOp op, SymValue lhs, SymValue rhs, Frame& frame,
+                  int line) {
+    // List concatenation stays a data-structure operation.
+    if (lhs.IsList() && rhs.IsList() && op == BinaryOp::kAdd) {
+      std::vector<SymValue> items = *lhs.elements;
+      items.insert(items.end(), rhs.elements->begin(), rhs.elements->end());
+      return SymValue::List(std::move(items));
+    }
+    const auto tensorish_static = [](const SymValue& s) {
+      return s.IsStatic() &&
+             (std::holds_alternative<minipy::VariableRef>(s.static_value) ||
+              std::holds_alternative<Tensor>(s.static_value));
+    };
+    if (lhs.IsStatic() && rhs.IsStatic() && !tensorish_static(lhs) &&
+        !tensorish_static(rhs)) {
+      // Pure static computation, delegated to interpreter semantics (no
+      // tensors involved by construction).
+      return SymValue::Static(interp->BinaryOperation(op, lhs.static_value,
+                                                      rhs.static_value));
+    }
+    if (lhs.IsList() || rhs.IsList()) {
+      Refuse("line " + std::to_string(line) +
+             ": mixed list/tensor arithmetic is not convertible");
+    }
+    DType lt = DType::kFloat32;
+    DType rt = DType::kFloat32;
+    // Materialise, aligning static scalars to the dynamic operand's dtype.
+    NodeOutput ln;
+    NodeOutput rn;
+    if (lhs.IsNode() && !rhs.IsNode()) {
+      ln = ToNode(frame, lhs, std::nullopt, &lt);
+      rn = ToNode(frame, rhs, lt, &rt);
+    } else if (rhs.IsNode() && !lhs.IsNode()) {
+      rn = ToNode(frame, rhs, std::nullopt, &rt);
+      ln = ToNode(frame, lhs, rt, &lt);
+    } else {
+      ln = ToNode(frame, lhs, std::nullopt, &lt);
+      rn = ToNode(frame, rhs, std::nullopt, &rt);
+    }
+    // dtype alignment via Cast when still mismatched.
+    if (lt != rt) {
+      if (lt == DType::kFloat32 || rt == DType::kFloat32) {
+        if (lt != DType::kFloat32) {
+          ln = {AddOp(frame, "Cast", {ln}, {{"dtype", DType::kFloat32}}), 0};
+          lt = DType::kFloat32;
+        }
+        if (rt != DType::kFloat32) {
+          rn = {AddOp(frame, "Cast", {rn}, {{"dtype", DType::kFloat32}}), 0};
+          rt = DType::kFloat32;
+        }
+      } else {
+        if (lt == DType::kBool) {
+          ln = {AddOp(frame, "Cast", {ln}, {{"dtype", DType::kInt64}}), 0};
+          lt = DType::kInt64;
+        }
+        if (rt == DType::kBool) {
+          rn = {AddOp(frame, "Cast", {rn}, {{"dtype", DType::kInt64}}), 0};
+          rt = DType::kInt64;
+        }
+      }
+    } else if (lt == DType::kBool) {
+      ln = {AddOp(frame, "Cast", {ln}, {{"dtype", DType::kInt64}}), 0};
+      rn = {AddOp(frame, "Cast", {rn}, {{"dtype", DType::kInt64}}), 0};
+      lt = rt = DType::kInt64;
+    }
+    const char* name = BinOpName(op);
+    const DType result_dt = ArithResultDType(name, lt, rt);
+    // Merge shape knowledge when both operands carry it.
+    ShapeAssumption result_shape = ShapeAssumption::Unknown();
+    if (lhs.IsNode() && lhs.shape.IsExact() &&
+        (!rhs.IsNode() || (rhs.shape.IsExact() &&
+                           rhs.shape.ExactShape() == lhs.shape.ExactShape()))) {
+      result_shape = lhs.shape;
+    }
+    return SymValue::OfNode({AddOp(frame, name, {ln, rn}), 0}, frame.graph,
+                            result_dt, false, result_shape);
+  }
+
+  SymValue Compare(CompareOp op, SymValue lhs, SymValue rhs, Frame& frame,
+                   int line) {
+    if (op == CompareOp::kIn) {
+      if (lhs.IsStatic() && rhs.IsList()) {
+        // Membership over static elements only.
+        for (const SymValue& item : *rhs.elements) {
+          if (item.IsStatic() &&
+              minipy::ValuesEqual(lhs.static_value, item.static_value)) {
+            return SymValue::Static(true);
+          }
+        }
+        return SymValue::Static(false);
+      }
+      Refuse("line " + std::to_string(line) +
+             ": 'in' is only convertible over static lists");
+    }
+    const auto tensorish_static = [](const SymValue& s) {
+      return s.IsStatic() &&
+             (std::holds_alternative<minipy::VariableRef>(s.static_value) ||
+              std::holds_alternative<Tensor>(s.static_value));
+    };
+    if (lhs.IsStatic() && rhs.IsStatic() && !tensorish_static(lhs) &&
+        !tensorish_static(rhs)) {
+      return SymValue::Static(interp->CompareOperation(op, lhs.static_value,
+                                                       rhs.static_value));
+    }
+    // Pointer comparison against None compares with the null pointer.
+    DType lt = DType::kFloat32;
+    DType rt = DType::kFloat32;
+    NodeOutput ln;
+    NodeOutput rn;
+    if (lhs.IsNode() && !rhs.IsNode()) {
+      ln = ToNode(frame, lhs, std::nullopt, &lt);
+      rn = ToNode(frame, rhs, lt, &rt);
+    } else if (rhs.IsNode() && !lhs.IsNode()) {
+      rn = ToNode(frame, rhs, std::nullopt, &rt);
+      ln = ToNode(frame, lhs, rt, &lt);
+    } else {
+      ln = ToNode(frame, lhs, std::nullopt, &lt);
+      rn = ToNode(frame, rhs, std::nullopt, &rt);
+    }
+    if (lt != rt) {
+      if (lt != DType::kFloat32) {
+        ln = {AddOp(frame, "Cast", {ln}, {{"dtype", DType::kFloat32}}), 0};
+      }
+      if (rt != DType::kFloat32) {
+        rn = {AddOp(frame, "Cast", {rn}, {{"dtype", DType::kFloat32}}), 0};
+      }
+    }
+    return SymValue::OfNode({AddOp(frame, CmpOpName(op), {ln, rn}), 0},
+                            frame.graph, DType::kBool);
+  }
+
+  // Checks that a Name expression still resolves to the expected builtin
+  // (so user code shadowing `range` falls back to the generic path).
+  bool LooksLikeBuiltin(const Expr* name_expr, Scope& scope,
+                        const std::string& builtin_name) {
+    if (scope.Find(name_expr->str_value) != nullptr) return false;
+    auto env = scope.ClosureEnv();
+    while (env != nullptr && !env->Has(name_expr->str_value)) {
+      env = env->parent_ptr();
+    }
+    if (env == nullptr) return false;
+    const Value* v = env->Find(name_expr->str_value);
+    const auto* builtin =
+        std::get_if<std::shared_ptr<minipy::BuiltinFunction>>(v);
+    return builtin != nullptr && (*builtin)->name == builtin_name;
+  }
+
+  SymValue EvalCall(const Expr* expr, Frame& frame, Scope& scope);
+  SymValue EvalBuiltinCall(const minipy::BuiltinFunction& builtin,
+                           std::vector<SymValue>& args, Frame& frame,
+                           const Expr* expr);
+  SymValue EvalUserCall(const std::shared_ptr<minipy::FunctionValue>& fn,
+                        std::vector<SymValue> args, Frame& frame,
+                        const Expr* call_site,
+                        std::optional<ContextRef> self_origin = {});
+  SymValue InlineCall(const std::shared_ptr<minipy::FunctionValue>& fn,
+                      std::vector<SymValue> args, Frame& frame);
+  SymValue InvokeCall(const std::shared_ptr<minipy::FunctionValue>& fn,
+                      std::vector<SymValue> args, Frame& frame);
+
+  SymValue EvalAttribute(const Expr* expr, Frame& frame, Scope& scope);
+  SymValue EvalSubscript(const Expr* expr, Frame& frame, Scope& scope);
+  SymValue WrapDynamicRead(Frame& frame, NodeOutput value,
+                           const ValueProfile* profile, const std::string& id,
+                           DType dtype);
+
+  // ---- function-graph generation (Invoke path) ----
+  std::string FunctionSignature(
+      const std::shared_ptr<minipy::FunctionValue>& fn,
+      const std::vector<SymValue>& args);
+  std::string GenerateFunctionGraph(
+      const std::shared_ptr<minipy::FunctionValue>& fn,
+      const std::vector<SymValue>& args, Frame& frame);
+
+  // ---- compilation driver ----
+  std::unique_ptr<CompiledGraph> Compile(
+      const std::shared_ptr<minipy::FunctionValue>& fn,
+      std::span<const Value> args, bool training, double lr);
+};
+
+// ===========================================================================
+// Calls
+// ===========================================================================
+
+SymValue GraphGenerator::Impl::EvalCall(const Expr* expr, Frame& frame,
+                                        Scope& scope) {
+  SymValue callee = Eval(expr->left.get(), frame, scope);
+  std::vector<SymValue> args;
+  args.reserve(expr->elements.size());
+  for (const auto& arg : expr->elements) {
+    args.push_back(Eval(arg.get(), frame, scope));
+  }
+  if (callee.IsStatic()) {
+    if (const auto* builtin =
+            std::get_if<std::shared_ptr<minipy::BuiltinFunction>>(
+                &callee.static_value)) {
+      if ((*builtin)->name == "__sym_append__") {
+        // Bound append on a symbolic local list (see EvalAttribute): the
+        // element vector rides along on the callee symbol.
+        JANUS_EXPECTS(callee.elements != nullptr);
+        if (args.size() != 1) Refuse("append() takes exactly one argument");
+        callee.elements->push_back(std::move(args[0]));
+        return SymValue::Static(minipy::NoneType{});
+      }
+      return EvalBuiltinCall(**builtin, args, frame, expr);
+    }
+    if (const auto* fn =
+            std::get_if<std::shared_ptr<minipy::FunctionValue>>(
+                &callee.static_value)) {
+      return EvalUserCall(*fn, std::move(args), frame, expr, callee.origin);
+    }
+    if (const auto* obj =
+            std::get_if<std::shared_ptr<minipy::ObjectValue>>(
+                &callee.static_value)) {
+      // Callable object: dispatch to __call__ bound to it.
+      const auto call = (*obj)->cls()->methods.find("__call__");
+      if (call != (*obj)->cls()->methods.end()) {
+        auto bound = std::make_shared<minipy::FunctionValue>(*call->second);
+        bound->self = callee.static_value;
+        return EvalUserCall(bound, std::move(args), frame, expr,
+                            callee.origin);
+      }
+    }
+    Refuse("line " + std::to_string(expr->line) + ": cannot convert call to " +
+           std::string(minipy::ValueTypeName(callee.static_value)));
+  }
+  Refuse("line " + std::to_string(expr->line) +
+         ": dynamic callee values are imperative-only");
+}
+
+SymValue GraphGenerator::Impl::EvalUserCall(
+    const std::shared_ptr<minipy::FunctionValue>& fn,
+    std::vector<SymValue> args, Frame& frame, const Expr* /*call_site*/,
+    std::optional<ContextRef> self_origin) {
+  // Bound receiver first, carrying its context provenance so attribute
+  // reads on `self` can record entry checks.
+  if (!std::holds_alternative<minipy::NoneType>(fn->self)) {
+    args.insert(args.begin(),
+                SymValue::Static(fn->self, std::move(self_origin)));
+  }
+  // Static heap-object arguments whose profile shows per-call identity
+  // churn (e.g. tree nodes) are demoted to dynamic pointers so attribute
+  // access stays dynamic and recursion converges (§4.2.2).
+  if (fn->def != nullptr) {
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      SymValue& arg = args[i];
+      if (!arg.IsStatic()) continue;
+      const bool heap_obj =
+          std::holds_alternative<std::shared_ptr<minipy::ObjectValue>>(
+              arg.static_value) ||
+          std::holds_alternative<std::shared_ptr<minipy::ListValue>>(
+              arg.static_value);
+      if (!heap_obj) continue;
+      const ValueProfile* profile =
+          prof->argument(fn->def, static_cast<int>(i));
+      if (profile != nullptr && !profile->heap_stable) {
+        DType dt = DType::kInt64;
+        bool ptr = true;
+        const NodeOutput n = ToNode(frame, arg, std::nullopt, &dt, &ptr);
+        arg = SymValue::OfNode(n, frame.graph, DType::kInt64, true,
+                               ShapeAssumption::Exact(Shape{}));
+      }
+    }
+  }
+  const std::string signature = FunctionSignature(fn, args);
+  const void* def_key = fn->def != nullptr
+                            ? static_cast<const void*>(fn->def)
+                            : static_cast<const void*>(fn->lambda);
+  const bool in_progress = fn_generating.count(signature) != 0u;
+  const bool inlining_recursively =
+      std::find(inline_stack.begin(), inline_stack.end(), def_key) !=
+      inline_stack.end();
+  if (!opt.speculative_unroll || in_progress || inlining_recursively) {
+    // BASE mode, or recursion: call through InvokeOp.
+    return InvokeCall(fn, std::move(args), frame);
+  }
+  if (depth >= opt.max_inline_depth) Refuse("inline depth limit exceeded");
+  inline_stack.push_back(def_key);
+  struct StackGuard {
+    std::vector<const void*>* stack;
+    ~StackGuard() { stack->pop_back(); }
+  } guard{&inline_stack};
+  return InlineCall(fn, std::move(args), frame);
+}
+
+SymValue GraphGenerator::Impl::InlineCall(
+    const std::shared_ptr<minipy::FunctionValue>& fn,
+    std::vector<SymValue> args, Frame& frame) {
+  Scope scope;
+  scope.closure = fn->closure;
+  const auto bind = [&](const std::vector<std::string>& params) {
+    if (args.size() != params.size()) {
+      Refuse("call to " + fn->qualified_name + ": arity mismatch");
+    }
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      scope.vars[params[i]] = std::move(args[i]);
+    }
+  };
+  ++depth;
+  struct DepthGuard {
+    int* d;
+    ~DepthGuard() { --*d; }
+  } guard{&depth};
+  if (fn->lambda != nullptr) {
+    bind(fn->lambda->params);
+    return Eval(fn->lambda->left.get(), frame, scope);
+  }
+  bind(fn->def->params);
+  try {
+    ExecBlock(fn->def->body, frame, scope);
+  } catch (GenReturn& ret) {
+    return std::move(ret.value);
+  }
+  return SymValue::Static(minipy::NoneType{});
+}
+
+std::string GraphGenerator::Impl::FunctionSignature(
+    const std::shared_ptr<minipy::FunctionValue>& fn,
+    const std::vector<SymValue>& args) {
+  std::ostringstream oss;
+  oss << static_cast<const void*>(fn->def != nullptr
+                                      ? static_cast<const void*>(fn->def)
+                                      : static_cast<const void*>(fn->lambda));
+  for (const SymValue& arg : args) {
+    if (arg.IsNode()) {
+      oss << "|n" << static_cast<int>(arg.dtype) << (arg.is_pointer ? "p" : "");
+    } else if (arg.IsList()) {
+      oss << "|l" << arg.elements->size();
+    } else {
+      oss << "|s" << minipy::ValueToString(arg.static_value);
+    }
+  }
+  return oss.str();
+}
+
+SymValue GraphGenerator::Impl::InvokeCall(
+    const std::shared_ptr<minipy::FunctionValue>& fn,
+    std::vector<SymValue> args, Frame& frame) {
+  const std::string signature = FunctionSignature(fn, args);
+  const std::string name = GenerateFunctionGraph(fn, args, frame);
+  // Node inputs: the node-kind args, then the callee's imports (its root
+  // sources, brought into this frame).
+  std::vector<NodeOutput> inputs;
+  for (SymValue& arg : args) {
+    if (arg.IsNode()) inputs.push_back(ToNode(frame, arg));
+    if (arg.IsList()) Refuse("list arguments to non-inlined calls");
+  }
+  Node* call = AddOp(frame, "Invoke", inputs, {{"function", name}}, 1);
+  if (fn_generating.count(signature) != 0u) {
+    // Recursive site: the callee's import list may still grow; patch later.
+    pending_recursive_sites[signature].push_back(
+        PendingSite{call, frame.graph, frame.gates});
+  } else {
+    // Append import sources (root-graph values) lifted into this frame.
+    for (const NodeOutput& src : fn_import_sources.at(name)) {
+      SymValue root_sym = SymValue::OfNode(src, root->graph, DType::kFloat32);
+      call->AppendInput(ApplyGates(frame, ImportValue(frame, root_sym)));
+    }
+  }
+  const auto dtype_it = fn_result_dtype.find(name);
+  return SymValue::OfNode(
+      {call, 0}, frame.graph,
+      dtype_it != fn_result_dtype.end() ? dtype_it->second : DType::kFloat32,
+      false);
+}
+
+// Builds (or reuses) the GraphFunction for a call target: node-kind
+// arguments become Params, static arguments are baked in, and imports of
+// root-graph values append extra Params (Jeong et al.'s InvokeOp bodies).
+std::string GraphGenerator::Impl::GenerateFunctionGraph(
+    const std::shared_ptr<minipy::FunctionValue>& fn,
+    const std::vector<SymValue>& args, Frame& /*frame*/) {
+  const std::string signature = FunctionSignature(fn, args);
+  const auto cached = fn_cache.find(signature);
+  if (cached != fn_cache.end()) return cached->second;
+
+  const std::string name = Fresh("fn_" + SanitizeName(fn->qualified_name));
+  fn_cache.emplace(signature, name);
+  fn_generating.insert(signature);
+
+  auto gf = std::make_unique<GraphFunction>();
+  gf->name = name;
+  out->library->Register(std::move(gf));
+  GraphFunction& registered = out->library->LookupMutable(name);
+
+  Frame fn_frame;
+  fn_frame.graph = &registered.graph;
+  fn_frame.parent = root;  // function imports always come from the root
+  fn_frame.fn = &registered;
+
+  Scope scope;
+  scope.closure = fn->closure;
+  const std::vector<std::string>* params = nullptr;
+  const Expr* lambda_body = nullptr;
+  if (fn->lambda != nullptr) {
+    params = &fn->lambda->params;
+    lambda_body = fn->lambda->left.get();
+  } else {
+    params = &fn->def->params;
+  }
+  if (args.size() != params->size()) {
+    Refuse("call to " + fn->qualified_name + ": arity mismatch");
+  }
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const SymValue& arg = args[i];
+    if (arg.IsNode()) {
+      Node* param = registered.graph.AddNode(
+          "Param", {},
+          {{"index",
+            static_cast<std::int64_t>(registered.parameters.size())}});
+      registered.parameters.push_back(param);
+      scope.vars[(*params)[i]] = SymValue::OfNode(
+          {param, 0}, &registered.graph, arg.dtype, arg.is_pointer,
+          arg.shape);
+    } else if (arg.IsList()) {
+      Refuse("list arguments to non-inlined calls");
+    } else {
+      scope.vars[(*params)[i]] = arg;  // baked static
+    }
+  }
+
+  SymValue result = SymValue::Static(minipy::NoneType{});
+  if (lambda_body != nullptr) {
+    result = Eval(lambda_body, fn_frame, scope);
+  } else {
+    try {
+      ExecBlock(fn->def->body, fn_frame, scope);
+    } catch (GenReturn& ret) {
+      result = std::move(ret.value);
+    }
+  }
+  DType result_dt = DType::kFloat32;
+  bool result_ptr = false;
+  NodeOutput result_node =
+      ToNode(fn_frame, result, std::nullopt, &result_dt, &result_ptr);
+  // Anchor side effects (asserts, deferred state writes) to the result.
+  Node* wrapped = fn_frame.graph->AddNode("Identity", {result_node});
+  for (Node* side : fn_frame.side_nodes) wrapped->AddControlInput(side);
+  registered.results = {{wrapped, 0}};
+
+  fn_generating.erase(signature);
+  fn_import_sources[name] = fn_frame.import_sources;
+  fn_result_dtype[name] = result_dt;
+
+  // Patch self-recursive Invoke sites: they were created before the import
+  // list was complete. Their missing inputs are this function's own import
+  // Params (a recursive activation forwards its imports unchanged).
+  const auto pending = pending_recursive_sites.find(signature);
+  if (pending != pending_recursive_sites.end()) {
+    const int num_arg_params = static_cast<int>(
+        registered.parameters.size() - fn_frame.import_sources.size());
+    for (const PendingSite& ps : pending->second) {
+      if (ps.graph != &registered.graph) {
+        Refuse("recursive call from a nested loop body is not supported");
+      }
+      while (ps.site->num_inputs() <
+             static_cast<int>(registered.parameters.size())) {
+        Node* param = registered.parameters[static_cast<std::size_t>(
+            ps.site->num_inputs())];
+        JANUS_EXPECTS(ps.site->num_inputs() >= num_arg_params);
+        // Re-apply the site's branch gates: a recursive activation on a
+        // dead branch must see dead import tokens, not live ones.
+        NodeOutput v{param, 0};
+        for (const Gate& gate : ps.gates) {
+          Node* sw = ps.graph->AddNode("Switch", {v, gate.cond}, {}, 2);
+          v = {sw, gate.side ? 1 : 0};
+        }
+        ps.site->AppendInput(v);
+      }
+    }
+    pending_recursive_sites.erase(pending);
+  }
+  return name;
+}
+
+// ===========================================================================
+// Functional loops (BASE lowering and unstable trip counts)
+// ===========================================================================
+
+void GraphGenerator::Impl::EmitFunctionalLoop(
+    const Stmt* stmt, Frame& frame, Scope& scope, bool for_range,
+    std::vector<SymValue> range_bounds) {
+  // Loop-carried variables: names assigned in the body that already exist.
+  std::set<std::string> assigned;
+  CollectAssigned(stmt->body, &assigned);
+  std::vector<std::string> carried_names;
+  for (const std::string& name : assigned) {
+    if (for_range && name == stmt->target->str_value) continue;
+    if (scope.Find(name) != nullptr) carried_names.push_back(name);
+  }
+
+  // Materialise carried inits in the enclosing frame.
+  std::vector<NodeOutput> carried_inits;
+  std::vector<DType> carried_dtypes;
+  std::vector<bool> carried_ptrs;
+  for (const std::string& name : carried_names) {
+    SymValue* sym = scope.Find(name);
+    DType dt = DType::kFloat32;
+    bool ptr = false;
+    carried_inits.push_back(ToNode(frame, *sym, std::nullopt, &dt, &ptr));
+    carried_dtypes.push_back(dt);
+    carried_ptrs.push_back(ptr);
+  }
+  // The iteration counter is carried slot 0 for range loops.
+  const int counter_slots = for_range ? 1 : 0;
+  if (for_range) {
+    carried_inits.insert(carried_inits.begin(),
+                         ToNode(frame, range_bounds[0], DType::kInt64));
+  }
+  const auto num_carried =
+      static_cast<std::int64_t>(carried_inits.size());
+
+  // Shared capture registry: both cond and body resolve outer values
+  // through it so the While op can pass one combined capture list.
+  std::vector<NodeOutput> capture_sources;  // in the enclosing frame
+
+  const std::string cond_name = Fresh("loop_cond");
+  const std::string body_name = Fresh("loop_body");
+  for (const std::string& fname : {cond_name, body_name}) {
+    auto gf = std::make_unique<GraphFunction>();
+    gf->name = fname;
+    out->library->Register(std::move(gf));
+  }
+  GraphFunction& cond_fn = out->library->LookupMutable(cond_name);
+  GraphFunction& body_fn = out->library->LookupMutable(body_name);
+
+  // Builds one of the two loop functions. `emit` receives the function's
+  // scope (carried vars bound to params) and must return the results.
+  const auto build = [&](GraphFunction& gf,
+                         const std::function<std::vector<NodeOutput>(
+                             Frame&, Scope&)>& emit) {
+    Frame loop_frame;
+    loop_frame.graph = &gf.graph;
+    loop_frame.fn = &gf;
+    // Captures resolve against the *enclosing* frame; ImportValue appends
+    // Params and records sources, which we merge into capture_sources.
+    loop_frame.parent = &frame;
+    Scope loop_scope;
+    loop_scope.parent = &scope;
+    for (std::int64_t i = 0; i < num_carried; ++i) {
+      Node* param = gf.graph.AddNode(
+          "Param", {}, {{"index", static_cast<std::int64_t>(i)}});
+      gf.parameters.push_back(param);
+      if (for_range && i == 0) {
+        loop_scope.vars[stmt->target->str_value] = SymValue::OfNode(
+            {param, 0}, &gf.graph, DType::kInt64, false,
+            ShapeAssumption::Exact(Shape{}));
+      } else {
+        const auto ci = static_cast<std::size_t>(i - counter_slots);
+        loop_scope.vars[carried_names[ci]] = SymValue::OfNode(
+            {param, 0}, &gf.graph, carried_dtypes[ci], carried_ptrs[ci]);
+      }
+    }
+    std::vector<NodeOutput> results;
+    try {
+      results = emit(loop_frame, loop_scope);
+    } catch (const GenReturn&) {
+      Refuse("'return' inside a data-dependent loop is imperative-only");
+    } catch (const GenBreak&) {
+      Refuse("'break' inside a data-dependent loop is imperative-only");
+    } catch (const GenContinue&) {
+      Refuse("'continue' inside a data-dependent loop is imperative-only");
+    }
+    // Anchor side nodes onto the first result.
+    JANUS_EXPECTS(!results.empty());
+    Node* wrapped = gf.graph.AddNode("Identity", {results[0]});
+    for (Node* side : loop_frame.side_nodes) wrapped->AddControlInput(side);
+    results[0] = {wrapped, 0};
+    gf.results = results;
+    // Merge this function's import sources into the shared capture list.
+    // Params were appended in discovery order; map them onto the combined
+    // ordering by re-basing: find or append each source.
+    for (std::size_t i = 0; i < loop_frame.import_sources.size(); ++i) {
+      const NodeOutput src = loop_frame.import_sources[i];
+      bool found = false;
+      for (const NodeOutput& existing : capture_sources) {
+        if (existing == src) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) capture_sources.push_back(src);
+    }
+    return loop_frame.import_sources;
+  };
+
+  // Body: executes the statements once; results are the updated carrieds.
+  const auto body_imports = build(body_fn, [&](Frame& lf, Scope& ls) {
+    ExecBlock(stmt->body, lf, ls);
+    std::vector<NodeOutput> results;
+    if (for_range) {
+      // counter + step
+      const SymValue i_sym = *ls.Find(stmt->target->str_value);
+      SymValue next = Binary(BinaryOp::kAdd, i_sym, range_bounds[2], lf,
+                             stmt->line);
+      results.push_back(ToNode(lf, next, DType::kInt64));
+    }
+    for (std::size_t c = 0; c < carried_names.size(); ++c) {
+      SymValue* sym = ls.Find(carried_names[c]);
+      JANUS_EXPECTS(sym != nullptr);
+      results.push_back(ToNode(lf, *sym, carried_dtypes[c]));
+    }
+    return results;
+  });
+
+  // Cond: for-range compares the counter to the bound; while evaluates the
+  // condition expression.
+  const auto cond_imports = build(cond_fn, [&](Frame& lf, Scope& ls) {
+    NodeOutput pred;
+    if (for_range) {
+      const SymValue i_sym = *ls.Find(stmt->target->str_value);
+      const SymValue cmp =
+          Compare(CompareOp::kLt, i_sym, range_bounds[1], lf, stmt->line);
+      pred = ToBool(lf, cmp);
+    } else {
+      pred = ToBool(lf, Eval(stmt->value.get(), lf, ls));
+    }
+    return std::vector<NodeOutput>{pred};
+  });
+
+  // Pad both functions to the full combined capture list so the While
+  // kernel can pass identical argument vectors.
+  const auto pad = [&](GraphFunction& gf,
+                       const std::vector<NodeOutput>& own_imports) {
+    // Existing import params map to own_imports in order; the combined list
+    // may interleave differently, so rebuild: params [carried..., combined
+    // captures...] and rewire existing import params.
+    // Simplest correct approach: append params for captures this function
+    // did not import, then reorder its import params to combined order.
+    std::map<std::pair<Node*, int>, Node*> own_param_for_source;
+    for (std::size_t i = 0; i < own_imports.size(); ++i) {
+      own_param_for_source[{own_imports[i].node, own_imports[i].index}] =
+          gf.parameters[static_cast<std::size_t>(num_carried) + i];
+    }
+    std::vector<Node*> new_params(
+        gf.parameters.begin(),
+        gf.parameters.begin() + static_cast<std::ptrdiff_t>(num_carried));
+    for (std::size_t i = 0; i < capture_sources.size(); ++i) {
+      const auto key = std::make_pair(capture_sources[i].node,
+                                      capture_sources[i].index);
+      const auto it = own_param_for_source.find(key);
+      Node* param = nullptr;
+      if (it != own_param_for_source.end()) {
+        param = it->second;
+      } else {
+        param = gf.graph.AddNode("Param", {});
+      }
+      param->SetAttr("index", static_cast<std::int64_t>(num_carried) +
+                                  static_cast<std::int64_t>(i));
+      new_params.push_back(param);
+    }
+    gf.parameters = std::move(new_params);
+  };
+  pad(body_fn, body_imports);
+  pad(cond_fn, cond_imports);
+
+  // The While node in the enclosing frame.
+  std::vector<NodeOutput> inputs = carried_inits;
+  for (const NodeOutput& src : capture_sources) {
+    inputs.push_back(ApplyGates(frame, src));
+  }
+  Node* loop = AddOp(frame, "While", inputs,
+                     {{"cond_fn", cond_name},
+                      {"body_fn", body_name},
+                      {"num_carried", num_carried}},
+                     static_cast<int>(num_carried));
+  // Rebind carried variables to the loop outputs.
+  for (std::size_t c = 0; c < carried_names.size(); ++c) {
+    const int slot = counter_slots + static_cast<int>(c);
+    *scope.Find(carried_names[c]) = SymValue::OfNode(
+        {loop, slot}, frame.graph, carried_dtypes[c], carried_ptrs[c]);
+  }
+}
+
+// ===========================================================================
+// Builtins (the external-function whitelist of §4.3.1)
+// ===========================================================================
+
+namespace {
+
+std::int64_t StaticInt(const SymValue& s, const char* what) {
+  if (s.IsStatic()) {
+    if (const auto* i = std::get_if<std::int64_t>(&s.static_value)) {
+      return *i;
+    }
+    if (const auto* b = std::get_if<bool>(&s.static_value)) {
+      return *b ? 1 : 0;
+    }
+  }
+  Refuse(std::string(what) + ": expected a static int");
+}
+
+double StaticNumber(const SymValue& s, const char* what) {
+  if (s.IsStatic()) {
+    if (const auto* i = std::get_if<std::int64_t>(&s.static_value)) {
+      return static_cast<double>(*i);
+    }
+    if (const auto* d = std::get_if<double>(&s.static_value)) return *d;
+  }
+  Refuse(std::string(what) + ": expected a static number");
+}
+
+std::string StaticString(const SymValue& s, const char* what) {
+  if (s.IsStatic()) {
+    if (const auto* str = std::get_if<std::string>(&s.static_value)) {
+      return *str;
+    }
+  }
+  Refuse(std::string(what) + ": expected a static string");
+}
+
+std::vector<std::int64_t> StaticIntList(const SymValue& s, const char* what) {
+  std::vector<std::int64_t> out;
+  if (s.IsList()) {
+    for (const SymValue& item : *s.elements) {
+      out.push_back(StaticInt(item, what));
+    }
+    return out;
+  }
+  if (s.IsStatic()) {
+    if (const auto* list = std::get_if<std::shared_ptr<minipy::ListValue>>(
+            &s.static_value)) {
+      for (const minipy::Value& item : (*list)->items) {
+        if (const auto* i = std::get_if<std::int64_t>(&item)) {
+          out.push_back(*i);
+          continue;
+        }
+        Refuse(std::string(what) + ": expected ints in list");
+      }
+      return out;
+    }
+  }
+  Refuse(std::string(what) + ": expected a static list of ints");
+}
+
+// Flattens a static nested list of numbers into a float tensor.
+void FlattenStatic(const SymValue& s, std::vector<float>* data,
+                   std::vector<std::int64_t>* dims, int depth) {
+  const auto handle_items = [&](auto&& self, const auto& items,
+                                auto&& get_number) -> void {
+    const auto n = static_cast<std::int64_t>(items.size());
+    if (static_cast<int>(dims->size()) <= depth) {
+      dims->push_back(n);
+    } else if ((*dims)[static_cast<std::size_t>(depth)] != n) {
+      Refuse("constant(): ragged nested list");
+    }
+    for (const auto& item : items) {
+      self(self, item, get_number);
+    }
+  };
+  (void)handle_items;
+  if (s.IsList()) {
+    const auto n = static_cast<std::int64_t>(s.elements->size());
+    if (static_cast<int>(dims->size()) <= depth) {
+      dims->push_back(n);
+    } else if ((*dims)[static_cast<std::size_t>(depth)] != n) {
+      Refuse("constant(): ragged nested list");
+    }
+    for (const SymValue& item : *s.elements) {
+      FlattenStatic(item, data, dims, depth + 1);
+    }
+    return;
+  }
+  if (s.IsStatic()) {
+    if (const auto* list = std::get_if<std::shared_ptr<minipy::ListValue>>(
+            &s.static_value)) {
+      const auto n = static_cast<std::int64_t>((*list)->items.size());
+      if (static_cast<int>(dims->size()) <= depth) {
+        dims->push_back(n);
+      } else if ((*dims)[static_cast<std::size_t>(depth)] != n) {
+        Refuse("constant(): ragged nested list");
+      }
+      for (const minipy::Value& item : (*list)->items) {
+        FlattenStatic(SymValue::Static(item), data, dims, depth + 1);
+      }
+      return;
+    }
+    data->push_back(static_cast<float>(StaticNumber(s, "constant")));
+    return;
+  }
+  Refuse("constant(): dynamic elements are not supported");
+}
+
+}  // namespace
+
+SymValue GraphGenerator::Impl::EvalBuiltinCall(
+    const minipy::BuiltinFunction& builtin, std::vector<SymValue>& args,
+    Frame& frame, const Expr* expr) {
+  const std::string& name = builtin.name;
+  const auto node_of = [&](std::size_t i, std::optional<DType> want =
+                                              std::nullopt) {
+    DType dt = DType::kFloat32;
+    const NodeOutput n = ToNode(frame, args.at(i), want, &dt);
+    return std::make_pair(n, dt);
+  };
+  const auto make = [&](Node* n, DType dt,
+                        ShapeAssumption sh = ShapeAssumption::Unknown()) {
+    return SymValue::OfNode({n, 0}, frame.graph, dt, false, std::move(sh));
+  };
+
+  // Simple one-to-one tensor ops.
+  if (const auto info = minipy::LookupBuiltinOp(name)) {
+    std::vector<NodeOutput> inputs;
+    DType dt = DType::kFloat32;
+    for (int i = 0; i < info->tensor_args; ++i) {
+      DType this_dt = DType::kFloat32;
+      inputs.push_back(
+          ToNode(frame, args.at(static_cast<std::size_t>(i)),
+                 i == 0 ? std::nullopt : std::optional<DType>(dt), &this_dt));
+      if (i == 0) dt = this_dt;
+    }
+    Node* n = AddOp(frame, info->graph_op, inputs);
+    const DType out_dt =
+        info->graph_op == "SoftmaxCrossEntropy" || info->graph_op == "Gather"
+            ? DType::kFloat32
+            : ArithResultDType(info->graph_op, dt, dt);
+    return make(n, out_dt);
+  }
+
+  if (name == "constant") {
+    std::vector<float> data;
+    std::vector<std::int64_t> dims;
+    FlattenStatic(args.at(0), &data, &dims, 0);
+    Shape shape(dims);
+    Tensor t = Tensor::FromVector(std::move(data), shape);
+    Node* n = frame.graph->AddNode("Const", {}, {{"value", std::move(t)}});
+    return make(n, DType::kFloat32, ShapeAssumption::Exact(shape));
+  }
+  if (name == "constant_int") {
+    if (args.at(0).IsStatic() &&
+        std::holds_alternative<std::int64_t>(args.at(0).static_value)) {
+      Node* n = frame.graph->AddNode(
+          "Const", {},
+          {{"value",
+            Tensor::ScalarInt(std::get<std::int64_t>(args[0].static_value))}});
+      return make(n, DType::kInt64, ShapeAssumption::Exact(Shape{}));
+    }
+    const auto ints = StaticIntList(args.at(0), "constant_int");
+    Shape shape{static_cast<std::int64_t>(ints.size())};
+    Node* n = frame.graph->AddNode(
+        "Const", {}, {{"value", Tensor::FromVectorInt(ints, shape)}});
+    return make(n, DType::kInt64, ShapeAssumption::Exact(shape));
+  }
+  if (name == "zeros" || name == "ones" || name == "fill") {
+    const auto dims = StaticIntList(args.at(0), name.c_str());
+    const float v = name == "zeros"
+                        ? 0.0f
+                        : (name == "ones" ? 1.0f
+                                          : static_cast<float>(StaticNumber(
+                                                args.at(1), "fill")));
+    Shape shape(dims);
+    Node* n = frame.graph->AddNode("Const", {},
+                                   {{"value", Tensor::Full(shape, v)}});
+    return make(n, DType::kFloat32, ShapeAssumption::Exact(shape));
+  }
+  if (name == "randn" || name == "rand_uniform") {
+    const auto dims = StaticIntList(args.at(0), name.c_str());
+    AttrMap attrs{{"shape", dims}};
+    const char* op = nullptr;
+    if (name == "randn") {
+      op = "RandomNormal";
+      attrs["mean"] = 0.0;
+      attrs["stddev"] =
+          args.size() >= 2 ? StaticNumber(args.at(1), "randn") : 1.0;
+    } else {
+      op = "RandomUniform";
+      attrs["lo"] = StaticNumber(args.at(1), "rand_uniform");
+      attrs["hi"] = StaticNumber(args.at(2), "rand_uniform");
+    }
+    Node* n = AddOp(frame, op, {}, std::move(attrs));
+    return make(n, DType::kFloat32, ShapeAssumption::Exact(Shape(dims)));
+  }
+  if (name == "variable") {
+    // Parameters already exist by generation time (created while
+    // profiling); the handle is a static value.
+    const std::string var = StaticString(args.at(0), "variable");
+    return SymValue::Static(minipy::VariableRef{var});
+  }
+  if (name == "assign") {
+    std::string var;
+    if (args.at(0).IsStatic()) {
+      if (const auto* ref =
+              std::get_if<minipy::VariableRef>(&args[0].static_value)) {
+        var = ref->name;
+      } else {
+        var = StaticString(args.at(0), "assign");
+      }
+    } else {
+      Refuse("assign(): variable handle must be static");
+    }
+    const auto [v, dt] = node_of(1);
+    (void)dt;
+    RefuseSideEffectInDynamicBranch(frame, "variable assignment");
+    Node* set = AddOp(frame, "AssignVariable", {v}, {{"var", var}});
+    OrderStateWrite(frame, -2, "var:" + var, set);
+    return SymValue::Static(minipy::NoneType{});
+  }
+  if (name == "reduce_sum" || name == "reduce_mean" || name == "reduce_max") {
+    std::vector<std::int64_t> axes;
+    if (args.size() == 2) axes.push_back(StaticInt(args.at(1), name.c_str()));
+    const auto [v, dt] = node_of(0);
+    const char* op = name == "reduce_sum"
+                         ? "ReduceSum"
+                         : (name == "reduce_mean" ? "ReduceMean" : "ReduceMax");
+    Node* n = AddOp(frame, op, {v}, {{"axes", axes}, {"keep_dims", false}});
+    return make(n, dt,
+                args.size() == 1 ? ShapeAssumption::Exact(Shape{})
+                                 : ShapeAssumption::Unknown());
+  }
+  if (name == "argmax") {
+    const auto [v, dt] = node_of(0);
+    (void)dt;
+    Node* n = AddOp(frame, "ArgMax", {v},
+                    {{"axis", StaticInt(args.at(1), "argmax")}});
+    return make(n, DType::kInt64);
+  }
+  if (name == "onehot") {
+    const auto [v, dt] = node_of(0, DType::kInt64);
+    (void)dt;
+    Node* n = AddOp(frame, "OneHot", {v},
+                    {{"depth", StaticInt(args.at(1), "onehot")}});
+    return make(n, DType::kFloat32);
+  }
+  if (name == "reshape") {
+    const auto dims = StaticIntList(args.at(1), "reshape");
+    const auto [v, dt] = node_of(0);
+    Node* n = AddOp(frame, "Reshape", {v}, {{"shape", dims}});
+    bool exact = true;
+    for (const std::int64_t d : dims) exact = exact && d >= 0;
+    return make(n, dt,
+                exact ? ShapeAssumption::Exact(Shape(dims))
+                      : ShapeAssumption::Unknown());
+  }
+  if (name == "cast_float" || name == "cast_int") {
+    const DType target =
+        name == "cast_float" ? DType::kFloat32 : DType::kInt64;
+    const auto [v, dt] = node_of(0);
+    (void)dt;
+    Node* n = AddOp(frame, "Cast", {v}, {{"dtype", target}});
+    return make(n, target, args.at(0).shape);
+  }
+  if (name == "conv2d") {
+    const auto [x, xd] = node_of(0);
+    const auto [f, fd] = node_of(1);
+    (void)xd;
+    (void)fd;
+    Node* n = AddOp(frame, "Conv2D", {x, f},
+                    {{"stride", StaticInt(args.at(2), "conv2d")},
+                     {"padding", StaticString(args.at(3), "conv2d")}});
+    return make(n, DType::kFloat32);
+  }
+  if (name == "maxpool" || name == "avgpool") {
+    const auto [x, xd] = node_of(0);
+    (void)xd;
+    Node* n = AddOp(frame, name == "maxpool" ? "MaxPool2D" : "AvgPool2D",
+                    {x},
+                    {{"window", StaticInt(args.at(1), name.c_str())},
+                     {"stride", StaticInt(args.at(2), name.c_str())}});
+    return make(n, DType::kFloat32);
+  }
+  if (name == "concat" || name == "stack") {
+    if (!args.at(0).IsList()) {
+      Refuse(name + "(): expected a list of tensors");
+    }
+    std::vector<NodeOutput> parts;
+    DType dt = DType::kFloat32;
+    for (const SymValue& item : *args[0].elements) {
+      parts.push_back(ToNode(frame, item, std::nullopt, &dt));
+    }
+    if (parts.empty()) Refuse(name + "(): empty list");
+    Node* n = name == "concat"
+                  ? AddOp(frame, "Concat", parts,
+                          {{"axis", StaticInt(args.at(1), "concat")}})
+                  : AddOp(frame, "Stack", parts);
+    return make(n, dt);
+  }
+  if (name == "slice2d") {
+    // slice2d(x, row_start, row_size, col_start, col_size); -1 = to end.
+    const auto [x, dt] = node_of(0);
+    const std::vector<std::int64_t> begin{StaticInt(args.at(1), "slice2d"),
+                                          StaticInt(args.at(3), "slice2d")};
+    const std::vector<std::int64_t> size{StaticInt(args.at(2), "slice2d"),
+                                         StaticInt(args.at(4), "slice2d")};
+    Node* n = AddOp(frame, "Slice", {x}, {{"begin", begin}, {"size", size}});
+    return make(n, dt);
+  }
+  if (name == "len") {
+    const SymValue& target = args.at(0);
+    if (target.IsList()) {
+      return SymValue::Static(
+          static_cast<std::int64_t>(target.elements->size()));
+    }
+    if (target.IsStatic()) {
+      if (const auto* list = std::get_if<std::shared_ptr<minipy::ListValue>>(
+              &target.static_value)) {
+        return SymValue::Static(
+            static_cast<std::int64_t>((*list)->items.size()));
+      }
+    }
+    if (target.IsNode() && !target.shape.is_unknown() &&
+        !target.shape.dims().empty() &&
+        target.shape.dims()[0].has_value()) {
+      return SymValue::Static(*target.shape.dims()[0]);
+    }
+    Refuse("len(): not statically determinable");
+  }
+  if (name == "range") {
+    // range outside a for-header must be fully static.
+    std::vector<std::int64_t> bounds;
+    for (const SymValue& arg : args) {
+      bounds.push_back(StaticInt(arg, "range"));
+    }
+    std::int64_t lo = 0;
+    std::int64_t hi = 0;
+    std::int64_t step = 1;
+    if (bounds.size() == 1) {
+      hi = bounds[0];
+    } else {
+      lo = bounds[0];
+      hi = bounds[1];
+      if (bounds.size() == 3) step = bounds[2];
+    }
+    std::vector<SymValue> items;
+    for (std::int64_t i = lo; step > 0 ? i < hi : i > hi; i += step) {
+      items.push_back(SymValue::Static(i));
+    }
+    return SymValue::List(std::move(items));
+  }
+  if (name == "print") {
+    RefuseSideEffectInDynamicBranch(frame, "print");
+    // Leading static arguments fold into a prefix attribute; dynamic ones
+    // become inputs.
+    std::string prefix;
+    std::vector<NodeOutput> inputs;
+    bool statics_done = false;
+    for (const SymValue& arg : args) {
+      if (!statics_done && arg.IsStatic()) {
+        if (!prefix.empty()) prefix += ' ';
+        prefix += minipy::ValueToString(arg.static_value);
+        continue;
+      }
+      statics_done = true;
+      inputs.push_back(ToNode(frame, arg));
+    }
+    Node* n = AddOp(frame, "PyPrint", inputs, {{"prefix", prefix}});
+    frame.side_nodes.push_back(n);
+    return SymValue::Static(minipy::NoneType{});
+  }
+  if (name == "int" || name == "float") {
+    const SymValue& v = args.at(0);
+    if (v.IsStatic()) {
+      const double d = StaticNumber(v, name.c_str());
+      if (name == "int") return SymValue::Static(static_cast<std::int64_t>(d));
+      return SymValue::Static(d);
+    }
+    const DType target = name == "int" ? DType::kInt64 : DType::kFloat32;
+    const auto [n, dt] = node_of(0);
+    (void)dt;
+    Node* cast = AddOp(frame, "Cast", {n}, {{"dtype", target}});
+    return make(cast, target, v.shape);
+  }
+  if (name == "abs") {
+    const SymValue& v = args.at(0);
+    if (v.IsStatic()) {
+      const double d = StaticNumber(v, "abs");
+      if (std::holds_alternative<std::int64_t>(v.static_value)) {
+        return SymValue::Static(
+            static_cast<std::int64_t>(d < 0 ? -d : d));
+      }
+      return SymValue::Static(d < 0 ? -d : d);
+    }
+    const auto [n, dt] = node_of(0);
+    return make(AddOp(frame, "Abs", {n}), dt, v.shape);
+  }
+  Refuse("builtin '" + name +
+         "' is outside the conversion whitelist (imperative-only), line " +
+         std::to_string(expr->line));
+}
+
+// ===========================================================================
+// Attributes and subscripts (§4.2.3 impure-function handling)
+// ===========================================================================
+
+SymValue GraphGenerator::Impl::EvalAttribute(const Expr* expr, Frame& frame,
+                                             Scope& scope) {
+  SymValue base = Eval(expr->left.get(), frame, scope);
+  const std::string& name = expr->str_value;
+
+  // Symbolic local list: the only supported method is append.
+  if (base.IsList()) {
+    if (name == "append") {
+      // Marker builtin that mutates the shared element vector in place.
+      auto elements = base.elements;
+      auto marker = std::make_shared<minipy::BuiltinFunction>(
+          "__sym_append__",
+          [](minipy::Interpreter&, std::span<minipy::Value>) -> minipy::Value {
+            throw InternalError("symbolic append executed imperatively");
+          });
+      SymValue sym = SymValue::Static(minipy::Value{marker});
+      sym.elements = std::move(elements);  // smuggle the list alongside
+      return sym;
+    }
+    Refuse("list attribute '" + name + "' is not convertible");
+  }
+
+  // Static object: choose static vs dynamic read per profile (§4.2.2).
+  if (base.IsStatic()) {
+    const auto* obj = std::get_if<std::shared_ptr<minipy::ObjectValue>>(
+        &base.static_value);
+    if (obj == nullptr) {
+      Refuse("line " + std::to_string(expr->line) + ": attribute '" + name +
+             "' read on a static " +
+             std::string(minipy::ValueTypeName(base.static_value)));
+    }
+    // Method lookup first (immutable by construction).
+    const auto attr_it = (*obj)->attrs.find(name);
+    if (attr_it == (*obj)->attrs.end()) {
+      const auto method_it = (*obj)->cls()->methods.find(name);
+      if (method_it == (*obj)->cls()->methods.end()) {
+        Refuse("object has no attribute '" + name + "'");
+      }
+      auto bound = std::make_shared<minipy::FunctionValue>(*method_it->second);
+      bound->self = base.static_value;
+      return SymValue::Static(minipy::Value{std::move(bound)}, base.origin);
+    }
+    const minipy::Value& current = attr_it->second;
+    const ValueProfile* profile = prof->attr_load(expr);
+    if (std::holds_alternative<Tensor>(current)) {
+      if (opt.tracing_semantics) {
+        // Trace-local binding first, then bake the traced heap value —
+        // silently wrong when the attribute mutates between iterations
+        // (the LM failure of Fig. 6).
+        const auto traced = trace_attrs.find({(*obj)->heap_id(), name});
+        if (traced != trace_attrs.end()) return traced->second;
+        Node* baked = frame.graph->AddNode(
+            "Const", {}, {{"value", std::get<Tensor>(current)}});
+        return SymValue::OfNode(
+            {baked, 0}, frame.graph, std::get<Tensor>(current).dtype(),
+            false,
+            ShapeAssumption::Exact(std::get<Tensor>(current).shape()));
+      }
+      // Mutable tensor state: dynamic PyGetAttr with local-copy semantics.
+      const NodeOutput ptr = ToNode(frame, base);
+      Node* get = AddOp(frame, "PyGetAttr", {ptr}, {{"attr", name}});
+      OrderStateRead(frame, (*obj)->heap_id(), StateKeyName(name), get);
+      return WrapDynamicRead(frame, {get, 0}, profile,
+                             "shape:attr" + std::to_string(expr->id),
+                             std::get<Tensor>(current).dtype());
+    }
+    // Non-tensor attr: static capture with an entry check, unless the
+    // profile shows it changes (then a dynamic scalar read).
+    const bool scalar =
+        std::holds_alternative<std::int64_t>(current) ||
+        std::holds_alternative<double>(current) ||
+        std::holds_alternative<bool>(current);
+    const bool stable =
+        profile == nullptr || profile->value_stable || !scalar;
+    if (!stable && scalar) {
+      const NodeOutput ptr = ToNode(frame, base);
+      Node* get = AddOp(frame, "PyGetAttr", {ptr}, {{"attr", name}});
+      OrderStateRead(frame, (*obj)->heap_id(), StateKeyName(name), get);
+      const DType dt = std::holds_alternative<double>(current)
+                           ? DType::kFloat32
+                           : (std::holds_alternative<bool>(current)
+                                  ? DType::kBool
+                                  : DType::kInt64);
+      return SymValue::OfNode({get, 0}, frame.graph, dt, false,
+                              ShapeAssumption::Exact(Shape{}));
+    }
+    std::optional<ContextRef> origin;
+    if (base.origin.has_value()) {
+      origin = *base.origin;
+      origin->steps.push_back(ContextRef::Step{true, name, 0});
+      AddEntryCheck(*origin, current);
+    }
+    return SymValue::Static(current, origin);
+  }
+
+  // Dynamic pointer: PyGetAttr, with the result kind from the profile.
+  if (base.IsNode() && base.is_pointer) {
+    const ValueProfile* profile = prof->attr_load(expr);
+    if (profile == nullptr || profile->kind == ObservedKind::kMixed) {
+      Refuse("line " + std::to_string(expr->line) +
+             ": attribute '" + name +
+             "' of a dynamic object has no stable observed type");
+    }
+    const NodeOutput ptr = ToNode(frame, base);
+    Node* get = AddOp(frame, "PyGetAttr", {ptr}, {{"attr", name}});
+    // Dynamic-object reads are not ordered against static writes (the
+    // models only read through dynamic pointers; see DESIGN.md).
+    switch (profile->kind) {
+      case ObservedKind::kTensor:
+        return WrapDynamicRead(frame, {get, 0}, profile,
+                               "shape:attr" + std::to_string(expr->id),
+                               profile->dtype);
+      case ObservedKind::kInt:
+        return SymValue::OfNode({get, 0}, frame.graph, DType::kInt64, false,
+                                ShapeAssumption::Exact(Shape{}));
+      case ObservedKind::kBool:
+        return SymValue::OfNode({get, 0}, frame.graph, DType::kBool, false,
+                                ShapeAssumption::Exact(Shape{}));
+      case ObservedKind::kFloat:
+        return SymValue::OfNode({get, 0}, frame.graph, DType::kFloat32,
+                                false, ShapeAssumption::Exact(Shape{}));
+      case ObservedKind::kObject:
+      case ObservedKind::kList:
+      case ObservedKind::kDict:
+      case ObservedKind::kNone:
+        return SymValue::OfNode({get, 0}, frame.graph, DType::kInt64, true);
+      default:
+        Refuse("attribute '" + name +
+               "' of a dynamic object has unconvertible type " +
+               ObservedKindName(profile->kind));
+    }
+  }
+  Refuse("line " + std::to_string(expr->line) +
+         ": attribute read on a non-object value");
+}
+
+// Wraps a dynamic tensor read with a shape assertion when the profile pins
+// dimensions (Fig. 4 specialisation).
+SymValue GraphGenerator::Impl::WrapDynamicRead(Frame& frame, NodeOutput value,
+                                               const ValueProfile* profile,
+                                               const std::string& id,
+                                               DType dtype) {
+  ShapeAssumption shape = ShapeAssumption::Unknown();
+  if (opt.specialize && profile != nullptr &&
+      profile->kind == ObservedKind::kTensor && AssumptionUsable(id) &&
+      !profile->shape.is_unknown()) {
+    shape = profile->shape;
+    if (opt.insert_assertions) {
+      std::vector<std::int64_t> dims;
+      for (const auto& d : shape.dims()) {
+        dims.push_back(d.has_value() ? *d : -1);
+      }
+      Node* check = AddOp(frame, "AssertShape", {value},
+                          {{"dims", dims}, {"assumption", id}});
+      out->runtime_assumptions.push_back(id);
+      ++out->num_assert_ops;
+      value = {check, 0};
+    }
+  }
+  return SymValue::OfNode(value, frame.graph, dtype, false, shape);
+}
+
+SymValue GraphGenerator::Impl::EvalSubscript(const Expr* expr, Frame& frame,
+                                             Scope& scope) {
+  SymValue base = Eval(expr->left.get(), frame, scope);
+  SymValue index = Eval(expr->right.get(), frame, scope);
+
+  // Symbolic list with static index.
+  if (base.IsList()) {
+    const std::int64_t i = StaticInt(index, "list index");
+    const auto n = static_cast<std::int64_t>(base.elements->size());
+    std::int64_t idx = i < 0 ? i + n : i;
+    if (idx < 0 || idx >= n) Refuse("static list index out of range");
+    return (*base.elements)[static_cast<std::size_t>(idx)];
+  }
+
+  if (base.IsStatic()) {
+    // Captured heap list with static index: element resolves through the
+    // capture machinery (tensor elements become placeholders).
+    if (const auto* list = std::get_if<std::shared_ptr<minipy::ListValue>>(
+            &base.static_value)) {
+      if (index.IsStatic()) {
+        const std::int64_t i = StaticInt(index, "list index");
+        const auto n = static_cast<std::int64_t>((*list)->items.size());
+        std::int64_t idx = i < 0 ? i + n : i;
+        if (idx < 0 || idx >= n) Refuse("heap list index out of range");
+        if (!base.origin.has_value()) {
+          Refuse("subscript of a heap list of unknown provenance");
+        }
+        ContextRef ref = *base.origin;
+        ref.steps.push_back(ContextRef::Step{false, "", idx});
+        return Capture(ref, (*list)->items[static_cast<std::size_t>(idx)],
+                       prof->subscr_load(expr));
+      }
+      // Dynamic index into a heap list: PyGetSubscr.
+      const NodeOutput ptr = ToNode(frame, base);
+      const NodeOutput idx = ToNode(frame, index, DType::kInt64);
+      Node* get = AddOp(frame, "PyGetSubscr", {ptr, idx});
+      OrderStateRead(frame,
+                     (*list)->heap_id(), "[]", get);
+      const ValueProfile* profile = prof->subscr_load(expr);
+      if (profile != nullptr && profile->kind == ObservedKind::kTensor) {
+        return WrapDynamicRead(frame, {get, 0}, profile,
+                               "shape:sub" + std::to_string(expr->id),
+                               profile->dtype);
+      }
+      if (profile != nullptr && (profile->kind == ObservedKind::kObject ||
+                                 profile->kind == ObservedKind::kList)) {
+        return SymValue::OfNode({get, 0}, frame.graph, DType::kInt64, true);
+      }
+      if (profile != nullptr && profile->kind == ObservedKind::kInt) {
+        return SymValue::OfNode({get, 0}, frame.graph, DType::kInt64, false,
+                                ShapeAssumption::Exact(Shape{}));
+      }
+      Refuse("dynamic list subscript has no stable observed type");
+    }
+    Refuse("line " + std::to_string(expr->line) +
+           ": subscript on unsupported static value");
+  }
+
+  // Tensor subscript: static index slices statically when the shape is
+  // pinned; otherwise (or with a runtime index) a DynamicIndex op.
+  if (base.IsNode() && !base.is_pointer) {
+    if (index.IsStatic() && base.shape.IsExact()) {
+      const std::int64_t i = StaticInt(index, "tensor index");
+      return TensorIndexStatic(frame, base, i);
+    }
+    const NodeOutput src = ToNode(frame, base);
+    const NodeOutput idx = ToNode(frame, index, DType::kInt64);
+    Node* pick = AddOp(frame, "DynamicIndex", {src, idx});
+    ShapeAssumption out_shape = ShapeAssumption::Unknown();
+    if (!base.shape.is_unknown() && !base.shape.dims().empty()) {
+      std::vector<std::optional<std::int64_t>> tail(
+          base.shape.dims().begin() + 1, base.shape.dims().end());
+      bool exact = true;
+      std::vector<std::int64_t> dims;
+      for (const auto& d : tail) {
+        if (!d.has_value()) { exact = false; break; }
+        dims.push_back(*d);
+      }
+      if (exact) out_shape = ShapeAssumption::Exact(Shape(dims));
+    }
+    return SymValue::OfNode({pick, 0}, frame.graph, base.dtype, false,
+                            out_shape);
+  }
+  // Dynamic pointer subscript (e.g. tree children lists).
+  if (base.IsNode() && base.is_pointer) {
+    const NodeOutput ptr = ToNode(frame, base);
+    const NodeOutput idx = ToNode(frame, index, DType::kInt64);
+    Node* get = AddOp(frame, "PyGetSubscr", {ptr, idx});
+    const ValueProfile* profile = prof->subscr_load(expr);
+    if (profile != nullptr && profile->kind == ObservedKind::kTensor) {
+      return WrapDynamicRead(frame, {get, 0}, profile,
+                             "shape:sub" + std::to_string(expr->id),
+                             profile->dtype);
+    }
+    if (profile != nullptr && (profile->kind == ObservedKind::kObject ||
+                               profile->kind == ObservedKind::kList)) {
+      return SymValue::OfNode({get, 0}, frame.graph, DType::kInt64, true);
+    }
+    Refuse("dynamic subscript has no stable observed type");
+  }
+  Refuse("line " + std::to_string(expr->line) + ": unsupported subscript");
+}
+
+// ===========================================================================
+// Compilation driver
+// ===========================================================================
+
+std::unique_ptr<CompiledGraph> GraphGenerator::Impl::Compile(
+    const std::shared_ptr<minipy::FunctionValue>& fn,
+    std::span<const Value> args, bool training, double lr) {
+  // Reset per-compilation state.
+  variable_reads.clear();
+  fn_cache.clear();
+  fn_generating.clear();
+  pending_recursive_sites.clear();
+  fn_import_sources.clear();
+  fn_result_dtype.clear();
+  entry_check_seen.clear();
+  trace_attrs.clear();
+  fresh_counter = 0;
+  depth = 0;
+  budget = opt.max_unroll_total;
+
+  auto artifact = std::make_unique<CompiledGraph>();
+  artifact->library = std::make_shared<FunctionLibrary>();
+  artifact->training = training;
+  artifact->learning_rate = lr;
+  out = artifact.get();
+
+  Frame root_frame;
+  root_frame.graph = &artifact->graph;
+  root = &root_frame;
+  root_args = args;
+
+  Scope scope;
+  scope.closure = fn->closure;
+  const std::vector<std::string>& params =
+      fn->lambda != nullptr ? fn->lambda->params : fn->def->params;
+  if (args.size() != params.size()) {
+    Refuse("conversion-unit arity mismatch: got " +
+           std::to_string(args.size()) + " args for " +
+           std::to_string(params.size()) + " parameters");
+  }
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    ContextRef ref;
+    ref.arg_index = static_cast<int>(i);
+    const ValueProfile* profile =
+        fn->def != nullptr ? prof->argument(fn->def, static_cast<int>(i))
+                           : nullptr;
+    scope.vars[params[i]] = Capture(ref, args[i], profile);
+  }
+
+  SymValue result = SymValue::Static(minipy::NoneType{});
+  if (fn->lambda != nullptr) {
+    result = Eval(fn->lambda->left.get(), root_frame, scope);
+  } else {
+    try {
+      ExecBlock(fn->def->body, root_frame, scope);
+    } catch (GenReturn& ret) {
+      result = std::move(ret.value);
+    }
+  }
+  DType result_dt = DType::kFloat32;
+  const NodeOutput result_node =
+      ToNode(root_frame, result, std::nullopt, &result_dt);
+  Node* result_identity =
+      root_frame.graph->AddNode("Identity", {result_node});
+
+  if (training) {
+    if (result_dt != DType::kFloat32) {
+      Refuse("training requires a float loss value");
+    }
+    std::vector<std::string> names;
+    std::vector<NodeOutput> targets;
+    for (const auto& [name, read] : variable_reads) {
+      names.push_back(name);
+      targets.push_back(read);
+    }
+    const std::vector<NodeOutput> grads = AddGradients(
+        artifact->graph, *artifact->library, {result_identity, 0}, targets);
+    const NodeOutput lr_const = artifact->graph.Constant(
+        Tensor::Scalar(static_cast<float>(lr)), Fresh("lr"));
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      Node* sgd = artifact->graph.AddNode("ApplySGD", {grads[i], lr_const},
+                                          {{"var", names[i]}});
+      // The parameter read must observe the pre-update value.
+      sgd->AddControlInput(targets[i].node);
+      root_frame.side_nodes.push_back(sgd);
+    }
+  }
+
+  Node* anchor = root_frame.graph->AddNode("NoOp", {}, {}, 1, Fresh("anchor"));
+  for (Node* side : root_frame.side_nodes) anchor->AddControlInput(side);
+  artifact->fetches = {{result_identity, 0}, {anchor, 0}};
+
+  if (opt.specialize) {
+    OptimizeGraph(artifact->graph, artifact->fetches);
+  }
+
+  out = nullptr;
+  root = nullptr;
+  return artifact;
+}
+
+// ===========================================================================
+// Public interface
+// ===========================================================================
+
+GraphGenerator::GraphGenerator(minipy::Interpreter* interp,
+                               Profiler* profiler,
+                               GeneratorOptions options)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->interp = interp;
+  impl_->prof = profiler;
+  impl_->opt = options;
+}
+
+GraphGenerator::~GraphGenerator() = default;
+
+std::unique_ptr<CompiledGraph> GraphGenerator::Compile(
+    const std::shared_ptr<minipy::FunctionValue>& fn,
+    std::span<const minipy::Value> args, bool training, double lr) {
+  return impl_->Compile(fn, args, training, lr);
+}
+
+}  // namespace janus

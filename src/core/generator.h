@@ -1,0 +1,73 @@
+// The Speculative Graph Generator (Fig. 2 (B), §4).
+//
+// Converts one call of a MiniPy function — with the argument values and the
+// Profiler's accumulated context observations — into a symbolic dataflow
+// graph. Dynamic features are simplified with speculative assumptions:
+//
+//  * Dynamic control flow (§4.2.1): profiled-stable branches and loop trip
+//    counts are unrolled behind AssertOps; unstable conditionals lower to
+//    Switch/Merge; unstable loops lower to functional While ops; function
+//    calls are inlined (or become recursive InvokeOps).
+//  * Dynamic types (§4.2.2): argument/attribute/subscript types come from
+//    the profile; tensors get shape assumptions on the Fig. 4 lattice;
+//    profiled-constant scalars are baked in as Consts (specialisation).
+//  * Impure functions (§4.2.3): attribute/subscript reads and writes lower
+//    to PyGetAttr/PySetAttr/PyGetSubscr/PySetSubscr with run-local copies
+//    and deferred write-back; model-parameter updates (ApplySGD) and prints
+//    are likewise deferred and anchored to the fetch set.
+//
+// A program fragment outside the supported subset throws NotConvertible;
+// the engine then pins the function to the imperative executor (§4.3).
+#ifndef JANUS_CORE_GENERATOR_H_
+#define JANUS_CORE_GENERATOR_H_
+
+#include <memory>
+#include <span>
+
+#include "core/compiled_graph.h"
+#include "core/profiler.h"
+#include "frontend/interpreter.h"
+
+namespace janus {
+
+struct GeneratorOptions {
+  // +UNRL (Fig. 7): speculative unrolling of stable branches/loops and
+  // inlining of non-recursive calls. Off => conservative control-flow ops.
+  bool speculative_unroll = true;
+  // +SPCN (Fig. 7): constant/shape specialisation and post-processing
+  // optimisation passes.
+  bool specialize = true;
+  // AssertOp insertion (§6.3.1 measures its negligible cost).
+  bool insert_assertions = true;
+  // Trace-based conversion semantics (the TF-defun baseline of Table 1 /
+  // Fig. 6): mutable tensor state reads are baked in as constants from the
+  // traced execution and state writes are silently dropped — deliberately
+  // reproducing tracing's incorrectness on impure functions.
+  bool tracing_semantics = false;
+  // Safety bound on static expansion (unrolled iterations x inline depth).
+  int max_inline_depth = 128;
+  std::int64_t max_unroll_total = 200000;
+};
+
+class GraphGenerator {
+ public:
+  GraphGenerator(minipy::Interpreter* interp, Profiler* profiler,
+                 GeneratorOptions options);
+  ~GraphGenerator();
+
+  // Compiles a call of `fn` with `args`. When `training` is set, gradient
+  // and SGD-update operations for every model parameter read by the
+  // function are appended (learning rate `lr`), as §3.1 describes.
+  // Throws NotConvertible when the program leaves the supported subset.
+  std::unique_ptr<CompiledGraph> Compile(
+      const std::shared_ptr<minipy::FunctionValue>& fn,
+      std::span<const minipy::Value> args, bool training, double lr);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace janus
+
+#endif  // JANUS_CORE_GENERATOR_H_

@@ -1,0 +1,111 @@
+#include "core/host_state.h"
+
+namespace janus {
+
+using minipy::Value;
+
+Tensor EncodeValueAsTensor(const Value& value) {
+  if (std::holds_alternative<minipy::NoneType>(value)) {
+    return Tensor::ScalarInt(0);  // null pointer
+  }
+  if (const auto* b = std::get_if<bool>(&value)) {
+    return Tensor::ScalarBool(*b);
+  }
+  if (const auto* i = std::get_if<std::int64_t>(&value)) {
+    return Tensor::ScalarInt(*i);
+  }
+  if (const auto* d = std::get_if<double>(&value)) {
+    return Tensor::Scalar(static_cast<float>(*d));
+  }
+  if (const auto* t = std::get_if<Tensor>(&value)) return *t;
+  if (const auto* l =
+          std::get_if<std::shared_ptr<minipy::ListValue>>(&value)) {
+    return Tensor::ScalarInt((*l)->heap_id());
+  }
+  if (const auto* dd =
+          std::get_if<std::shared_ptr<minipy::DictValue>>(&value)) {
+    return Tensor::ScalarInt((*dd)->heap_id());
+  }
+  if (const auto* o =
+          std::get_if<std::shared_ptr<minipy::ObjectValue>>(&value)) {
+    return Tensor::ScalarInt((*o)->heap_id());
+  }
+  throw NotConvertible(std::string("value of type ") +
+                       minipy::ValueTypeName(value) +
+                       " has no tensor encoding");
+}
+
+Tensor InterpreterHostState::GetAttr(std::int64_t object_id,
+                                     const std::string& name) {
+  const Value holder = interp_->HeapLookup(object_id);
+  const auto* obj =
+      std::get_if<std::shared_ptr<minipy::ObjectValue>>(&holder);
+  if (obj == nullptr) {
+    throw InternalError("PyGetAttr target is not an object");
+  }
+  const auto it = (*obj)->attrs.find(name);
+  if (it == (*obj)->attrs.end()) {
+    throw InvalidArgument("object has no attribute '" + name + "'");
+  }
+  return EncodeValueAsTensor(it->second);
+}
+
+void InterpreterHostState::SetAttr(std::int64_t object_id,
+                                   const std::string& name,
+                                   const Tensor& value) {
+  const Value holder = interp_->HeapLookup(object_id);
+  const auto* obj =
+      std::get_if<std::shared_ptr<minipy::ObjectValue>>(&holder);
+  if (obj == nullptr) {
+    throw InternalError("PySetAttr target is not an object");
+  }
+  (*obj)->attrs[name] = value;
+}
+
+Tensor InterpreterHostState::GetSubscr(std::int64_t object_id,
+                                       std::int64_t index) {
+  const Value holder = interp_->HeapLookup(object_id);
+  if (const auto* list =
+          std::get_if<std::shared_ptr<minipy::ListValue>>(&holder)) {
+    const auto n = static_cast<std::int64_t>((*list)->items.size());
+    std::int64_t i = index;
+    if (i < 0) i += n;
+    if (i < 0 || i >= n) {
+      throw InvalidArgument("list index out of range in graph execution");
+    }
+    return EncodeValueAsTensor((*list)->items[static_cast<std::size_t>(i)]);
+  }
+  if (const auto* dict =
+          std::get_if<std::shared_ptr<minipy::DictValue>>(&holder)) {
+    const auto it = (*dict)->items.find(minipy::DictKey{index});
+    if (it == (*dict)->items.end()) {
+      throw InvalidArgument("missing dict key in graph execution");
+    }
+    return EncodeValueAsTensor(it->second);
+  }
+  throw InternalError("PyGetSubscr target is not a list or dict");
+}
+
+void InterpreterHostState::SetSubscr(std::int64_t object_id,
+                                     std::int64_t index, const Tensor& value) {
+  const Value holder = interp_->HeapLookup(object_id);
+  if (const auto* list =
+          std::get_if<std::shared_ptr<minipy::ListValue>>(&holder)) {
+    const auto n = static_cast<std::int64_t>((*list)->items.size());
+    std::int64_t i = index;
+    if (i < 0) i += n;
+    if (i < 0 || i >= n) {
+      throw InvalidArgument("list index out of range in graph commit");
+    }
+    (*list)->items[static_cast<std::size_t>(i)] = value;
+    return;
+  }
+  if (const auto* dict =
+          std::get_if<std::shared_ptr<minipy::DictValue>>(&holder)) {
+    (*dict)->items[minipy::DictKey{index}] = value;
+    return;
+  }
+  throw InternalError("PySetSubscr target is not a list or dict");
+}
+
+}  // namespace janus

@@ -1,0 +1,36 @@
+// StateInterface adapter over the MiniPy interpreter heap: lets graph-mode
+// PyGetAttr/PySetAttr/PyGetSubscr/PySetSubscr kernels dereference pointer
+// tensors into live interpreter objects (Fig. 5). Values cross the boundary
+// as tensors: numerics become scalar tensors, heap values become int64
+// pointer tensors, None becomes pointer 0 — the encoding of §4.2.2.
+#ifndef JANUS_CORE_HOST_STATE_H_
+#define JANUS_CORE_HOST_STATE_H_
+
+#include "frontend/interpreter.h"
+#include "runtime/run_context.h"
+
+namespace janus {
+
+// Encodes a MiniPy value as a tensor for graph consumption; throws
+// NotConvertible for values with no tensor encoding (functions, classes).
+Tensor EncodeValueAsTensor(const minipy::Value& value);
+
+class InterpreterHostState : public StateInterface {
+ public:
+  explicit InterpreterHostState(minipy::Interpreter* interp)
+      : interp_(interp) {}
+
+  Tensor GetAttr(std::int64_t object_id, const std::string& name) override;
+  void SetAttr(std::int64_t object_id, const std::string& name,
+               const Tensor& value) override;
+  Tensor GetSubscr(std::int64_t object_id, std::int64_t index) override;
+  void SetSubscr(std::int64_t object_id, std::int64_t index,
+                 const Tensor& value) override;
+
+ private:
+  minipy::Interpreter* interp_;
+};
+
+}  // namespace janus
+
+#endif  // JANUS_CORE_HOST_STATE_H_

@@ -1,0 +1,88 @@
+#include "dist/allreduce.h"
+
+#include <barrier>
+#include <thread>
+
+#include "common/error.h"
+
+namespace janus::dist {
+
+void RingAllReduceMean(std::vector<std::span<float>> buffers) {
+  const int k = static_cast<int>(buffers.size());
+  if (k <= 1) return;
+  const std::size_t n = buffers[0].size();
+  for (const auto& buffer : buffers) {
+    JANUS_EXPECTS(buffer.size() == n);
+  }
+  if (n == 0) return;
+
+  // Chunk c of participant r: elements [chunk_begin(c), chunk_begin(c+1)).
+  const auto chunk_begin = [&](int c) {
+    return n * static_cast<std::size_t>(c) / static_cast<std::size_t>(k);
+  };
+
+  std::barrier barrier(k);
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(k));
+  for (int rank = 0; rank < k; ++rank) {
+    threads.emplace_back([&, rank] {
+      // Reduce-scatter: after step s, participant r owns the partial sum of
+      // chunk (r - s) mod k.
+      for (int step = 0; step < k - 1; ++step) {
+        const int src = (rank - step - 1 + 2 * k) % k;  // neighbour's chunk
+        const std::size_t lo = chunk_begin(src);
+        const std::size_t hi = chunk_begin(src + 1);
+        const int prev = (rank - 1 + k) % k;
+        // Receive the neighbour's accumulated chunk and add ours into it —
+        // equivalently, add the neighbour's into ours for that chunk range.
+        barrier.arrive_and_wait();  // neighbour's step-(s-1) data is ready
+        for (std::size_t i = lo; i < hi; ++i) {
+          buffers[static_cast<std::size_t>(rank)][i] +=
+              buffers[static_cast<std::size_t>(prev)][i];
+        }
+        barrier.arrive_and_wait();  // writes visible before next step reads
+      }
+      // After reduce-scatter, participant r holds the FULL sum for chunk
+      // (r + 1) mod k. Scale it to the mean.
+      {
+        const int owned = (rank + 1) % k;
+        const std::size_t lo = chunk_begin(owned);
+        const std::size_t hi = chunk_begin(owned + 1);
+        const float scale = 1.0f / static_cast<float>(k);
+        for (std::size_t i = lo; i < hi; ++i) {
+          buffers[static_cast<std::size_t>(rank)][i] *= scale;
+        }
+      }
+      barrier.arrive_and_wait();
+      // Allgather: propagate finished chunks around the ring.
+      for (int step = 0; step < k - 1; ++step) {
+        const int src_chunk = (rank - step + 2 * k) % k;
+        const std::size_t lo = chunk_begin(src_chunk);
+        const std::size_t hi = chunk_begin(src_chunk + 1);
+        const int prev = (rank - 1 + k) % k;
+        barrier.arrive_and_wait();
+        for (std::size_t i = lo; i < hi; ++i) {
+          buffers[static_cast<std::size_t>(rank)][i] =
+              buffers[static_cast<std::size_t>(prev)][i];
+        }
+        barrier.arrive_and_wait();
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+}
+
+void AllReduceMeanTensors(std::vector<Tensor*> replicas) {
+  JANUS_EXPECTS(!replicas.empty());
+  std::vector<std::span<float>> buffers;
+  buffers.reserve(replicas.size());
+  for (Tensor* tensor : replicas) {
+    JANUS_EXPECTS(tensor != nullptr);
+    JANUS_EXPECTS(tensor->dtype() == DType::kFloat32);
+    JANUS_EXPECTS(tensor->shape() == replicas[0]->shape());
+    buffers.push_back(tensor->mutable_data<float>());
+  }
+  RingAllReduceMean(std::move(buffers));
+}
+
+}  // namespace janus::dist

@@ -1,0 +1,32 @@
+// Ring allreduce over in-process participants — the Horovod-analog
+// collective (§5 integrates Horovod's MPI allreduce as a graph op; here the
+// transport is shared memory, the algorithm is the same ring).
+//
+// K participants each contribute an equal-length float buffer; after the
+// collective every buffer holds the element-wise mean. The implementation
+// runs the classic 2(K-1)-step ring: K-1 reduce-scatter steps then K-1
+// allgather steps, with per-step barriers (each participant on its own
+// thread, chunks moving between neighbours).
+#ifndef JANUS_DIST_ALLREDUCE_H_
+#define JANUS_DIST_ALLREDUCE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace janus::dist {
+
+// Averages `buffers[i]` (all the same length) across participants in place.
+// Runs each participant on its own thread and moves data chunk-by-chunk
+// around the ring.
+void RingAllReduceMean(std::vector<std::span<float>> buffers);
+
+// Convenience: averages the same-named variables of several tensors
+// in place (tensors must share dtype float32 and shape).
+void AllReduceMeanTensors(std::vector<Tensor*> replicas);
+
+}  // namespace janus::dist
+
+#endif  // JANUS_DIST_ALLREDUCE_H_

@@ -1,0 +1,132 @@
+#include "dist/trainer.h"
+
+#include <thread>
+
+#include "dist/allreduce.h"
+#include "frontend/builtins.h"
+
+namespace janus::dist {
+
+struct DataParallelTrainer::Worker {
+  Worker(int rank, int world, const EngineOptions& options,
+         std::uint64_t seed)
+      : rng(seed), interp(&variables, &rng), engine(&interp, options) {
+    minipy::InstallBuiltins(interp);
+    engine.Attach();
+    interp.SetGlobal("worker_rank", static_cast<std::int64_t>(rank));
+    interp.SetGlobal("num_workers", static_cast<std::int64_t>(world));
+  }
+  VariableStore variables;
+  Rng rng;
+  minipy::Interpreter interp;
+  JanusEngine engine;
+};
+
+DataParallelTrainer::DataParallelTrainer(int num_workers,
+                                         const EngineOptions& engine_options,
+                                         std::uint64_t seed) {
+  JANUS_EXPECTS(num_workers >= 1);
+  workers_.reserve(static_cast<std::size_t>(num_workers));
+  for (int rank = 0; rank < num_workers; ++rank) {
+    workers_.push_back(std::make_unique<Worker>(rank, num_workers,
+                                                engine_options, seed));
+  }
+}
+
+DataParallelTrainer::~DataParallelTrainer() = default;
+
+void DataParallelTrainer::RunOnAll(const std::string& source) {
+  for (auto& worker : workers_) worker->interp.Run(source);
+}
+
+double DataParallelTrainer::Step(const std::string& iteration_source) {
+  // Compute phase: workers run concurrently.
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(workers_.size());
+  threads.reserve(workers_.size());
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    threads.emplace_back([this, i, &iteration_source, &errors] {
+      try {
+        workers_[i]->interp.Run(iteration_source);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (const auto& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+
+  // Communication phase: ring-allreduce every float parameter to the mean.
+  if (workers_.size() > 1) {
+    for (const std::string& name : workers_[0]->variables.Names()) {
+      std::vector<Tensor> replicas;
+      replicas.reserve(workers_.size());
+      bool eligible = true;
+      for (auto& worker : workers_) {
+        if (!worker->variables.Contains(name)) {
+          eligible = false;
+          break;
+        }
+        Tensor t = worker->variables.Read(name);
+        if (t.dtype() != DType::kFloat32) {
+          eligible = false;
+          break;
+        }
+        replicas.push_back(std::move(t));
+      }
+      if (!eligible) continue;
+      std::vector<Tensor*> pointers;
+      for (Tensor& t : replicas) pointers.push_back(&t);
+      AllReduceMeanTensors(pointers);
+      for (std::size_t i = 0; i < workers_.size(); ++i) {
+        workers_[i]->variables.Assign(name, replicas[i]);
+      }
+    }
+  }
+
+  // Mean loss across workers, if the program exposes one.
+  double total = 0.0;
+  int counted = 0;
+  for (auto& worker : workers_) {
+    try {
+      const minipy::Value v = worker->interp.GetGlobal("loss");
+      if (const auto* t = std::get_if<Tensor>(&v)) {
+        total += t->ElementAsDouble(0);
+        ++counted;
+      } else if (const auto* d = std::get_if<double>(&v)) {
+        total += *d;
+        ++counted;
+      }
+    } catch (const Error&) {
+      // No loss global: fine.
+    }
+  }
+  return counted > 0 ? total / counted : 0.0;
+}
+
+minipy::Interpreter& DataParallelTrainer::interpreter(int worker) {
+  return workers_.at(static_cast<std::size_t>(worker))->interp;
+}
+JanusEngine& DataParallelTrainer::engine(int worker) {
+  return workers_.at(static_cast<std::size_t>(worker))->engine;
+}
+VariableStore& DataParallelTrainer::variables(int worker) {
+  return workers_.at(static_cast<std::size_t>(worker))->variables;
+}
+
+bool DataParallelTrainer::ReplicasInSync() const {
+  for (const std::string& name : workers_[0]->variables.Names()) {
+    const Tensor& reference = workers_[0]->variables.Read(name);
+    for (std::size_t i = 1; i < workers_.size(); ++i) {
+      if (!workers_[i]->variables.Contains(name)) return false;
+      if (!workers_[i]->variables.Read(name).ElementsEqual(reference)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace janus::dist

@@ -1,0 +1,51 @@
+// Synchronous data-parallel training driver (the Horovod integration of
+// §5, with an in-process transport): K workers hold identical model
+// replicas, each runs the same MiniPy training step on its own shard, and a
+// ring allreduce averages the replicas' parameters after every step — for
+// SGD this is exactly equivalent to averaging gradients before the update.
+#ifndef JANUS_DIST_TRAINER_H_
+#define JANUS_DIST_TRAINER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+
+namespace janus::dist {
+
+class DataParallelTrainer {
+ public:
+  // Every worker gets its own interpreter, engine, and variable store,
+  // seeded identically so replicas initialise in sync. The global
+  // `worker_rank` (int) and `num_workers` are predefined for sharding.
+  DataParallelTrainer(int num_workers, const EngineOptions& engine_options,
+                      std::uint64_t seed);
+  ~DataParallelTrainer();
+  DataParallelTrainer(const DataParallelTrainer&) = delete;
+  DataParallelTrainer& operator=(const DataParallelTrainer&) = delete;
+
+  // Runs setup source on every worker (model + data definitions).
+  void RunOnAll(const std::string& source);
+
+  // One synchronous iteration: every worker executes `iteration_source`
+  // concurrently, then all float32 parameters are ring-allreduced to their
+  // mean. Returns the mean of global `loss` across workers if defined.
+  double Step(const std::string& iteration_source);
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+  minipy::Interpreter& interpreter(int worker);
+  JanusEngine& engine(int worker);
+  VariableStore& variables(int worker);
+
+  // Checks replicas hold bit-identical parameters (post-allreduce sanity).
+  bool ReplicasInSync() const;
+
+ private:
+  struct Worker;
+  std::vector<std::unique_ptr<Worker>> workers_;
+};
+
+}  // namespace janus::dist
+
+#endif  // JANUS_DIST_TRAINER_H_

@@ -1,0 +1,99 @@
+// Abstract syntax tree for MiniPy.
+//
+// Every node carries a unique id (stable within a Module) that the Profiler
+// and the Speculative Graph Generator use as the key for control-flow
+// decisions, type observations, and assumption bookkeeping — the analogue
+// of the paper's bytecode-level instrumentation points (§5).
+#ifndef JANUS_FRONTEND_AST_H_
+#define JANUS_FRONTEND_AST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace janus::minipy {
+
+struct Expr;
+struct Stmt;
+using ExprPtr = std::unique_ptr<Expr>;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+enum class ExprKind {
+  kIntLit, kFloatLit, kStringLit, kBoolLit, kNoneLit,
+  kName, kUnary, kBinary, kCompare, kBoolOp,
+  kCall, kAttribute, kSubscript, kList, kTuple, kDict, kLambda,
+};
+
+enum class BinaryOp {
+  kAdd, kSub, kMul, kDiv, kFloorDiv, kMod, kPow,
+};
+
+enum class UnaryOp { kNeg, kNot };
+
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe, kIn };
+
+enum class BoolOpKind { kAnd, kOr };
+
+struct Expr {
+  ExprKind kind;
+  int id = 0;
+  int line = 0;
+
+  // Literals
+  std::int64_t int_value = 0;
+  double float_value = 0.0;
+  std::string str_value;  // string literal, name, or attribute name
+  bool bool_value = false;
+
+  // Operators
+  BinaryOp binary_op{};
+  UnaryOp unary_op{};
+  CompareOp compare_op{};
+  BoolOpKind bool_op{};
+
+  // Children
+  ExprPtr left;                 // unary operand / binary lhs / call callee /
+                                // attribute+subscript base / lambda body
+  ExprPtr right;                // binary rhs / subscript index
+  std::vector<ExprPtr> elements;  // call args / list / tuple / dict keys
+  std::vector<ExprPtr> values;    // dict values
+  std::vector<std::string> params;  // lambda parameters
+};
+
+enum class StmtKind {
+  kExpr, kAssign, kAugAssign, kIf, kWhile, kFor, kDef, kClass, kReturn,
+  kPass, kBreak, kContinue, kGlobal, kRaise, kTry,
+};
+
+struct Stmt {
+  StmtKind kind;
+  int id = 0;
+  int line = 0;
+
+  ExprPtr target;  // assign/augassign target; for-loop variable
+  ExprPtr value;   // assign value / expr stmt / return value / condition /
+                   // for iterable / raise message
+  BinaryOp aug_op{};
+
+  std::vector<StmtPtr> body;
+  std::vector<StmtPtr> else_body;     // if-else / try-except
+  std::vector<StmtPtr> finally_body;  // try-finally
+
+  // def / class
+  std::string name;
+  std::vector<std::string> params;
+  std::vector<StmtPtr> methods;  // class body (defs)
+  std::vector<std::string> globals;  // global statement names
+  std::string except_name;           // bound exception variable (may be "")
+};
+
+// A parsed program: top-level statements plus an id -> node registry.
+struct Module {
+  std::vector<StmtPtr> body;
+  int num_nodes = 0;  // total AST nodes (ids are 0..num_nodes-1)
+};
+
+}  // namespace janus::minipy
+
+#endif  // JANUS_FRONTEND_AST_H_

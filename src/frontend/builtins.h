@@ -1,0 +1,33 @@
+// Standard builtins plus the framework-provided tensor/NN functions — the
+// external-function whitelist of §4.3.1 that the Speculative Graph Generator
+// knows how to convert one-to-one into graph operations.
+#ifndef JANUS_FRONTEND_BUILTINS_H_
+#define JANUS_FRONTEND_BUILTINS_H_
+
+#include <optional>
+#include <string>
+
+#include "frontend/interpreter.h"
+
+namespace janus::minipy {
+
+// Installs every builtin into the interpreter's global scope. Called by
+// users after constructing an Interpreter.
+void InstallBuiltins(Interpreter& interp);
+
+// Metadata the graph generator needs for a whitelisted builtin: how a call
+// maps onto a graph op. Builtins not in the whitelist (e.g. print-to-string
+// helpers) force imperative-only execution of their callers.
+struct BuiltinOpInfo {
+  std::string graph_op;   // runtime op name
+  int tensor_args;        // leading args converted to graph values
+  // Remaining args become node attributes; see generator for the schema.
+};
+
+// Returns the graph-conversion info for a builtin name, or nullopt if the
+// builtin cannot be converted (imperative-only).
+std::optional<BuiltinOpInfo> LookupBuiltinOp(const std::string& name);
+
+}  // namespace janus::minipy
+
+#endif  // JANUS_FRONTEND_BUILTINS_H_

@@ -1,0 +1,142 @@
+#include "frontend/eager.h"
+
+#include <sstream>
+#include <unordered_map>
+
+#include "autodiff/gradients.h"
+#include "runtime/executor.h"
+#include "runtime/kernel.h"
+#include "tensor/ops.h"
+
+namespace janus::minipy {
+namespace {
+
+// Tape identity of a tensor: buffer pointer + shape + dtype, so reshaped
+// views sharing a buffer do not collide.
+std::string TensorKey(const Tensor& t) {
+  std::ostringstream oss;
+  oss << t.data_id() << '|' << static_cast<int>(t.dtype()) << '|'
+      << t.shape().ToString();
+  return oss.str();
+}
+
+}  // namespace
+
+struct EagerContext::Tape {
+  Graph graph;
+  FunctionLibrary library;  // gradient functions (unused by eager bodies)
+  std::unordered_map<std::string, NodeOutput> value_to_node;
+  std::map<std::string, NodeOutput> variable_reads;  // var name -> node
+  internal::Precomputed precomputed;
+
+  NodeOutput NodeFor(const Tensor& t) {
+    const std::string key = TensorKey(t);
+    const auto it = value_to_node.find(key);
+    if (it != value_to_node.end()) return it->second;
+    // External input (data batch, literal): record as a constant leaf.
+    const NodeOutput leaf = graph.Constant(t);
+    value_to_node.emplace(key, leaf);
+    precomputed[leaf.node] = {t};
+    return leaf;
+  }
+
+  void Record(const std::string& op, std::span<const Tensor> inputs,
+              AttrMap attrs, const Tensor& output) {
+    std::vector<NodeOutput> input_nodes;
+    input_nodes.reserve(inputs.size());
+    for (const Tensor& input : inputs) input_nodes.push_back(NodeFor(input));
+    Node* node = graph.AddNode(op, std::move(input_nodes), std::move(attrs));
+    value_to_node[TensorKey(output)] = {node, 0};
+    precomputed[node] = {output};
+  }
+};
+
+EagerContext::EagerContext(VariableStore* variables, Rng* rng)
+    : variables_(variables), rng_(rng) {}
+
+EagerContext::~EagerContext() = default;
+
+Tensor EagerContext::Execute(const std::string& op,
+                             std::vector<Tensor> inputs, AttrMap attrs) {
+  // Execute the kernel immediately (per-op dispatch, as in TF Eager).
+  RunContext run;
+  run.variables = variables_;
+  run.rng = rng_;
+  run.dispatch_penalty_ns = dispatch_penalty_ns_;
+  Graph scratch;
+  Node* node = scratch.AddNode(op, {}, attrs, 1);
+  KernelContext ctx;
+  ctx.node = node;
+  ctx.inputs = inputs;
+  ctx.outputs.resize(1);
+  ctx.run = &run;
+  KernelRegistry::Global().Lookup(op)(ctx);
+  ++ops_executed_;
+  Tensor output = std::move(ctx.outputs[0]);
+  if (tape_ != nullptr) {
+    tape_->Record(op, inputs, std::move(attrs), output);
+  }
+  return output;
+}
+
+Tensor EagerContext::ReadVariable(const std::string& name) {
+  const Tensor value = variables_->Read(name);
+  ++ops_executed_;
+  if (tape_ != nullptr) {
+    const auto it = tape_->variable_reads.find(name);
+    if (it == tape_->variable_reads.end()) {
+      Node* node = tape_->graph.AddNode("ReadVariable", {}, {{"var", name}});
+      tape_->variable_reads[name] = {node, 0};
+      tape_->precomputed[node] = {value};
+      tape_->value_to_node[TensorKey(value)] = {node, 0};
+    }
+  }
+  return value;
+}
+
+void EagerContext::AssignVariable(const std::string& name, Tensor value) {
+  variables_->Assign(name, std::move(value));
+  ++ops_executed_;
+}
+
+void EagerContext::StartTape() { tape_ = std::make_unique<Tape>(); }
+
+std::map<std::string, Tensor> EagerContext::GradientsAndStopTape(
+    const Tensor& loss) {
+  JANUS_EXPECTS(tape_ != nullptr);
+  auto tape = std::move(tape_);
+
+  const auto loss_it = tape->value_to_node.find(TensorKey(loss));
+  if (loss_it == tape->value_to_node.end()) {
+    throw InvalidArgument(
+        "loss tensor was not produced under the gradient tape");
+  }
+  std::vector<std::string> names;
+  std::vector<NodeOutput> targets;
+  for (const auto& [name, node] : tape->variable_reads) {
+    names.push_back(name);
+    targets.push_back(node);
+  }
+  const std::vector<NodeOutput> grads =
+      AddGradients(tape->graph, tape->library, loss_it->second, targets);
+
+  // Execute only the gradient subgraph; forward values come precomputed.
+  RunContext run;
+  run.variables = variables_;
+  run.rng = rng_;
+  run.dispatch_penalty_ns = dispatch_penalty_ns_;
+  run.library = &tape->library;
+  const std::map<std::string, Tensor> no_feeds;
+  run.feeds = &no_feeds;
+  const std::vector<Tensor> grad_values = internal::ExecuteDag(
+      run, tape->graph, {}, grads, /*parallel=*/false, &tape->precomputed);
+  ops_executed_ += run.ops_executed.load();
+
+  std::map<std::string, Tensor> result;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    result[names[i]] = grad_values[i];
+  }
+  return result;
+}
+
+}  // namespace janus::minipy

@@ -1,0 +1,248 @@
+#include "frontend/lexer.h"
+
+#include <cctype>
+#include <map>
+
+#include "common/error.h"
+
+namespace janus::minipy {
+namespace {
+
+const std::map<std::string, TokenKind, std::less<>>& Keywords() {
+  static const auto* const keywords = new std::map<std::string, TokenKind,
+                                                   std::less<>>{
+      {"def", TokenKind::kDef},       {"class", TokenKind::kClass},
+      {"if", TokenKind::kIf},         {"elif", TokenKind::kElif},
+      {"else", TokenKind::kElse},     {"while", TokenKind::kWhile},
+      {"for", TokenKind::kFor},       {"in", TokenKind::kIn},
+      {"return", TokenKind::kReturn}, {"pass", TokenKind::kPass},
+      {"break", TokenKind::kBreak},   {"continue", TokenKind::kContinue},
+      {"global", TokenKind::kGlobal}, {"not", TokenKind::kNot},
+      {"and", TokenKind::kAnd},       {"or", TokenKind::kOr},
+      {"True", TokenKind::kTrue},     {"False", TokenKind::kFalse},
+      {"None", TokenKind::kNone},     {"lambda", TokenKind::kLambda},
+      {"raise", TokenKind::kRaise},   {"try", TokenKind::kTry},
+      {"except", TokenKind::kExcept}, {"finally", TokenKind::kFinally},
+      {"yield", TokenKind::kYield},   {"import", TokenKind::kImport},
+      {"with", TokenKind::kWith},     {"as", TokenKind::kAs},
+  };
+  return *keywords;
+}
+
+[[noreturn]] void Fail(int line, const std::string& message) {
+  throw InvalidArgument("line " + std::to_string(line) + ": " + message);
+}
+
+}  // namespace
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kInt: return "int";
+    case TokenKind::kFloat: return "float";
+    case TokenKind::kString: return "string";
+    case TokenKind::kName: return "name";
+    case TokenKind::kNewline: return "newline";
+    case TokenKind::kIndent: return "indent";
+    case TokenKind::kDedent: return "dedent";
+    case TokenKind::kEndOfFile: return "end of file";
+    case TokenKind::kDef: return "'def'";
+    case TokenKind::kClass: return "'class'";
+    case TokenKind::kIf: return "'if'";
+    case TokenKind::kElif: return "'elif'";
+    case TokenKind::kElse: return "'else'";
+    case TokenKind::kWhile: return "'while'";
+    case TokenKind::kFor: return "'for'";
+    case TokenKind::kIn: return "'in'";
+    case TokenKind::kReturn: return "'return'";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kColon: return "':'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kAssign: return "'='";
+    default: return "token";
+  }
+}
+
+std::vector<Token> Tokenize(const std::string& source) {
+  std::vector<Token> tokens;
+  std::vector<int> indents{0};
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = source.size();
+  int paren_depth = 0;  // newlines inside brackets are insignificant
+
+  const auto push = [&](TokenKind kind, std::string text = {}) {
+    tokens.push_back(Token{kind, std::move(text), 0, 0.0, line});
+  };
+
+  bool at_line_start = true;
+  while (i <= n) {
+    if (at_line_start && paren_depth == 0) {
+      // Measure indentation; skip blank/comment-only lines entirely.
+      int indent = 0;
+      std::size_t j = i;
+      while (j < n && (source[j] == ' ' || source[j] == '\t')) {
+        indent += source[j] == '\t' ? 8 : 1;
+        ++j;
+      }
+      if (j >= n || source[j] == '\n' || source[j] == '#') {
+        // Blank or comment line: consume it without layout tokens.
+        while (j < n && source[j] != '\n') ++j;
+        if (j >= n) break;
+        i = j + 1;
+        ++line;
+        continue;
+      }
+      if (indent > indents.back()) {
+        indents.push_back(indent);
+        push(TokenKind::kIndent);
+      } else {
+        while (indent < indents.back()) {
+          indents.pop_back();
+          push(TokenKind::kDedent);
+        }
+        if (indent != indents.back()) Fail(line, "inconsistent indentation");
+      }
+      i = j;
+      at_line_start = false;
+      continue;
+    }
+    if (i >= n) break;
+    const char c = source[i];
+    if (c == '\n') {
+      ++i;
+      ++line;
+      if (paren_depth == 0) {
+        push(TokenKind::kNewline);
+        at_line_start = true;
+      }
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r') {
+      ++i;
+      continue;
+    }
+    if (c == '#') {
+      while (i < n && source[i] != '\n') ++i;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(source[i + 1])) != 0)) {
+      std::size_t j = i;
+      bool is_float = false;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(source[j])) != 0 ||
+                       source[j] == '.' || source[j] == 'e' || source[j] == 'E' ||
+                       ((source[j] == '+' || source[j] == '-') && j > i &&
+                        (source[j - 1] == 'e' || source[j - 1] == 'E')))) {
+        if (source[j] == '.' || source[j] == 'e' || source[j] == 'E') {
+          is_float = true;
+        }
+        ++j;
+      }
+      const std::string text = source.substr(i, j - i);
+      Token token{is_float ? TokenKind::kFloat : TokenKind::kInt, text, 0, 0.0,
+                  line};
+      try {
+        if (is_float) {
+          token.float_value = std::stod(text);
+        } else {
+          token.int_value = std::stoll(text);
+        }
+      } catch (const std::exception&) {
+        Fail(line, "malformed number '" + text + "'");
+      }
+      tokens.push_back(std::move(token));
+      i = j;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+      std::size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(source[j])) != 0 ||
+                       source[j] == '_')) {
+        ++j;
+      }
+      const std::string text = source.substr(i, j - i);
+      const auto it = Keywords().find(text);
+      if (it != Keywords().end()) {
+        push(it->second, text);
+      } else {
+        push(TokenKind::kName, text);
+      }
+      i = j;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::size_t j = i + 1;
+      std::string text;
+      while (j < n && source[j] != quote) {
+        if (source[j] == '\n') Fail(line, "unterminated string");
+        if (source[j] == '\\' && j + 1 < n) {
+          ++j;
+          switch (source[j]) {
+            case 'n': text += '\n'; break;
+            case 't': text += '\t'; break;
+            case '\\': text += '\\'; break;
+            case '\'': text += '\''; break;
+            case '"': text += '"'; break;
+            default: Fail(line, "unknown escape");
+          }
+        } else {
+          text += source[j];
+        }
+        ++j;
+      }
+      if (j >= n) Fail(line, "unterminated string");
+      push(TokenKind::kString, text);
+      i = j + 1;
+      continue;
+    }
+    // Operators.
+    const auto two = i + 1 < n ? source.substr(i, 2) : std::string();
+    if (two == "**") { push(TokenKind::kDoubleStar); i += 2; continue; }
+    if (two == "//") { push(TokenKind::kDoubleSlash); i += 2; continue; }
+    if (two == "==") { push(TokenKind::kEq); i += 2; continue; }
+    if (two == "!=") { push(TokenKind::kNe); i += 2; continue; }
+    if (two == "<=") { push(TokenKind::kLe); i += 2; continue; }
+    if (two == ">=") { push(TokenKind::kGe); i += 2; continue; }
+    if (two == "+=") { push(TokenKind::kPlusAssign); i += 2; continue; }
+    if (two == "-=") { push(TokenKind::kMinusAssign); i += 2; continue; }
+    if (two == "*=") { push(TokenKind::kStarAssign); i += 2; continue; }
+    if (two == "/=") { push(TokenKind::kSlashAssign); i += 2; continue; }
+    switch (c) {
+      case '+': push(TokenKind::kPlus); break;
+      case '-': push(TokenKind::kMinus); break;
+      case '*': push(TokenKind::kStar); break;
+      case '/': push(TokenKind::kSlash); break;
+      case '%': push(TokenKind::kPercent); break;
+      case '=': push(TokenKind::kAssign); break;
+      case '<': push(TokenKind::kLt); break;
+      case '>': push(TokenKind::kGt); break;
+      case '(': push(TokenKind::kLParen); ++paren_depth; break;
+      case ')': push(TokenKind::kRParen); --paren_depth; break;
+      case '[': push(TokenKind::kLBracket); ++paren_depth; break;
+      case ']': push(TokenKind::kRBracket); --paren_depth; break;
+      case '{': push(TokenKind::kLBrace); ++paren_depth; break;
+      case '}': push(TokenKind::kRBrace); --paren_depth; break;
+      case ',': push(TokenKind::kComma); break;
+      case ':': push(TokenKind::kColon); break;
+      case '.': push(TokenKind::kDot); break;
+      default:
+        Fail(line, std::string("unexpected character '") + c + "'");
+    }
+    ++i;
+  }
+  // Close any open blocks.
+  if (!tokens.empty() && tokens.back().kind != TokenKind::kNewline) {
+    tokens.push_back(Token{TokenKind::kNewline, "", 0, 0.0, line});
+  }
+  while (indents.size() > 1) {
+    indents.pop_back();
+    tokens.push_back(Token{TokenKind::kDedent, "", 0, 0.0, line});
+  }
+  tokens.push_back(Token{TokenKind::kEndOfFile, "", 0, 0.0, line});
+  return tokens;
+}
+
+}  // namespace janus::minipy

@@ -1,0 +1,18 @@
+// Indentation-aware lexer for MiniPy (Python-style block structure).
+#ifndef JANUS_FRONTEND_LEXER_H_
+#define JANUS_FRONTEND_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "frontend/token.h"
+
+namespace janus::minipy {
+
+// Tokenises a full program. Throws InvalidArgument (with line info) on
+// malformed input. The result always ends with kEndOfFile.
+std::vector<Token> Tokenize(const std::string& source);
+
+}  // namespace janus::minipy
+
+#endif  // JANUS_FRONTEND_LEXER_H_

@@ -1,0 +1,17 @@
+// Recursive-descent parser for MiniPy.
+#ifndef JANUS_FRONTEND_PARSER_H_
+#define JANUS_FRONTEND_PARSER_H_
+
+#include <string>
+
+#include "frontend/ast.h"
+
+namespace janus::minipy {
+
+// Parses a full program. Throws InvalidArgument with line information on
+// syntax errors.
+Module Parse(const std::string& source);
+
+}  // namespace janus::minipy
+
+#endif  // JANUS_FRONTEND_PARSER_H_

@@ -1,0 +1,48 @@
+// Token definitions for the MiniPy lexer.
+//
+// MiniPy is the dynamically-typed, Python-like imperative language this
+// reproduction uses in place of CPython: it has the dynamic control flow,
+// dynamic typing, and impure-function features (paper §2.1) that JANUS
+// converts, and a tree-walking interpreter that serves as the imperative
+// executor (TF Eager stand-in).
+#ifndef JANUS_FRONTEND_TOKEN_H_
+#define JANUS_FRONTEND_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace janus::minipy {
+
+enum class TokenKind {
+  // Literals and identifiers
+  kInt,
+  kFloat,
+  kString,
+  kName,
+  // Keywords
+  kDef, kClass, kIf, kElif, kElse, kWhile, kFor, kIn, kReturn, kPass,
+  kBreak, kContinue, kGlobal, kNot, kAnd, kOr, kTrue, kFalse, kNone,
+  kLambda, kRaise, kTry, kExcept, kFinally, kYield, kImport, kWith, kAs,
+  // Operators / punctuation
+  kPlus, kMinus, kStar, kDoubleStar, kSlash, kDoubleSlash, kPercent,
+  kAssign, kPlusAssign, kMinusAssign, kStarAssign, kSlashAssign,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kLParen, kRParen, kLBracket, kRBracket, kLBrace, kRBrace,
+  kComma, kColon, kDot,
+  // Layout
+  kNewline, kIndent, kDedent, kEndOfFile,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;      // raw text for names/strings
+  std::int64_t int_value = 0;
+  double float_value = 0.0;
+  int line = 0;
+};
+
+const char* TokenKindName(TokenKind kind);
+
+}  // namespace janus::minipy
+
+#endif  // JANUS_FRONTEND_TOKEN_H_

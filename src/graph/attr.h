@@ -1,0 +1,27 @@
+// Attribute values attached to graph nodes (op parameters fixed at graph
+// construction time): strides, paddings, axes, literal tensors, dtype tags,
+// function names for InvokeOp, assumption descriptions for AssertOp, etc.
+#ifndef JANUS_GRAPH_ATTR_H_
+#define JANUS_GRAPH_ATTR_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace janus {
+
+using AttrValue = std::variant<std::int64_t, double, bool, std::string,
+                               std::vector<std::int64_t>, Tensor, DType>;
+
+using AttrMap = std::map<std::string, AttrValue, std::less<>>;
+
+// Renders an attribute for debugging / graph dumps.
+std::string AttrToString(const AttrValue& attr);
+
+}  // namespace janus
+
+#endif  // JANUS_GRAPH_ATTR_H_

@@ -1,0 +1,98 @@
+#include "graph/dot.h"
+
+#include <set>
+#include <sstream>
+
+namespace janus {
+namespace {
+
+bool IsControlFlow(const std::string& op) {
+  return op == "Switch" || op == "Merge" || op == "Enter" || op == "Exit" ||
+         op == "NextIteration" || op == "While" || op == "Invoke";
+}
+
+bool IsStateOp(const std::string& op) {
+  return op == "PyGetAttr" || op == "PySetAttr" || op == "PyGetSubscr" ||
+         op == "PySetSubscr" || op == "ReadVariable" ||
+         op == "AssignVariable" || op == "ApplySGD" || op == "PyPrint";
+}
+
+bool IsSource(const std::string& op) {
+  return op == "Const" || op == "Placeholder" || op == "Param";
+}
+
+void EmitNode(std::ostringstream& oss, const Node& node) {
+  const std::string& op = node.op();
+  const char* shape = "box";
+  const char* color = "white";
+  if (IsControlFlow(op)) {
+    shape = "diamond";
+    color = "lightblue";
+  } else if (op == "Assert" || op == "AssertShape") {
+    shape = "octagon";
+    color = "lightsalmon";
+  } else if (IsStateOp(op)) {
+    color = "khaki";
+  } else if (IsSource(op)) {
+    shape = "ellipse";
+    color = "lightgrey";
+  }
+  oss << "  n" << node.id() << " [label=\"" << node.name()
+      << "\\n" << op << "\", shape=" << shape
+      << ", style=filled, fillcolor=" << color << "];\n";
+}
+
+void EmitEdges(std::ostringstream& oss, const Node& node) {
+  for (int i = 0; i < node.num_inputs(); ++i) {
+    const NodeOutput input = node.input(i);
+    oss << "  n" << input.node->id() << " -> n" << node.id();
+    if (input.index != 0 || input.node->num_outputs() > 1) {
+      oss << " [label=\"" << input.index << "\"]";
+    }
+    oss << ";\n";
+  }
+  for (const Node* control : node.control_inputs()) {
+    oss << "  n" << control->id() << " -> n" << node.id()
+        << " [style=dashed, color=gray];\n";
+  }
+}
+
+}  // namespace
+
+std::string ToDot(const Graph& graph, const std::string& title) {
+  std::ostringstream oss;
+  oss << "digraph \"" << title << "\" {\n";
+  oss << "  rankdir=TB;\n  node [fontsize=10];\n";
+  for (const auto& node : graph.nodes()) EmitNode(oss, *node);
+  for (const auto& node : graph.nodes()) EmitEdges(oss, *node);
+  oss << "}\n";
+  return oss.str();
+}
+
+std::string ToDot(const GraphFunction& fn) {
+  std::ostringstream oss;
+  oss << "digraph \"" << fn.name << "\" {\n";
+  oss << "  rankdir=TB;\n  node [fontsize=10];\n";
+  std::set<const Node*> params(fn.parameters.begin(), fn.parameters.end());
+  for (const auto& node : fn.graph.nodes()) {
+    if (params.count(node.get()) != 0u) {
+      oss << "  n" << node->id() << " [label=\"" << node->name()
+          << "\\nParam\", shape=ellipse, style=filled, "
+             "fillcolor=palegreen];\n";
+    } else {
+      EmitNode(oss, *node);
+    }
+  }
+  for (const auto& node : fn.graph.nodes()) EmitEdges(oss, *node);
+  // Mark results.
+  for (std::size_t i = 0; i < fn.results.size(); ++i) {
+    oss << "  result" << i << " [label=\"result " << i
+        << "\", shape=plaintext];\n";
+    oss << "  n" << fn.results[i].node->id() << " -> result" << i
+        << " [style=bold];\n";
+  }
+  oss << "}\n";
+  return oss.str();
+}
+
+}  // namespace janus

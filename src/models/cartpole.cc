@@ -1,0 +1,110 @@
+#include "models/cartpole.h"
+
+#include <cmath>
+#include <memory>
+
+#include "tensor/tensor.h"
+
+namespace janus::models {
+namespace {
+
+constexpr double kGravity = 9.8;
+constexpr double kCartMass = 1.0;
+constexpr double kPoleMass = 0.1;
+constexpr double kTotalMass = kCartMass + kPoleMass;
+constexpr double kPoleHalfLength = 0.5;
+constexpr double kPoleMassLength = kPoleMass * kPoleHalfLength;
+constexpr double kForceMag = 10.0;
+constexpr double kTau = 0.02;
+constexpr double kThetaLimit = 12.0 * 2.0 * 3.14159265 / 360.0;
+constexpr double kXLimit = 2.4;
+
+Tensor StateTensor(const std::array<double, 4>& state) {
+  return Tensor::FromVector({static_cast<float>(state[0]),
+                             static_cast<float>(state[1]),
+                             static_cast<float>(state[2]),
+                             static_cast<float>(state[3])},
+                            Shape{4});
+}
+
+}  // namespace
+
+std::array<double, 4> CartPole::Reset() {
+  for (double& v : state_) v = rng_->Uniform(-0.05, 0.05);
+  steps_ = 0;
+  done_ = false;
+  return state_;
+}
+
+CartPole::StepResult CartPole::Step(int action) {
+  if (done_) {
+    // Gym semantics: stepping a finished episode keeps returning done.
+    return {state_, 0.0, true};
+  }
+  const double force = action == 1 ? kForceMag : -kForceMag;
+  const double theta = state_[2];
+  const double theta_dot = state_[3];
+  const double cos_theta = std::cos(theta);
+  const double sin_theta = std::sin(theta);
+  const double temp =
+      (force + kPoleMassLength * theta_dot * theta_dot * sin_theta) /
+      kTotalMass;
+  const double theta_acc =
+      (kGravity * sin_theta - cos_theta * temp) /
+      (kPoleHalfLength *
+       (4.0 / 3.0 - kPoleMass * cos_theta * cos_theta / kTotalMass));
+  const double x_acc =
+      temp - kPoleMassLength * theta_acc * cos_theta / kTotalMass;
+
+  state_[0] += kTau * state_[1];
+  state_[1] += kTau * x_acc;
+  state_[2] += kTau * state_[3];
+  state_[3] += kTau * theta_acc;
+  ++steps_;
+
+  done_ = std::fabs(state_[0]) > kXLimit ||
+          std::fabs(state_[2]) > kThetaLimit || steps_ >= max_steps_;
+  return {state_, 1.0, done_};
+}
+
+void RegisterCartPole(minipy::Interpreter& interp, std::uint64_t seed) {
+  // The environment lives as long as the registered builtins (shared
+  // ownership captured by both closures).
+  auto rng = std::make_shared<Rng>(seed);
+  auto env = std::make_shared<CartPole>(rng.get());
+
+  interp.RegisterBuiltin(
+      "env_reset",
+      [env, rng](minipy::Interpreter&, std::span<minipy::Value> args)
+          -> minipy::Value {
+        if (!args.empty()) {
+          throw minipy::MiniPyError("env_reset() takes no arguments");
+        }
+        return StateTensor(env->Reset());
+      });
+
+  interp.RegisterBuiltin(
+      "env_step",
+      [env, rng](minipy::Interpreter& in, std::span<minipy::Value> args)
+          -> minipy::Value {
+        if (args.size() != 1) {
+          throw minipy::MiniPyError("env_step() takes one argument");
+        }
+        int action = 0;
+        if (const auto* i = std::get_if<std::int64_t>(&args[0])) {
+          action = static_cast<int>(*i);
+        } else if (const auto* t = std::get_if<Tensor>(&args[0])) {
+          action = static_cast<int>(t->ElementAsDouble(0));
+        } else {
+          throw minipy::MiniPyError("env_step(): action must be an int");
+        }
+        const CartPole::StepResult result = env->Step(action);
+        auto out = in.MakeList();
+        out->items.push_back(StateTensor(result.state));
+        out->items.push_back(result.reward);
+        out->items.push_back(result.done);
+        return out;
+      });
+}
+
+}  // namespace janus::models

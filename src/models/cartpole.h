@@ -1,0 +1,52 @@
+// The CartPole-v0 physics simulator — the OpenAI Gym environment the paper
+// uses for its DRL workloads (Table 2: A3C on CartPole, PPO). The paper's
+// footnote 7 notes the environment runs outside the DL framework; here it
+// is a C++ substrate exposed to MiniPy programs as builtins.
+#ifndef JANUS_MODELS_CARTPOLE_H_
+#define JANUS_MODELS_CARTPOLE_H_
+
+#include <array>
+
+#include "common/rng.h"
+#include "frontend/interpreter.h"
+
+namespace janus::models {
+
+// Standard CartPole dynamics (Barto, Sutton & Anderson 1983 as implemented
+// in Gym): state (x, x_dot, theta, theta_dot); actions {0: left, 1: right};
+// reward 1 per step; episode ends when |x| > 2.4, |theta| > 12deg, or after
+// max_steps.
+class CartPole {
+ public:
+  explicit CartPole(Rng* rng, int max_steps = 200)
+      : rng_(rng), max_steps_(max_steps) {
+    Reset();
+  }
+
+  std::array<double, 4> Reset();
+  // Returns (state, reward, done).
+  struct StepResult {
+    std::array<double, 4> state;
+    double reward;
+    bool done;
+  };
+  StepResult Step(int action);
+
+  int steps() const { return steps_; }
+
+ private:
+  Rng* rng_;
+  int max_steps_;
+  std::array<double, 4> state_{};
+  int steps_ = 0;
+  bool done_ = false;
+};
+
+// Registers `env_reset()` -> state tensor (4,), and
+// `env_step(action)` -> [state (4,), reward float, done bool]
+// builtins backed by a CartPole owned by the interpreter session.
+void RegisterCartPole(minipy::Interpreter& interp, std::uint64_t seed);
+
+}  // namespace janus::models
+
+#endif  // JANUS_MODELS_CARTPOLE_H_

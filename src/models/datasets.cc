@@ -1,0 +1,129 @@
+#include "models/datasets.h"
+
+#include <cmath>
+
+namespace janus::models {
+
+std::pair<Tensor, Tensor> SyntheticImageBatch(Rng& rng, std::int64_t batch,
+                                              std::int64_t height,
+                                              std::int64_t width,
+                                              std::int64_t channels,
+                                              std::int64_t num_classes) {
+  Tensor images(DType::kFloat32, Shape{batch, height, width, channels});
+  Tensor labels(DType::kInt64, Shape{batch});
+  auto iv = images.mutable_data<float>();
+  auto lv = labels.mutable_data<std::int64_t>();
+  for (std::int64_t b = 0; b < batch; ++b) {
+    const std::int64_t label =
+        static_cast<std::int64_t>(rng.Below(static_cast<std::uint64_t>(num_classes)));
+    lv[static_cast<std::size_t>(b)] = label;
+    // Class template: a sinusoidal pattern whose frequency/phase depend on
+    // the class, plus Gaussian noise.
+    const double fx = 1.0 + static_cast<double>(label % 4);
+    const double fy = 1.0 + static_cast<double>(label / 4);
+    for (std::int64_t y = 0; y < height; ++y) {
+      for (std::int64_t x = 0; x < width; ++x) {
+        for (std::int64_t c = 0; c < channels; ++c) {
+          const double signal =
+              std::sin(fx * 3.1416 * (x + 1) / static_cast<double>(width)) *
+              std::cos(fy * 3.1416 * (y + 1) / static_cast<double>(height) +
+                       0.37 * static_cast<double>(c));
+          const std::size_t index = static_cast<std::size_t>(
+              ((b * height + y) * width + x) * channels + c);
+          iv[index] = static_cast<float>(signal + 0.9 * rng.Normal());
+        }
+      }
+    }
+  }
+  return {std::move(images), std::move(labels)};
+}
+
+std::pair<Tensor, Tensor> MarkovTokenBatch(Rng& rng, std::int64_t seq_len,
+                                           std::int64_t batch,
+                                           std::int64_t vocab) {
+  Tensor inputs(DType::kInt64, Shape{seq_len, batch});
+  Tensor targets(DType::kInt64, Shape{seq_len, batch});
+  auto in = inputs.mutable_data<std::int64_t>();
+  auto tg = targets.mutable_data<std::int64_t>();
+  for (std::int64_t b = 0; b < batch; ++b) {
+    std::int64_t token =
+        static_cast<std::int64_t>(rng.Below(static_cast<std::uint64_t>(vocab)));
+    for (std::int64_t t = 0; t < seq_len; ++t) {
+      in[static_cast<std::size_t>(t * batch + b)] = token;
+      // Deterministic-ish chain: mostly (3 tok + 7) mod V, sometimes random.
+      std::int64_t next;
+      if (rng.Uniform() < 0.85) {
+        next = (3 * token + 7) % vocab;
+      } else {
+        next = static_cast<std::int64_t>(
+            rng.Below(static_cast<std::uint64_t>(vocab)));
+      }
+      tg[static_cast<std::size_t>(t * batch + b)] = next;
+      token = next;
+    }
+  }
+  return {std::move(inputs), std::move(targets)};
+}
+
+std::pair<Tensor, Tensor> PairedImageBatch(Rng& rng, std::int64_t batch,
+                                           std::int64_t size,
+                                           std::int64_t channels) {
+  Tensor input(DType::kFloat32, Shape{batch, size, size, channels});
+  Tensor target(DType::kFloat32, Shape{batch, size, size, channels});
+  auto in = input.mutable_data<float>();
+  auto tg = target.mutable_data<float>();
+  const std::int64_t block = std::max<std::int64_t>(2, size / 4);
+  for (std::int64_t b = 0; b < batch; ++b) {
+    for (std::int64_t by = 0; by < size; by += block) {
+      for (std::int64_t bx = 0; bx < size; bx += block) {
+        const float v = static_cast<float>(rng.Uniform(-1.0, 1.0));
+        for (std::int64_t y = by; y < std::min(by + block, size); ++y) {
+          for (std::int64_t x = bx; x < std::min(bx + block, size); ++x) {
+            for (std::int64_t c = 0; c < channels; ++c) {
+              const std::size_t index = static_cast<std::size_t>(
+                  ((b * size + y) * size + x) * channels + c);
+              in[index] = v;
+              // The learnable mapping: a fixed smooth function per channel.
+              tg[index] = std::tanh(1.7f * v) +
+                          0.2f * static_cast<float>(c);
+            }
+          }
+        }
+      }
+    }
+  }
+  return {std::move(input), std::move(target)};
+}
+
+minipy::Value BuildSentimentTree(
+    minipy::Interpreter& interp,
+    const std::shared_ptr<minipy::ClassValue>& cls, Rng& rng, int depth,
+    std::int64_t dim, float* score_accum) {
+  auto node = interp.MakeObject(cls);
+  if (depth <= 0 || rng.Uniform() < 0.3) {
+    node->attrs["is_leaf"] = std::int64_t{1};
+    Tensor emb(DType::kFloat32, Shape{1, dim});
+    auto ev = emb.mutable_data<float>();
+    float score = 0.0f;
+    for (std::int64_t d = 0; d < dim; ++d) {
+      const float v = static_cast<float>(rng.Normal());
+      ev[static_cast<std::size_t>(d)] = v;
+      // Hidden scoring direction: alternating signs.
+      score += (d % 2 == 0 ? 1.0f : -1.0f) * v;
+    }
+    *score_accum += score;
+    node->attrs["emb"] = std::move(emb);
+    node->attrs["left"] = minipy::NoneType{};
+    node->attrs["right"] = minipy::NoneType{};
+  } else {
+    node->attrs["is_leaf"] = std::int64_t{0};
+    node->attrs["emb"] = minipy::NoneType{};
+    node->attrs["left"] =
+        BuildSentimentTree(interp, cls, rng, depth - 1, dim, score_accum);
+    node->attrs["right"] =
+        BuildSentimentTree(interp, cls, rng, depth - 1, dim, score_accum);
+  }
+  return node;
+}
+
+}  // namespace janus::models

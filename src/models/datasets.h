@@ -1,0 +1,49 @@
+// Synthetic dataset generators standing in for the paper's corpora
+// (MNIST, ImageNet, PTB, 1B, SST, Facades — Table 2). Each generator
+// produces learnable structure with shapes matching the scaled-down models,
+// so convergence experiments (Fig. 6) show real learning curves.
+#ifndef JANUS_MODELS_DATASETS_H_
+#define JANUS_MODELS_DATASETS_H_
+
+#include <utility>
+
+#include "common/rng.h"
+#include "frontend/interpreter.h"
+#include "tensor/tensor.h"
+
+namespace janus::models {
+
+// Class-conditional images: each class has a distinct spatial template plus
+// noise. Returns (images NHWC float, labels int64).
+std::pair<Tensor, Tensor> SyntheticImageBatch(Rng& rng, std::int64_t batch,
+                                              std::int64_t height,
+                                              std::int64_t width,
+                                              std::int64_t channels,
+                                              std::int64_t num_classes);
+
+// Token sequences from a fixed first-order Markov chain (so a language
+// model can reduce perplexity). Returns (inputs (T,B) int64,
+// targets (T,B) int64) where targets are inputs shifted by one.
+std::pair<Tensor, Tensor> MarkovTokenBatch(Rng& rng, std::int64_t seq_len,
+                                           std::int64_t batch,
+                                           std::int64_t vocab);
+
+// Paired image translation (pix2pix): input = blocky segmentation map,
+// target = deterministic per-block color transform of it. Returns
+// (input NHWC, target NHWC).
+std::pair<Tensor, Tensor> PairedImageBatch(Rng& rng, std::int64_t batch,
+                                           std::int64_t size,
+                                           std::int64_t channels);
+
+// A random sentiment tree built as MiniPy objects of the given class
+// (attrs: is_leaf, emb(1,dim), left, right). The returned root also carries
+// `label` (int 0/1): positive iff the sum of a hidden scoring direction
+// over leaf embeddings is positive — learnable by a TreeRNN.
+minipy::Value BuildSentimentTree(minipy::Interpreter& interp,
+                                 const std::shared_ptr<minipy::ClassValue>& cls,
+                                 Rng& rng, int depth, std::int64_t dim,
+                                 float* score_accum);
+
+}  // namespace janus::models
+
+#endif  // JANUS_MODELS_DATASETS_H_

@@ -1,0 +1,869 @@
+#include "models/zoo.h"
+
+#include <algorithm>
+
+#include "frontend/builtins.h"
+#include "models/cartpole.h"
+#include "models/datasets.h"
+
+namespace janus::models {
+namespace {
+
+using minipy::Interpreter;
+
+// Common image feed: class-conditional synthetic images into batch_x /
+// batch_y. Every 8th batch is smaller, exercising the Fig. 4 shape
+// relaxation exactly as Table 2's note describes (dataset size not
+// divisible by the batch size).
+std::function<void(Interpreter&, Rng&, std::int64_t)> ImageFeed(
+    std::int64_t batch, std::int64_t h, std::int64_t w, std::int64_t c,
+    std::int64_t classes) {
+  return [=](Interpreter& interp, Rng& rng, std::int64_t step) {
+    const std::int64_t this_batch =
+        step % 8 == 7 ? std::max<std::int64_t>(1, batch / 2) : batch;
+    auto [x, y] = SyntheticImageBatch(rng, this_batch, h, w, c, classes);
+    interp.SetGlobal("batch_x", std::move(x));
+    interp.SetGlobal("batch_y", std::move(y));
+  };
+}
+
+std::function<void(Interpreter&, Rng&, std::int64_t)> TokenFeed(
+    std::int64_t seq, std::int64_t batch, std::int64_t vocab) {
+  return [=](Interpreter& interp, Rng& rng, std::int64_t) {
+    auto [x, y] = MarkovTokenBatch(rng, seq, batch, vocab);
+    interp.SetGlobal("lm_x", std::move(x));
+    interp.SetGlobal("lm_y", std::move(y));
+  };
+}
+
+std::function<void(Interpreter&, Rng&, std::int64_t)> TreeFeed(
+    std::int64_t dim, int depth) {
+  return [=](Interpreter& interp, Rng& rng, std::int64_t) {
+    const auto cls = std::get<std::shared_ptr<minipy::ClassValue>>(
+        interp.GetGlobal("TreeNode"));
+    float score = 0.0f;
+    minipy::Value root =
+        BuildSentimentTree(interp, cls, rng, depth, dim, &score);
+    interp.SetGlobal("current_tree", std::move(root));
+    interp.SetGlobal("tree_label", Tensor::FromVectorInt(
+                                       {score > 0 ? 1 : 0}, Shape{1}));
+  };
+}
+
+// ---------------------------------------------------------------------------
+// Model definitions (MiniPy source)
+// ---------------------------------------------------------------------------
+
+// LeNet: plain CNN, no dynamic control flow (Table 2: DCF x, IF x).
+constexpr const char* kLeNetDef = R"(
+c1 = variable('c1', randn([3, 3, 1, 8], 0.25))
+c2 = variable('c2', randn([3, 3, 8, 16], 0.15))
+fc_w = variable('fc_w', randn([144, 8], 0.1))
+fc_b = variable('fc_b', zeros([8]))
+
+def loss_fn():
+    h = relu(conv2d(batch_x, c1, 1, 'SAME'))
+    h = maxpool(h, 2, 2)
+    h = relu(conv2d(h, c2, 1, 'SAME'))
+    h = maxpool(h, 2, 2)
+    flat = reshape(h, [-1, 144])
+    logits = matmul(flat, fc_w) + fc_b
+    return reduce_mean(softmax_xent(logits, batch_y))
+
+def accuracy():
+    h = relu(conv2d(batch_x, c1, 1, 'SAME'))
+    h = maxpool(h, 2, 2)
+    h = relu(conv2d(h, c2, 1, 'SAME'))
+    h = maxpool(h, 2, 2)
+    logits = matmul(reshape(h, [-1, 144]), fc_w) + fc_b
+    hits = cast_float(argmax(logits, 1) == batch_y)
+    return reduce_mean(hits)
+)";
+
+// ResNet50 stand-in: residual blocks with a batch-norm style conditional on
+// a training flag — the Fig. 6(a) batch-norm branch (DCF).
+constexpr const char* kResNetDef = R"(
+stem = variable('stem', randn([3, 3, 3, 8], 0.2))
+rw1a = variable('rw1a', randn([3, 3, 8, 8], 0.15))
+rw1b = variable('rw1b', randn([3, 3, 8, 8], 0.15))
+rw2a = variable('rw2a', randn([3, 3, 8, 8], 0.15))
+rw2b = variable('rw2b', randn([3, 3, 8, 8], 0.15))
+gamma = variable('gamma', ones([8]))
+beta = variable('beta', zeros([8]))
+rfc = variable('rfc', randn([128, 8], 0.1))
+running_mean = variable('running_mean', zeros([8]))
+running_var = variable('running_var', ones([8]))
+is_training = constant([1.0])
+
+def batchnorm(x):
+    flat = reshape(x, [-1, 8])
+    if reduce_sum(is_training) > 0.5:
+        m = reduce_mean(flat, 0)
+        v = reduce_mean(square(flat - m), 0)
+        assign(running_mean, 0.9 * running_mean + 0.1 * m)
+        assign(running_var, 0.9 * running_var + 0.1 * v)
+        norm = (x - m) / sqrt(v + 0.001)
+    else:
+        norm = (x - running_mean) / sqrt(running_var + 0.001)
+    return gamma * norm + beta
+
+def block(x, wa, wb):
+    h = relu(batchnorm(conv2d(x, wa, 1, 'SAME')))
+    h = batchnorm(conv2d(h, wb, 1, 'SAME'))
+    return relu(h + x)
+
+def forward():
+    h = relu(conv2d(batch_x, stem, 1, 'SAME'))
+    h = block(h, rw1a, rw1b)
+    h = block(h, rw2a, rw2b)
+    h = maxpool(h, 2, 2)
+    return matmul(reshape(h, [-1, 128]), rfc)
+
+def loss_fn():
+    return reduce_mean(softmax_xent(forward(), batch_y))
+
+def accuracy():
+    hits = cast_float(argmax(forward(), 1) == batch_y)
+    return reduce_mean(hits)
+)";
+
+// Inception-v3 stand-in: modules of parallel branches concatenated —
+// plenty of concurrently executable operations (+PARL in Fig. 7).
+constexpr const char* kInceptionDef = R"(
+istem = variable('istem', randn([3, 3, 3, 8], 0.2))
+b1x1 = variable('b1x1', randn([1, 1, 8, 4], 0.2))
+b3x3 = variable('b3x3', randn([3, 3, 8, 4], 0.15))
+b5x5 = variable('b5x5', randn([5, 5, 8, 4], 0.1))
+bpool = variable('bpool', randn([1, 1, 8, 4], 0.2))
+c1x1 = variable('c1x1', randn([1, 1, 16, 4], 0.2))
+c3x3 = variable('c3x3', randn([3, 3, 16, 4], 0.15))
+c5x5 = variable('c5x5', randn([5, 5, 16, 4], 0.1))
+cpool = variable('cpool', randn([1, 1, 16, 4], 0.2))
+ifc = variable('ifc', randn([256, 8], 0.1))
+inc_training = constant([1.0])
+
+def module(x, w1, w3, w5, wp):
+    p1 = relu(conv2d(x, w1, 1, 'SAME'))
+    p3 = relu(conv2d(x, w3, 1, 'SAME'))
+    p5 = relu(conv2d(x, w5, 1, 'SAME'))
+    pp = sigmoid(conv2d(x, wp, 1, 'SAME'))
+    return concat([p1, p3, p5, pp], 3)
+
+def forward():
+    h = relu(conv2d(batch_x, istem, 1, 'SAME'))
+    h = module(h, b1x1, b3x3, b5x5, bpool)
+    if reduce_sum(inc_training) > 0.5:
+        h = h * 1.0
+    else:
+        h = h * 0.9
+    h = module(h, c1x1, c3x3, c5x5, cpool)
+    h = maxpool(h, 2, 2)
+    return matmul(reshape(h, [-1, 256]), ifc)
+
+def loss_fn():
+    return reduce_mean(softmax_xent(forward(), batch_y))
+
+def accuracy():
+    hits = cast_float(argmax(forward(), 1) == batch_y)
+    return reduce_mean(hits)
+)";
+
+// LSTM over PTB-like tokens: Python for loop (DCF), hidden state carried
+// across sequences through object attributes (IF) — the Fig. 1 pattern.
+constexpr const char* kLstmDef = R"(
+emb = variable('emb', randn([16, 32], 0.2))
+wg = variable('wg', randn([64, 128], 0.1))
+bg = variable('bg', zeros([128]))
+wo = variable('wo', randn([32, 16], 0.12))
+bo = variable('bo', zeros([16]))
+seq_len = 8
+
+class LSTMModel:
+    def __init__(self):
+        self.h = zeros([8, 32])
+        self.c = zeros([8, 32])
+    def loss(self):
+        h = self.h
+        c = self.c
+        total = 0.0
+        for t in range(seq_len):
+            x = gather(emb, lm_x[t])
+            z = matmul(concat([x, h], 1), wg) + bg
+            i = sigmoid(slice2d(z, 0, -1, 0, 32))
+            f = sigmoid(slice2d(z, 0, -1, 32, 32))
+            o = sigmoid(slice2d(z, 0, -1, 64, 32))
+            g = tanh(slice2d(z, 0, -1, 96, 32))
+            c = f * c + i * g
+            h = o * tanh(c)
+            logits = matmul(h, wo) + bo
+            total = total + reduce_mean(softmax_xent(logits, lm_y[t]))
+        self.h = stop_gradient(h)
+        self.c = stop_gradient(c)
+        return total / 8.0
+
+model = LSTMModel()
+
+def loss_fn():
+    return model.loss()
+)";
+
+// LM: the same recurrent structure at "one-billion-word" proportions
+// (relatively: bigger vocabulary, wider state, longer sequences).
+constexpr const char* kLmDef = R"(
+lm_emb = variable('lm_emb', randn([64, 64], 0.15))
+lm_wg = variable('lm_wg', randn([128, 256], 0.08))
+lm_bg = variable('lm_bg', zeros([256]))
+lm_wo = variable('lm_wo', randn([64, 64], 0.1))
+lm_bo = variable('lm_bo', zeros([64]))
+lm_T = 10
+
+class LMModel:
+    def __init__(self):
+        self.h = zeros([16, 64])
+        self.c = zeros([16, 64])
+    def loss(self):
+        h = self.h
+        c = self.c
+        total = 0.0
+        for t in range(lm_T):
+            x = gather(lm_emb, lm_x[t])
+            z = matmul(concat([x, h], 1), lm_wg) + lm_bg
+            i = sigmoid(slice2d(z, 0, -1, 0, 64))
+            f = sigmoid(slice2d(z, 0, -1, 64, 64))
+            o = sigmoid(slice2d(z, 0, -1, 128, 64))
+            g = tanh(slice2d(z, 0, -1, 192, 64))
+            c = f * c + i * g
+            h = o * tanh(c)
+            logits = matmul(h, lm_wo) + lm_bo
+            total = total + reduce_mean(softmax_xent(logits, lm_y[t]))
+        self.h = stop_gradient(h)
+        self.c = stop_gradient(c)
+        return total / 10.0
+
+lm_model = LMModel()
+
+def loss_fn():
+    return lm_model.loss()
+
+def perplexity():
+    return exp(loss_fn())
+)";
+
+// TreeRNN: recursion over per-sample tree objects — recursive calls,
+// base/inductive conditionals, dynamic attribute types (DCF + DT + IF).
+constexpr const char* kTreeRnnDef = R"(
+class TreeNode:
+    pass
+
+tw = variable('tw', randn([16, 16], 0.2))
+tout = variable('tout', randn([16, 2], 0.2))
+
+def embed(node):
+    if node.is_leaf == 1:
+        return node.emb
+    a = embed(node.left)
+    b = embed(node.right)
+    return tanh(matmul(a + b, tw))
+
+def loss_fn():
+    logits = matmul(embed(current_tree), tout)
+    return reduce_mean(softmax_xent(logits, tree_label))
+
+def accuracy():
+    logits = matmul(embed(current_tree), tout)
+    hits = cast_float(argmax(logits, 1) == tree_label)
+    return reduce_mean(hits)
+)";
+
+// TreeLSTM: like TreeRNN with LSTM-style cell state; the recursive function
+// returns (h ++ c) as one tensor and splits it at each level.
+constexpr const char* kTreeLstmDef = R"(
+class TreeNode:
+    pass
+
+tl_wi = variable('tl_wi', randn([32, 16], 0.15))
+tl_wf = variable('tl_wf', randn([32, 16], 0.15))
+tl_wo = variable('tl_wo', randn([32, 16], 0.15))
+tl_wg = variable('tl_wg', randn([32, 16], 0.15))
+tl_out = variable('tl_out', randn([16, 2], 0.2))
+
+def encode(node):
+    if node.is_leaf == 1:
+        return concat([node.emb, node.emb * 0.0], 1)
+    lhc = encode(node.left)
+    rhc = encode(node.right)
+    lh = slice2d(lhc, 0, -1, 0, 16)
+    lc = slice2d(lhc, 0, -1, 16, 16)
+    rh = slice2d(rhc, 0, -1, 0, 16)
+    rc = slice2d(rhc, 0, -1, 16, 16)
+    hcat = concat([lh, rh], 1)
+    i = sigmoid(matmul(hcat, tl_wi))
+    f = sigmoid(matmul(hcat, tl_wf))
+    o = sigmoid(matmul(hcat, tl_wo))
+    g = tanh(matmul(hcat, tl_wg))
+    c = f * (lc + rc) + i * g
+    h = o * tanh(c)
+    return concat([h, c], 1)
+
+def loss_fn():
+    hc = encode(current_tree)
+    logits = matmul(slice2d(hc, 0, -1, 0, 16), tl_out)
+    return reduce_mean(softmax_xent(logits, tree_label))
+
+def accuracy():
+    hc = encode(current_tree)
+    logits = matmul(slice2d(hc, 0, -1, 0, 16), tl_out)
+    hits = cast_float(argmax(logits, 1) == tree_label)
+    return reduce_mean(hits)
+)";
+
+// A3C on CartPole: the environment rollout runs imperatively (the paper's
+// footnote 7 — the simulator is outside the framework); the n-step loss has
+// a Python loop with a data-dependent branch per step (DCF) and monitoring
+// state writes (IF).
+constexpr const char* kA3cDef = R"(
+pw1 = variable('pw1', randn([4, 32], 0.3))
+pb1 = variable('pb1', zeros([32]))
+pw2 = variable('pw2', randn([32, 2], 0.25))
+vw = variable('vw', randn([32, 1], 0.25))
+
+class Stats:
+    def __init__(self):
+        self.episode_reward = zeros([1])
+        self.last_loss = zeros([1])
+
+stats = Stats()
+
+def policy_logits(states):
+    return matmul(relu(matmul(states, pw1) + pb1), pw2)
+
+def values_of(states):
+    return matmul(relu(matmul(states, pw1) + pb1), vw)
+
+def loss_fn():
+    logits = policy_logits(roll_s)
+    logp = log_softmax(logits)
+    v = values_of(roll_s)
+    R = stop_gradient(boot_v)
+    total_p = 0.0
+    total_v = 0.0
+    total_e = 0.0
+    for k in range(20):
+        t = 19 - k
+        if reduce_sum(roll_done[t]) > 0.5:
+            R = roll_r[t] * 1.0
+        else:
+            R = roll_r[t] + 0.99 * R
+        adv = stop_gradient(R - reduce_sum(v[t]))
+        picked = reduce_sum(logp[t] * onehot(roll_a[t], 2))
+        total_p = total_p - picked * adv
+        diff = reduce_sum(v[t]) - stop_gradient(R)
+        total_v = total_v + diff * diff
+        total_e = total_e + reduce_sum(exp(logp[t]) * logp[t])
+    loss = (total_p + 0.5 * total_v + 0.01 * total_e) / 20.0
+    stats.last_loss = loss
+    return loss
+)";
+
+constexpr const char* kA3cIter = R"(
+states = []
+actions = []
+rewards = []
+dones = []
+s = env_state
+for step in range(20):
+    probs = softmax(policy_logits(reshape(s, [1, 4])))
+    a = sample_categorical(reshape(probs, [2]))
+    out = env_step(a)
+    states.append(s)
+    actions.append(a)
+    rewards.append(out[1])
+    dones.append(out[2])
+    episode_acc = episode_acc + out[1]
+    if out[2]:
+        stats.episode_reward = fill([1], episode_acc)
+        episode_acc = 0.0
+        s = env_reset()
+    else:
+        s = out[0]
+env_state = s
+roll_s = stack(states)
+roll_a = constant_int(actions)
+roll_r = constant(rewards)
+roll_done = constant(dones_to_float(dones))
+v_last = values_of(reshape(s, [1, 4]))
+boot_v = reduce_sum(v_last)
+loss = optimize(loss_fn, 0.004)
+)";
+
+// PPO on Pong stand-in (CartPole): flat clipped-surrogate loss (Table 2
+// marks PPO DCF x), global stats writes (IF).
+constexpr const char* kPpoDef = R"(
+qw1 = variable('qw1', randn([4, 32], 0.3))
+qb1 = variable('qb1', zeros([32]))
+qw2 = variable('qw2', randn([32, 2], 0.25))
+qv = variable('qv', randn([32, 1], 0.25))
+
+class PpoStats:
+    def __init__(self):
+        self.episode_reward = zeros([1])
+
+ppo_stats = PpoStats()
+
+def ppo_logits(states):
+    return matmul(relu(matmul(states, qw1) + qb1), qw2)
+
+def ppo_values(states):
+    return matmul(relu(matmul(states, qw1) + qb1), qv)
+
+def loss_fn():
+    logp = log_softmax(ppo_logits(roll_s))
+    picked = reduce_sum(logp * onehot_a, 1)
+    ratio = exp(picked - old_logp)
+    clipped = maximum(minimum(ratio, 1.2), 0.8)
+    obj = minimum(ratio * adv_t, clipped * adv_t)
+    v = reshape(ppo_values(roll_s), [-1])
+    vloss = reduce_mean(square(v - ret_t))
+    return 0.5 * vloss - reduce_mean(obj)
+)";
+
+constexpr const char* kPpoIter = R"(
+states = []
+actions = []
+rewards = []
+dones = []
+s = env_state
+for step in range(32):
+    probs = softmax(ppo_logits(reshape(s, [1, 4])))
+    a = sample_categorical(reshape(probs, [2]))
+    out = env_step(a)
+    states.append(s)
+    actions.append(a)
+    rewards.append(out[1])
+    dones.append(out[2])
+    episode_acc = episode_acc + out[1]
+    if out[2]:
+        ppo_stats.episode_reward = fill([1], episode_acc)
+        episode_acc = 0.0
+        s = env_reset()
+    else:
+        s = out[0]
+env_state = s
+roll_s = stack(states)
+onehot_a = onehot(constant_int(actions), 2)
+rets = []
+acc = 0.0
+for k in range(32):
+    t = 31 - k
+    if dones[t]:
+        acc = rewards[t]
+    else:
+        acc = rewards[t] + 0.99 * acc
+    rets.append(acc)
+ret_list = []
+for k in range(32):
+    ret_list.append(rets[31 - k])
+ret_t = constant(ret_list)
+v_now = reshape(ppo_values(roll_s), [-1])
+adv_t = stop_gradient(ret_t - v_now)
+old_logp = stop_gradient(reduce_sum(log_softmax(ppo_logits(roll_s)) * onehot_a, 1))
+loss = optimize(loss_fn, 0.004)
+)";
+
+// AN (the original GAN on MNIST): two conversion units (generator step and
+// discriminator step), monitoring writes on a stats object (IF).
+constexpr const char* kGanDef = R"(
+gw1 = variable('gw1', randn([16, 64], 0.2))
+gb1 = variable('gb1', zeros([64]))
+gw2 = variable('gw2', randn([64, 144], 0.1))
+dw1 = variable('dw1', randn([144, 64], 0.1))
+db1 = variable('db1', zeros([64]))
+dw2 = variable('dw2', randn([64, 1], 0.15))
+
+class GanStats:
+    def __init__(self):
+        self.d_loss = zeros([1])
+        self.g_loss = zeros([1])
+
+gan_stats = GanStats()
+
+def generate(z):
+    return tanh(matmul(relu(matmul(z, gw1) + gb1), gw2))
+
+def discriminate(x, w1, b1, w2):
+    return sigmoid(matmul(relu(matmul(x, w1) + b1), w2))
+
+def d_loss_fn():
+    real = reshape(batch_x, [-1, 144])
+    fake = stop_gradient(generate(noise_z))
+    d_real = discriminate(real, dw1, db1, dw2)
+    d_fake = discriminate(fake, dw1, db1, dw2)
+    loss = 0.0 - reduce_mean(log(d_real + 0.0001)) - reduce_mean(log(1.0001 - d_fake))
+    gan_stats.d_loss = loss
+    return loss
+
+def g_loss_fn():
+    fake = generate(noise_z)
+    frozen_w1 = stop_gradient(dw1 * 1.0)
+    frozen_b1 = stop_gradient(db1 * 1.0)
+    frozen_w2 = stop_gradient(dw2 * 1.0)
+    d_fake = discriminate(fake, frozen_w1, frozen_b1, frozen_w2)
+    loss = 0.0 - reduce_mean(log(d_fake + 0.0001))
+    gan_stats.g_loss = loss
+    return loss
+)";
+
+// pix2pix: conditional image translation at batch size 1 (Table 2).
+constexpr const char* kPix2PixDef = R"(
+ge1 = variable('ge1', randn([3, 3, 1, 8], 0.2))
+ge2 = variable('ge2', randn([3, 3, 8, 8], 0.15))
+gd1 = variable('gd1', randn([3, 3, 8, 1], 0.2))
+pdw1 = variable('pdw1', randn([3, 3, 2, 4], 0.2))
+pdw2 = variable('pdw2', randn([64, 1], 0.15))
+
+class PixStats:
+    def __init__(self):
+        self.g_loss = zeros([1])
+
+pix_stats = PixStats()
+
+def translate(x):
+    h = relu(conv2d(x, ge1, 1, 'SAME'))
+    h = relu(conv2d(h, ge2, 1, 'SAME'))
+    return tanh(conv2d(h, gd1, 1, 'SAME'))
+
+def judge(x, y, w1, w2):
+    pair = concat([x, y], 3)
+    h = relu(conv2d(pair, w1, 2, 'SAME'))
+    return sigmoid(matmul(reshape(h, [-1, 64]), w2))
+
+def d_loss_fn():
+    fake = stop_gradient(translate(pix_x))
+    d_real = judge(pix_x, pix_y, pdw1, pdw2)
+    d_fake = judge(pix_x, fake, pdw1, pdw2)
+    return 0.0 - reduce_mean(log(d_real + 0.0001)) - reduce_mean(log(1.0001 - d_fake))
+
+def g_loss_fn():
+    fake = translate(pix_x)
+    fw1 = stop_gradient(pdw1 * 1.0)
+    fw2 = stop_gradient(pdw2 * 1.0)
+    d_fake = judge(pix_x, fake, fw1, fw2)
+    l1 = reduce_mean(abs(fake - pix_y))
+    loss = 10.0 * l1 - reduce_mean(log(d_fake + 0.0001))
+    pix_stats.g_loss = loss
+    return loss
+)";
+
+std::vector<ModelSpec> BuildZoo() {
+  std::vector<ModelSpec> zoo;
+
+  {
+    ModelSpec m;
+    m.name = "LeNet";
+    m.category = "CNN";
+    m.dataset = "synthetic MNIST 12x12";
+    m.batch_size = 16;
+    m.dcf = false;
+    m.impure = false;
+    m.unit = "images/s";
+    m.items_per_iteration = 16;
+    m.definition = kLeNetDef;
+    m.iteration = "loss = optimize(loss_fn, 0.05)\n";
+    m.eval_source = "metric = accuracy()\n";
+    m.metric_name = "test accuracy";
+    m.feed = ImageFeed(16, 12, 12, 1, 8);
+    m.feed_eval = [](Interpreter& interp, Rng& rng) {
+      ImageFeed(32, 12, 12, 1, 8)(interp, rng, 0);
+    };
+    zoo.push_back(std::move(m));
+  }
+  {
+    ModelSpec m;
+    m.name = "ResNet50";
+    m.category = "CNN";
+    m.dataset = "synthetic ImageNet 8x8";
+    m.batch_size = 8;
+    m.dcf = true;
+    m.impure = false;
+    m.unit = "images/s";
+    m.items_per_iteration = 8;
+    m.definition = kResNetDef;
+    m.iteration = "loss = optimize(loss_fn, 0.03)\n";
+    m.eval_source = "metric = accuracy()\n";
+    m.metric_name = "test accuracy";
+    m.feed = ImageFeed(8, 8, 8, 3, 8);
+    m.feed_eval = [](Interpreter& interp, Rng& rng) {
+      ImageFeed(16, 8, 8, 3, 8)(interp, rng, 0);
+    };
+    zoo.push_back(std::move(m));
+  }
+  {
+    ModelSpec m;
+    m.name = "Inception-v3";
+    m.category = "CNN";
+    m.dataset = "synthetic ImageNet 8x8";
+    m.batch_size = 8;
+    m.dcf = true;
+    m.impure = false;
+    m.unit = "images/s";
+    m.items_per_iteration = 8;
+    m.definition = kInceptionDef;
+    m.iteration = "loss = optimize(loss_fn, 0.03)\n";
+    m.eval_source = "metric = accuracy()\n";
+    m.metric_name = "test accuracy";
+    m.feed = ImageFeed(8, 8, 8, 3, 8);
+    m.feed_eval = [](Interpreter& interp, Rng& rng) {
+      ImageFeed(16, 8, 8, 3, 8)(interp, rng, 0);
+    };
+    zoo.push_back(std::move(m));
+  }
+  {
+    ModelSpec m;
+    m.name = "LSTM";
+    m.category = "RNN";
+    m.dataset = "synthetic PTB (Markov tokens)";
+    m.batch_size = 8;
+    m.dcf = true;
+    m.impure = true;
+    m.unit = "words/s";
+    m.items_per_iteration = 8 * 8;
+    m.definition = kLstmDef;
+    m.iteration = "loss = optimize(loss_fn, 0.2)\n";
+    m.eval_source = "metric = exp(loss_fn())\n";
+    m.metric_name = "perplexity";
+    m.feed = TokenFeed(8, 8, 16);
+    m.feed_eval = [](Interpreter& interp, Rng& rng) {
+      TokenFeed(8, 8, 16)(interp, rng, 0);
+    };
+    zoo.push_back(std::move(m));
+  }
+  {
+    ModelSpec m;
+    m.name = "LM";
+    m.category = "RNN";
+    m.dataset = "synthetic 1B (Markov tokens)";
+    m.batch_size = 16;
+    m.dcf = true;
+    m.impure = true;
+    m.unit = "words/s";
+    m.items_per_iteration = 10 * 16;
+    m.definition = kLmDef;
+    m.iteration = "loss = optimize(loss_fn, 0.25)\n";
+    m.eval_source = "metric = perplexity()\n";
+    m.metric_name = "perplexity";
+    m.feed = TokenFeed(10, 16, 64);
+    m.feed_eval = [](Interpreter& interp, Rng& rng) {
+      TokenFeed(10, 16, 64)(interp, rng, 0);
+    };
+    zoo.push_back(std::move(m));
+  }
+  {
+    ModelSpec m;
+    m.name = "TreeRNN";
+    m.category = "TreeNN";
+    m.dataset = "synthetic SST trees";
+    m.batch_size = 1;
+    m.dcf = true;
+    m.impure = true;
+    m.unit = "sentences/s";
+    m.items_per_iteration = 1;
+    m.definition = kTreeRnnDef;
+    m.iteration = "loss = optimize(loss_fn, 0.03)\n";
+    m.eval_source = "metric = accuracy()\n";
+    m.eval_repeats = 12;
+    m.metric_name = "test accuracy";
+    m.feed = TreeFeed(16, 4);
+    m.feed_eval = [](Interpreter& interp, Rng& rng) {
+      TreeFeed(16, 4)(interp, rng, 0);
+    };
+    zoo.push_back(std::move(m));
+  }
+  {
+    ModelSpec m;
+    m.name = "TreeLSTM";
+    m.category = "TreeNN";
+    m.dataset = "synthetic SST trees";
+    m.batch_size = 1;
+    m.dcf = true;
+    m.impure = true;
+    m.unit = "sentences/s";
+    m.items_per_iteration = 1;
+    m.definition = kTreeLstmDef;
+    m.iteration = "loss = optimize(loss_fn, 0.03)\n";
+    m.eval_source = "metric = accuracy()\n";
+    m.eval_repeats = 12;
+    m.metric_name = "test accuracy";
+    m.feed = TreeFeed(16, 4);
+    m.feed_eval = [](Interpreter& interp, Rng& rng) {
+      TreeFeed(16, 4)(interp, rng, 0);
+    };
+    zoo.push_back(std::move(m));
+  }
+  {
+    ModelSpec m;
+    m.name = "A3C";
+    m.category = "DRL";
+    m.dataset = "CartPole (simulated)";
+    m.batch_size = 20;
+    m.dcf = true;
+    m.impure = true;
+    m.unit = "frames/s";
+    m.items_per_iteration = 20;
+    m.definition = std::string(kA3cDef) +
+                   "\nenv_state = env_reset()\nepisode_acc = 0.0\n" +
+                   R"(
+def dones_to_float(flags):
+    out = []
+    for f in flags:
+        if f:
+            out.append(1.0)
+        else:
+            out.append(0.0)
+    return out
+)";
+    m.iteration = kA3cIter;
+    m.eval_source =
+        "metric = reduce_sum(stats.episode_reward)\n";
+    m.metric_name = "episode reward";
+    m.setup = [](Interpreter& interp, std::uint64_t seed) {
+      RegisterCartPole(interp, seed + 1000);
+    };
+    zoo.push_back(std::move(m));
+  }
+  {
+    ModelSpec m;
+    m.name = "PPO";
+    m.category = "DRL";
+    m.dataset = "CartPole (simulated)";
+    m.batch_size = 32;
+    m.dcf = false;
+    m.impure = true;
+    m.unit = "frames/s";
+    m.items_per_iteration = 32;
+    m.definition = std::string(kPpoDef) +
+                   "\nenv_state = env_reset()\nepisode_acc = 0.0\n";
+    m.iteration = kPpoIter;
+    m.eval_source = "metric = reduce_sum(ppo_stats.episode_reward)\n";
+    m.metric_name = "episode reward";
+    m.setup = [](Interpreter& interp, std::uint64_t seed) {
+      RegisterCartPole(interp, seed + 2000);
+    };
+    zoo.push_back(std::move(m));
+  }
+  {
+    ModelSpec m;
+    m.name = "AN";
+    m.category = "GAN";
+    m.dataset = "synthetic MNIST 12x12";
+    m.batch_size = 16;
+    m.dcf = false;
+    m.impure = true;
+    m.unit = "images/s";
+    m.items_per_iteration = 16;
+    m.definition = kGanDef;
+    m.iteration = R"(
+d_loss = optimize(d_loss_fn, 0.04)
+g_loss = optimize(g_loss_fn, 0.04)
+loss = d_loss
+)";
+    m.eval_source = "metric = reduce_sum(gan_stats.d_loss)\n";
+    m.metric_name = "discriminator loss";
+    m.feed = [](Interpreter& interp, Rng& rng, std::int64_t step) {
+      ImageFeed(16, 12, 12, 1, 8)(interp, rng, step);
+      Tensor z(DType::kFloat32, Shape{16, 16});
+      for (float& v : z.mutable_data<float>()) {
+        v = static_cast<float>(rng.Normal());
+      }
+      interp.SetGlobal("noise_z", std::move(z));
+    };
+    m.feed_eval = [](Interpreter&, Rng&) {};
+    zoo.push_back(std::move(m));
+  }
+  {
+    ModelSpec m;
+    m.name = "pix2pix";
+    m.category = "GAN";
+    m.dataset = "synthetic Facades pairs 8x8";
+    m.batch_size = 1;
+    m.dcf = false;
+    m.impure = true;
+    m.unit = "images/s";
+    m.items_per_iteration = 1;
+    m.definition = kPix2PixDef;
+    m.iteration = R"(
+d_loss = optimize(d_loss_fn, 0.02)
+g_loss = optimize(g_loss_fn, 0.02)
+loss = g_loss
+)";
+    m.eval_source = "metric = reduce_sum(pix_stats.g_loss)\n";
+    m.metric_name = "generator loss";
+    m.feed = [](Interpreter& interp, Rng& rng, std::int64_t) {
+      auto [x, y] = PairedImageBatch(rng, 1, 8, 1);
+      interp.SetGlobal("pix_x", std::move(x));
+      interp.SetGlobal("pix_y", std::move(y));
+    };
+    m.feed_eval = [](Interpreter&, Rng&) {};
+    zoo.push_back(std::move(m));
+  }
+  return zoo;
+}
+
+}  // namespace
+
+const std::vector<ModelSpec>& ModelZoo() {
+  static const auto* const zoo = new std::vector<ModelSpec>(BuildZoo());
+  return *zoo;
+}
+
+const ModelSpec& FindModel(const std::string& name) {
+  for (const ModelSpec& spec : ModelZoo()) {
+    if (spec.name == name) return spec;
+  }
+  throw InvalidArgument("unknown model '" + name + "'");
+}
+
+ModelSession::ModelSession(const ModelSpec& spec, const EngineOptions& options,
+                           std::uint64_t seed)
+    : spec_(spec),
+      variables_(std::make_unique<VariableStore>()),
+      model_rng_(std::make_unique<Rng>(seed)),
+      data_rng_(std::make_unique<Rng>(seed ^ 0xD5A7A)),
+      interp_(std::make_unique<minipy::Interpreter>(variables_.get(),
+                                                    model_rng_.get())) {
+  minipy::InstallBuiltins(*interp_);
+  engine_ = std::make_unique<JanusEngine>(interp_.get(), options);
+  engine_->Attach();
+  if (spec_.setup) spec_.setup(*interp_, seed);
+  interp_->Run(spec_.definition);
+}
+
+ModelSession::~ModelSession() = default;
+
+double ModelSession::Step() {
+  if (spec_.feed) spec_.feed(*interp_, *data_rng_, step_);
+  ++step_;
+  interp_->Run(spec_.iteration);
+  const minipy::Value loss = interp_->GetGlobal("loss");
+  if (const auto* t = std::get_if<Tensor>(&loss)) return t->ElementAsDouble(0);
+  if (const auto* d = std::get_if<double>(&loss)) return *d;
+  return 0.0;
+}
+
+double ModelSession::Eval() {
+  if (spec_.eval_source.empty()) return 0.0;
+  double total = 0.0;
+  const int repeats = std::max(1, spec_.eval_repeats);
+  for (int r = 0; r < repeats; ++r) {
+    if (spec_.feed_eval) spec_.feed_eval(*interp_, *data_rng_);
+    interp_->Run(spec_.eval_source);
+    const minipy::Value metric = interp_->GetGlobal("metric");
+    if (const auto* t = std::get_if<Tensor>(&metric)) {
+      total += t->ElementAsDouble(0);
+    } else if (const auto* d = std::get_if<double>(&metric)) {
+      total += *d;
+    }
+  }
+  return total / repeats;
+}
+
+}  // namespace janus::models

@@ -1,0 +1,78 @@
+// The model zoo: the paper's 11 evaluation workloads (Table 2), scaled to
+// laptop size but structurally faithful — same categories, same dynamic
+// features (dynamic control flow, dynamic types, impure functions), same
+// programming style (imperative MiniPy over the framework builtins).
+#ifndef JANUS_MODELS_ZOO_H_
+#define JANUS_MODELS_ZOO_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+
+namespace janus::models {
+
+struct ModelSpec {
+  std::string name;      // Table 2 model name
+  std::string category;  // CNN / RNN / TreeNN / DRL / GAN
+  std::string dataset;   // synthetic stand-in description
+  int batch_size = 1;
+  bool dcf = false;  // dynamic control flow   (Table 2)
+  bool dt = true;    // dynamic types
+  bool impure = false;  // impure functions
+  std::string unit;  // items/s unit reported in Table 3
+  double items_per_iteration = 1;
+
+  // MiniPy sources.
+  std::string definition;  // model + loss functions (run once)
+  std::string iteration;   // one training step (sets global `loss`)
+  // Optional evaluation block setting global `metric` (Fig. 6).
+  std::string eval_source;
+  std::string metric_name;
+  // Eval() averages this many runs (fresh eval feeds each time) — single
+  // sentiment trees give 0/1 accuracies, so TreeNNs need several.
+  int eval_repeats = 1;
+
+  // Feeds fresh data into interpreter globals before an iteration/eval.
+  std::function<void(minipy::Interpreter&, Rng&, std::int64_t step)> feed;
+  std::function<void(minipy::Interpreter&, Rng&)> feed_eval;
+  // Extra session setup (e.g. environment registration).
+  std::function<void(minipy::Interpreter&, std::uint64_t seed)> setup;
+};
+
+// All 11 models, in Table 2/3 order.
+const std::vector<ModelSpec>& ModelZoo();
+const ModelSpec& FindModel(const std::string& name);
+
+// One training session of a model under a framework configuration.
+class ModelSession {
+ public:
+  ModelSession(const ModelSpec& spec, const EngineOptions& options,
+               std::uint64_t seed = 42);
+  ~ModelSession();
+
+  // Feeds data and runs one training iteration; returns the loss.
+  double Step();
+  // Runs the eval block; returns the metric (0 if the model has none).
+  double Eval();
+
+  std::int64_t steps_done() const { return step_; }
+  JanusEngine& engine() { return *engine_; }
+  minipy::Interpreter& interpreter() { return *interp_; }
+  const ModelSpec& spec() const { return spec_; }
+
+ private:
+  ModelSpec spec_;
+  std::unique_ptr<VariableStore> variables_;
+  std::unique_ptr<Rng> model_rng_;
+  std::unique_ptr<Rng> data_rng_;
+  std::unique_ptr<minipy::Interpreter> interp_;
+  std::unique_ptr<JanusEngine> engine_;
+  std::int64_t step_ = 0;
+};
+
+}  // namespace janus::models
+
+#endif  // JANUS_MODELS_ZOO_H_

@@ -1,0 +1,96 @@
+// The symbolic graph executor.
+//
+// Two scheduling strategies, picked per graph:
+//  * DAG path: graphs without control-flow primitives execute over a
+//    precomputed dependency count, optionally fanning ready ops out to a
+//    thread pool (the +PARL knob of Fig. 7).
+//  * Dynamic path: graphs containing Switch/Merge/Enter/Exit/NextIteration
+//    execute with tagged tokens carrying (frame, iteration) context and
+//    dead-value propagation, the classic dataflow machinery of TF 1.x that
+//    the paper builds on (§4.2.1).
+//
+// Nested executions (InvokeOp function calls, While bodies) run inline on
+// the calling thread and share the caller's RunContext, so staged state and
+// tapes have run-wide scope and thread-pool deadlock is impossible.
+#ifndef JANUS_RUNTIME_EXECUTOR_H_
+#define JANUS_RUNTIME_EXECUTOR_H_
+
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "runtime/kernel.h"
+#include "runtime/run_context.h"
+
+namespace janus {
+
+struct ExecutorOptions {
+  // Parallel scheduling for DAG graphs. Requires `pool`.
+  bool parallel = false;
+  ThreadPool* pool = nullptr;
+};
+
+class Executor {
+ public:
+  Executor(const FunctionLibrary* library, VariableStore* variables,
+           StateInterface* host_state, Rng* rng,
+           ExecutorOptions options = {});
+
+  // Runs `graph`, feeding placeholders by name and returning the fetched
+  // values in order. On success commits all staged state; on any exception
+  // (including AssumptionFailed) nothing is committed.
+  std::vector<Tensor> Run(const Graph& graph,
+                          const std::map<std::string, Tensor>& feeds,
+                          std::span<const NodeOutput> fetches);
+
+  // As Run, but also reports the number of op kernels executed.
+  std::vector<Tensor> Run(const Graph& graph,
+                          const std::map<std::string, Tensor>& feeds,
+                          std::span<const NodeOutput> fetches,
+                          std::int64_t* ops_executed);
+
+  // Executes a library function with the given arguments inside an ongoing
+  // run. Used by the Invoke and While kernels; never commits.
+  static std::vector<Tensor> RunFunction(RunContext& run,
+                                         const GraphFunction& fn,
+                                         std::span<const Tensor> args);
+
+  // True if the graph uses any dataflow control-flow primitive and therefore
+  // needs the dynamic (tagged-token) executor.
+  static bool NeedsDynamicExecution(const Graph& graph);
+
+ private:
+  const FunctionLibrary* library_;
+  VariableStore* variables_;
+  StateInterface* host_state_;
+  Rng* rng_;
+  ExecutorOptions options_;
+};
+
+namespace internal {
+
+// Binds function parameters for nested runs: Param nodes resolve through
+// this map, Placeholders through RunContext::feeds.
+using Bindings = std::map<const Node*, Tensor>;
+
+// Optional per-node precomputed outputs: nodes present in this map are not
+// re-executed; their recorded outputs are used directly. The eager tape uses
+// this to run gradient subgraphs without recomputing the forward pass.
+using Precomputed = std::map<const Node*, std::vector<Tensor>>;
+
+std::vector<Tensor> ExecuteDag(RunContext& run, const Graph& graph,
+                               const Bindings& bindings,
+                               std::span<const NodeOutput> fetches,
+                               bool parallel,
+                               const Precomputed* precomputed = nullptr);
+
+std::vector<Tensor> ExecuteDynamic(RunContext& run, const Graph& graph,
+                                   const Bindings& bindings,
+                                   std::span<const NodeOutput> fetches);
+
+}  // namespace internal
+}  // namespace janus
+
+#endif  // JANUS_RUNTIME_EXECUTOR_H_

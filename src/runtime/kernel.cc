@@ -1,0 +1,49 @@
+#include "runtime/kernel.h"
+
+#include "common/error.h"
+
+namespace janus {
+
+KernelRegistry& KernelRegistry::Global() {
+  static KernelRegistry* registry = [] {
+    auto* r = new KernelRegistry();
+    RegisterMathKernels(*r);
+    RegisterArrayKernels(*r);
+    RegisterNNKernels(*r);
+    RegisterStateKernels(*r);
+    RegisterFunctionalKernels(*r);
+    RegisterGradKernels(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+void KernelRegistry::Register(std::string op, KernelFn fn) {
+  const auto [it, inserted] = kernels_.emplace(std::move(op), std::move(fn));
+  if (!inserted) {
+    throw InternalError("kernel for op '" + it->first +
+                        "' registered twice");
+  }
+}
+
+bool KernelRegistry::Contains(std::string_view op) const {
+  return kernels_.find(op) != kernels_.end();
+}
+
+const KernelFn& KernelRegistry::Lookup(std::string_view op) const {
+  const auto it = kernels_.find(op);
+  if (it == kernels_.end()) {
+    throw InvalidArgument("no kernel registered for op '" + std::string(op) +
+                          "'");
+  }
+  return it->second;
+}
+
+std::vector<std::string> KernelRegistry::OpNames() const {
+  std::vector<std::string> names;
+  names.reserve(kernels_.size());
+  for (const auto& [name, fn] : kernels_) names.push_back(name);
+  return names;
+}
+
+}  // namespace janus

@@ -1,0 +1,99 @@
+// Kernels for shape manipulation, indexing, and dtype conversion.
+#include "runtime/kernel.h"
+#include "runtime/run_context.h"
+#include "tensor/ops.h"
+
+namespace janus {
+
+void RegisterArrayKernels(KernelRegistry& r) {
+  r.Register("Identity", [](KernelContext& ctx) {
+    ctx.set_output(0, ctx.input(0));
+  });
+
+  // StopGradient behaves as Identity at runtime; autodiff treats it as a
+  // gradient sink.
+  r.Register("StopGradient", [](KernelContext& ctx) {
+    ctx.set_output(0, ctx.input(0));
+  });
+
+  r.Register("Reshape", [](KernelContext& ctx) {
+    ctx.set_output(0, ops::Reshape(ctx.input(0),
+                                   Shape(ctx.node->GetIntListAttr("shape"))));
+  });
+
+  // Gradient helper: reshape input 0 to the shape of input 1.
+  r.Register("ReshapeLike", [](KernelContext& ctx) {
+    ctx.set_output(0, ctx.input(0).Reshaped(ctx.input(1).shape()));
+  });
+
+  r.Register("BroadcastTo", [](KernelContext& ctx) {
+    ctx.set_output(0, ops::BroadcastTo(
+                          ctx.input(0),
+                          Shape(ctx.node->GetIntListAttr("shape"))));
+  });
+
+  r.Register("Concat", [](KernelContext& ctx) {
+    const std::vector<Tensor> parts(ctx.inputs.begin(), ctx.inputs.end());
+    ctx.set_output(0, ops::Concat(parts,
+                                  static_cast<int>(ctx.node->GetIntAttr("axis"))));
+  });
+
+  r.Register("Stack", [](KernelContext& ctx) {
+    const std::vector<Tensor> parts(ctx.inputs.begin(), ctx.inputs.end());
+    ctx.set_output(0, ops::Stack(parts));
+  });
+
+  // Unstack along axis 0 into num_outputs tensors (inverse of Stack).
+  r.Register("Unstack", [](KernelContext& ctx) {
+    const Tensor& in = ctx.input(0);
+    JANUS_EXPECTS(in.rank() >= 1);
+    JANUS_EXPECTS(in.dim(0) == ctx.node->num_outputs());
+    std::vector<std::int64_t> begin(static_cast<std::size_t>(in.rank()), 0);
+    std::vector<std::int64_t> size(in.shape().dims());
+    size[0] = 1;
+    std::vector<std::int64_t> out_dims(in.shape().dims().begin() + 1,
+                                       in.shape().dims().end());
+    for (int i = 0; i < ctx.node->num_outputs(); ++i) {
+      begin[0] = i;
+      ctx.set_output(i, ops::Slice(in, begin, size).Reshaped(Shape(out_dims)));
+    }
+  });
+
+  r.Register("Slice", [](KernelContext& ctx) {
+    ctx.set_output(0, ops::Slice(ctx.input(0),
+                                 ctx.node->GetIntListAttr("begin"),
+                                 ctx.node->GetIntListAttr("size")));
+  });
+
+  r.Register("Cast", [](KernelContext& ctx) {
+    ctx.set_output(0, ops::Cast(ctx.input(0), ctx.node->GetDTypeAttr("dtype")));
+  });
+
+  r.Register("Gather", [](KernelContext& ctx) {
+    ctx.set_output(0, ops::Gather(ctx.input(0), ctx.input(1)));
+  });
+
+  // inputs: ids, grad; attr: params shape.
+  r.Register("GatherGrad", [](KernelContext& ctx) {
+    ctx.set_output(0, ops::GatherGrad(Shape(ctx.node->GetIntListAttr("shape")),
+                                      ctx.input(0), ctx.input(1)));
+  });
+
+  r.Register("OneHot", [](KernelContext& ctx) {
+    ctx.set_output(0, ops::OneHot(ctx.input(0),
+                                  ctx.node->GetIntAttr("depth")));
+  });
+
+  r.Register("Shape", [](KernelContext& ctx) {
+    const auto& dims = ctx.input(0).shape().dims();
+    ctx.set_output(
+        0, Tensor::FromVectorInt(
+               dims, Shape{static_cast<std::int64_t>(dims.size())}));
+  });
+
+  r.Register("Size", [](KernelContext& ctx) {
+    ctx.set_output(0, Tensor::ScalarInt(ctx.input(0).num_elements()));
+  });
+}
+
+}  // namespace janus

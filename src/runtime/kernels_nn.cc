@@ -1,0 +1,74 @@
+// Kernels for neural-network ops: convolution, pooling, losses.
+#include "runtime/kernel.h"
+#include "runtime/run_context.h"
+#include "tensor/ops.h"
+
+namespace janus {
+namespace {
+
+int StrideOf(const Node& node) {
+  return static_cast<int>(node.GetIntAttr("stride"));
+}
+
+const std::string& PaddingOf(const Node& node) {
+  return node.GetStringAttr("padding");
+}
+
+}  // namespace
+
+void RegisterNNKernels(KernelRegistry& r) {
+  r.Register("Conv2D", [](KernelContext& ctx) {
+    ctx.set_output(0, ops::Conv2D(ctx.input(0), ctx.input(1),
+                                  StrideOf(*ctx.node), PaddingOf(*ctx.node)));
+  });
+
+  // inputs: filter, grad, input-exemplar (for shape)
+  r.Register("Conv2DGradInput", [](KernelContext& ctx) {
+    ctx.set_output(0, ops::Conv2DGradInput(ctx.input(2).shape(), ctx.input(0),
+                                           ctx.input(1), StrideOf(*ctx.node),
+                                           PaddingOf(*ctx.node)));
+  });
+
+  // inputs: input, grad, filter-exemplar (for shape)
+  r.Register("Conv2DGradFilter", [](KernelContext& ctx) {
+    ctx.set_output(0, ops::Conv2DGradFilter(ctx.input(0),
+                                            ctx.input(2).shape(), ctx.input(1),
+                                            StrideOf(*ctx.node),
+                                            PaddingOf(*ctx.node)));
+  });
+
+  r.Register("MaxPool2D", [](KernelContext& ctx) {
+    ctx.set_output(0, ops::MaxPool2D(
+                          ctx.input(0),
+                          static_cast<int>(ctx.node->GetIntAttr("window")),
+                          StrideOf(*ctx.node)));
+  });
+
+  r.Register("MaxPool2DGrad", [](KernelContext& ctx) {
+    ctx.set_output(0, ops::MaxPool2DGrad(
+                          ctx.input(0), ctx.input(1),
+                          static_cast<int>(ctx.node->GetIntAttr("window")),
+                          StrideOf(*ctx.node)));
+  });
+
+  r.Register("AvgPool2D", [](KernelContext& ctx) {
+    ctx.set_output(0, ops::AvgPool2D(
+                          ctx.input(0),
+                          static_cast<int>(ctx.node->GetIntAttr("window")),
+                          StrideOf(*ctx.node)));
+  });
+
+  // inputs: grad, input-exemplar
+  r.Register("AvgPool2DGrad", [](KernelContext& ctx) {
+    ctx.set_output(0, ops::AvgPool2DGrad(
+                          ctx.input(1).shape(), ctx.input(0),
+                          static_cast<int>(ctx.node->GetIntAttr("window")),
+                          StrideOf(*ctx.node)));
+  });
+
+  r.Register("SoftmaxCrossEntropy", [](KernelContext& ctx) {
+    ctx.set_output(0, ops::SoftmaxCrossEntropy(ctx.input(0), ctx.input(1)));
+  });
+}
+
+}  // namespace janus

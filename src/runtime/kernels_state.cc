@@ -1,0 +1,136 @@
+// Kernels with state or side effects: variables, Python heap access,
+// assertions, random generation, and printing. All mutations are staged in
+// the RunContext and applied only at commit (deferred state update,
+// paper §4.2.3).
+#include <sstream>
+
+#include "runtime/kernel.h"
+#include "runtime/run_context.h"
+#include "tensor/ops.h"
+
+namespace janus {
+
+void RegisterStateKernels(KernelRegistry& r) {
+  r.Register("ReadVariable", [](KernelContext& ctx) {
+    ctx.set_output(0, ctx.run->ReadVariable(ctx.node->GetStringAttr("var")));
+  });
+
+  r.Register("AssignVariable", [](KernelContext& ctx) {
+    ctx.run->StageVariable(ctx.node->GetStringAttr("var"), ctx.input(0));
+    ctx.set_output(0, ctx.input(0));
+  });
+
+  // SGD parameter update: var <- var - lr * grad. inputs: grad, lr.
+  r.Register("ApplySGD", [](KernelContext& ctx) {
+    const std::string& var = ctx.node->GetStringAttr("var");
+    const Tensor current = ctx.run->ReadVariable(var);
+    const Tensor updated =
+        ops::Sub(current, ops::Mul(ctx.input(1), ctx.input(0)));
+    ctx.run->StageVariable(var, updated);
+    ctx.set_output(0, updated);
+  });
+
+  // The runtime assumption check of JANUS (§3.2). Aborts graph execution by
+  // throwing AssumptionFailed; because every state mutation is deferred,
+  // aborting is safe at any point.
+  r.Register("Assert", [](KernelContext& ctx) {
+    if (!ctx.input(0).ScalarBoolValue()) {
+      throw AssumptionFailed(ctx.node->GetStringAttr("assumption"),
+                             ctx.node->HasAttr("message")
+                                 ? ctx.node->GetStringAttr("message")
+                                 : ctx.node->GetStringAttr("assumption"));
+    }
+    ctx.set_output(0, ctx.input(0));
+  });
+
+  // Shape-assumption check (Fig. 4): verifies the input's shape against the
+  // pinned dimensions in attr "dims" (-1 = wildcard). Passes the value
+  // through on success; aborts the run on mismatch.
+  r.Register("AssertShape", [](KernelContext& ctx) {
+    const Tensor& value = ctx.input(0);
+    const auto& dims = ctx.node->GetIntListAttr("dims");
+    bool ok = value.rank() == static_cast<int>(dims.size());
+    if (ok) {
+      for (std::size_t i = 0; i < dims.size(); ++i) {
+        if (dims[i] >= 0 && value.dim(static_cast<int>(i)) != dims[i]) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    if (!ok) {
+      throw AssumptionFailed(ctx.node->GetStringAttr("assumption"),
+                             "shape " + value.shape().ToString() +
+                                 " violates assumption " +
+                                 ctx.node->GetStringAttr("assumption"));
+    }
+    ctx.set_output(0, value);
+  });
+
+  // Python attribute read (Fig. 5 ①/③): reads the run-local copy when one
+  // exists, otherwise the host heap. input 0: object reference (int64).
+  r.Register("PyGetAttr", [](KernelContext& ctx) {
+    ctx.set_output(0, ctx.run->ReadAttr(ctx.input(0).ScalarIntValue(),
+                                        ctx.node->GetStringAttr("attr")));
+  });
+
+  // Python attribute write (Fig. 5 ②): writes the run-local copy only.
+  r.Register("PySetAttr", [](KernelContext& ctx) {
+    ctx.run->StageAttr(ctx.input(0).ScalarIntValue(),
+                       ctx.node->GetStringAttr("attr"), ctx.input(1));
+    ctx.set_output(0, ctx.input(1));
+  });
+
+  // inputs: object reference, integer index.
+  r.Register("PyGetSubscr", [](KernelContext& ctx) {
+    ctx.set_output(0, ctx.run->ReadSubscr(ctx.input(0).ScalarIntValue(),
+                                          ctx.input(1).ScalarIntValue()));
+  });
+
+  // inputs: object reference, integer index, value.
+  r.Register("PySetSubscr", [](KernelContext& ctx) {
+    ctx.run->StageSubscr(ctx.input(0).ScalarIntValue(),
+                         ctx.input(1).ScalarIntValue(), ctx.input(2));
+    ctx.set_output(0, ctx.input(2));
+  });
+
+  // Whitelisted builtin print(): buffered until commit so aborted runs
+  // produce no output. Variadic inputs.
+  r.Register("PyPrint", [](KernelContext& ctx) {
+    std::ostringstream oss;
+    for (std::size_t i = 0; i < ctx.inputs.size(); ++i) {
+      if (i > 0) oss << ' ';
+      const Tensor& t = ctx.inputs[i];
+      if (t.rank() == 0) {
+        oss << t.ElementAsDouble(0);
+      } else {
+        oss << t.ToString();
+      }
+    }
+    ctx.run->StagePrint(oss.str());
+    ctx.set_output(0, Tensor::ScalarInt(0));
+  });
+
+  r.Register("RandomNormal", [](KernelContext& ctx) {
+    const Shape shape(ctx.node->GetIntListAttr("shape"));
+    const auto mean = static_cast<float>(ctx.node->GetFloatAttr("mean"));
+    const auto stddev = static_cast<float>(ctx.node->GetFloatAttr("stddev"));
+    const std::lock_guard<std::mutex> lock(ctx.run->mu);
+    ctx.set_output(0, ops::RandomNormal(shape, mean, stddev, *ctx.run->rng));
+  });
+
+  r.Register("RandomUniform", [](KernelContext& ctx) {
+    const Shape shape(ctx.node->GetIntListAttr("shape"));
+    const auto lo = static_cast<float>(ctx.node->GetFloatAttr("lo"));
+    const auto hi = static_cast<float>(ctx.node->GetFloatAttr("hi"));
+    const std::lock_guard<std::mutex> lock(ctx.run->mu);
+    ctx.set_output(0, ops::RandomUniform(shape, lo, hi, *ctx.run->rng));
+  });
+
+  // Control-dependency anchor.
+  r.Register("NoOp", [](KernelContext& ctx) {
+    ctx.set_output(0, Tensor::ScalarInt(0));
+  });
+}
+
+}  // namespace janus

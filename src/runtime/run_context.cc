@@ -1,0 +1,119 @@
+#include "runtime/run_context.h"
+
+#include <iostream>
+
+namespace janus {
+
+bool VariableStore::Contains(const std::string& name) const {
+  return variables_.find(name) != variables_.end();
+}
+
+const Tensor& VariableStore::Read(const std::string& name) const {
+  const auto it = variables_.find(name);
+  if (it == variables_.end()) {
+    throw InvalidArgument("unknown variable '" + name + "'");
+  }
+  return it->second;
+}
+
+void VariableStore::Assign(const std::string& name, Tensor value) {
+  variables_[name] = std::move(value);
+}
+
+std::vector<std::string> VariableStore::Names() const {
+  std::vector<std::string> names;
+  names.reserve(variables_.size());
+  for (const auto& [name, value] : variables_) names.push_back(name);
+  return names;
+}
+
+Tensor RunContext::ReadVariable(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu);
+  const auto it = staged_vars_.find(name);
+  if (it != staged_vars_.end()) return it->second;
+  if (variables == nullptr) {
+    throw InternalError("graph reads variables but no VariableStore given");
+  }
+  return variables->Read(name);
+}
+
+void RunContext::StageVariable(const std::string& name, Tensor value) {
+  const std::lock_guard<std::mutex> lock(mu);
+  staged_vars_[name] = std::move(value);
+}
+
+Tensor RunContext::ReadAttr(std::int64_t object_id, const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu);
+  const auto it = staged_attrs_.find({object_id, name});
+  if (it != staged_attrs_.end()) return it->second;
+  if (host_state == nullptr) {
+    throw InternalError("graph reads host state but no StateInterface given");
+  }
+  return host_state->GetAttr(object_id, name);
+}
+
+void RunContext::StageAttr(std::int64_t object_id, const std::string& name,
+                           Tensor value) {
+  const std::lock_guard<std::mutex> lock(mu);
+  staged_attrs_[{object_id, name}] = std::move(value);
+}
+
+Tensor RunContext::ReadSubscr(std::int64_t object_id, std::int64_t index) {
+  const std::lock_guard<std::mutex> lock(mu);
+  const auto it = staged_subscrs_.find({object_id, index});
+  if (it != staged_subscrs_.end()) return it->second;
+  if (host_state == nullptr) {
+    throw InternalError("graph reads host state but no StateInterface given");
+  }
+  return host_state->GetSubscr(object_id, index);
+}
+
+void RunContext::StageSubscr(std::int64_t object_id, std::int64_t index,
+                             Tensor value) {
+  const std::lock_guard<std::mutex> lock(mu);
+  staged_subscrs_[{object_id, index}] = std::move(value);
+}
+
+void RunContext::StagePrint(std::string line) {
+  const std::lock_guard<std::mutex> lock(mu);
+  staged_prints_.push_back(std::move(line));
+}
+
+void RunContext::Commit() {
+  const std::lock_guard<std::mutex> lock(mu);
+  for (auto& [name, value] : staged_vars_) {
+    variables->Assign(name, std::move(value));
+  }
+  staged_vars_.clear();
+  for (auto& [key, value] : staged_attrs_) {
+    host_state->SetAttr(key.first, key.second, value);
+  }
+  staged_attrs_.clear();
+  for (auto& [key, value] : staged_subscrs_) {
+    host_state->SetSubscr(key.first, key.second, value);
+  }
+  staged_subscrs_.clear();
+  for (const std::string& line : staged_prints_) {
+    std::cout << line << '\n';
+  }
+  staged_prints_.clear();
+}
+
+void RunContext::StoreTape(int node_id,
+                           std::vector<std::vector<Tensor>> iterations) {
+  const std::lock_guard<std::mutex> lock(mu);
+  tapes_[node_id] = std::move(iterations);
+}
+
+std::vector<std::vector<Tensor>> RunContext::TakeTape(int node_id) {
+  const std::lock_guard<std::mutex> lock(mu);
+  const auto it = tapes_.find(node_id);
+  if (it == tapes_.end()) {
+    throw InternalError("no tape recorded for node " + std::to_string(node_id));
+  }
+  auto tape = std::move(it->second);
+  tapes_.erase(it);
+  return tape;
+}
+
+}  // namespace janus

@@ -1,0 +1,94 @@
+#include "sim/cluster.h"
+
+#include <algorithm>
+
+namespace janus::sim {
+
+double RingAllReduceSeconds(const ClusterConfig& cluster,
+                            std::int64_t bytes) {
+  const int n = cluster.num_workers;
+  if (n <= 1 || bytes == 0) return 0.0;
+  // The ring spans machines once more workers than one machine's devices
+  // participate; the slowest link bounds every step.
+  const bool crosses_machines = n > cluster.devices_per_machine;
+  const double gbps = crosses_machines ? cluster.interconnect_gbps
+                                       : cluster.intra_machine_gbps;
+  const double bytes_per_second = gbps * 1e9 / 8.0;
+  const double chunk = static_cast<double>(bytes) / n;
+  const int steps = 2 * (n - 1);
+  return steps * (chunk / bytes_per_second + cluster.per_message_latency_s);
+}
+
+IterationResult SimulateIteration(const ClusterConfig& cluster,
+                                  const std::vector<LayerCost>& layers,
+                                  ExecutionStyle style) {
+  Simulator sim;
+  FifoResource compute(&sim);
+  FifoResource network(&sim);
+
+  IterationResult result;
+  const bool overlapped = style == ExecutionStyle::kGraphOverlapped;
+  const double op_overhead =
+      overlapped ? 0.0 : cluster.imperative_op_overhead_s;
+
+  // Forward pass: layers in order.
+  SimTime t = 0.0;
+  for (const LayerCost& layer : layers) {
+    const double cost = layer.forward_s + op_overhead * layer.forward_ops;
+    t = compute.Submit(t, cost);
+  }
+  // Backward pass: layers reversed; each finished layer's gradient enters
+  // the allreduce.
+  SimTime last_comm = t;
+  for (auto it = layers.rbegin(); it != layers.rend(); ++it) {
+    const double cost = it->backward_s + op_overhead * it->backward_ops;
+    t = compute.Submit(t, cost);
+    const double comm = RingAllReduceSeconds(cluster, it->gradient_bytes);
+    if (overlapped) {
+      // The allreduce op becomes ready when its gradient is produced and
+      // runs on the network while the remaining backward layers compute.
+      last_comm = std::max(last_comm, network.Submit(t, comm));
+    } else {
+      // Synchronous dispatch: the allreduce blocks the compute stream, and
+      // the imperative executor drives every ring step from the framework
+      // loop, paying dispatch overhead per step (the paper's explanation
+      // for TF Eager's poor scale factors).
+      const double ring_dispatch =
+          cluster.imperative_op_overhead_s *
+          (cluster.num_workers > 1 ? 2.0 * (cluster.num_workers - 1) : 0.0);
+      t = compute.Submit(t, comm + ring_dispatch);
+      last_comm = t;
+    }
+  }
+  sim.Run();
+  result.seconds = std::max(t, last_comm);
+  result.compute_seconds = compute.total_busy();
+  result.comm_seconds = network.total_busy();
+  return result;
+}
+
+std::vector<ScalingPoint> SimulateScaling(
+    ClusterConfig cluster, const std::vector<LayerCost>& layers,
+    ExecutionStyle style, const std::vector<int>& worker_counts,
+    double items_per_iteration_per_worker) {
+  std::vector<ScalingPoint> points;
+  double single_throughput = 0.0;
+  for (const int workers : worker_counts) {
+    cluster.num_workers = workers;
+    const IterationResult iteration =
+        SimulateIteration(cluster, layers, style);
+    ScalingPoint point;
+    point.workers = workers;
+    point.throughput =
+        workers * items_per_iteration_per_worker / iteration.seconds;
+    if (workers == 1) single_throughput = point.throughput;
+    point.scale_factor =
+        single_throughput > 0.0
+            ? point.throughput / (single_throughput * workers)
+            : 0.0;
+    points.push_back(point);
+  }
+  return points;
+}
+
+}  // namespace janus::sim

@@ -1,0 +1,80 @@
+// Data-parallel cluster model for the Fig. 8 scalability reproduction.
+//
+// Per-iteration timing of synchronous data-parallel SGD over N workers:
+//  * every worker runs an identical layer pipeline (forward then backward),
+//  * each layer's gradient is averaged with a ring allreduce
+//    (Horovod-style; the paper integrates Horovod in §5),
+//  * graph-based frameworks (JANUS / TensorFlow) overlap communication with
+//    the remainder of the backward pass, because the allreduce is an
+//    operation inside the dataflow graph,
+//  * the imperative executor issues ops synchronously one at a time, so
+//    every allreduce blocks compute — the paper's explanation for TF
+//    Eager's poor scale factors (§6.3.2: 0.24 vs 0.77-0.81).
+#ifndef JANUS_SIM_CLUSTER_H_
+#define JANUS_SIM_CLUSTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/event_sim.h"
+
+namespace janus::sim {
+
+struct ClusterConfig {
+  int num_workers = 1;
+  int devices_per_machine = 6;          // the paper's testbed
+  double interconnect_gbps = 100.0;     // InfiniBand between machines
+  double intra_machine_gbps = 120.0;    // NVLink/PCIe-ish within a machine
+  double per_message_latency_s = 10e-6; // per ring step
+  // Framework-side per-op launch overhead (imperative executors pay this on
+  // every op; graph executors amortise it).
+  double imperative_op_overhead_s = 20e-6;
+};
+
+// One model layer as seen by the trainer.
+struct LayerCost {
+  double forward_s = 0.0;
+  double backward_s = 0.0;
+  std::int64_t gradient_bytes = 0;
+  // Number of primitive ops in this layer (for imperative op overhead).
+  int forward_ops = 1;
+  int backward_ops = 2;
+};
+
+// Ring-allreduce completion time for one tensor across the cluster:
+//   2 (N-1) steps, each moving (bytes / N) over the slowest link.
+double RingAllReduceSeconds(const ClusterConfig& cluster,
+                            std::int64_t bytes);
+
+enum class ExecutionStyle {
+  kGraphOverlapped,   // JANUS and TensorFlow: comm overlaps backward
+  kImperativeSerial,  // TF Eager: synchronous per-op dispatch, no overlap
+};
+
+struct IterationResult {
+  double seconds = 0.0;
+  double compute_seconds = 0.0;
+  double comm_seconds = 0.0;  // network busy time
+};
+
+// Simulates one training iteration and returns its duration.
+IterationResult SimulateIteration(const ClusterConfig& cluster,
+                                  const std::vector<LayerCost>& layers,
+                                  ExecutionStyle style);
+
+// Convenience: throughput (items/s) given per-iteration items, and the
+// scale factor relative to a single worker (§6.3.2's metric).
+struct ScalingPoint {
+  int workers = 0;
+  double throughput = 0.0;
+  double scale_factor = 0.0;
+};
+
+std::vector<ScalingPoint> SimulateScaling(
+    ClusterConfig cluster, const std::vector<LayerCost>& layers,
+    ExecutionStyle style, const std::vector<int>& worker_counts,
+    double items_per_iteration_per_worker);
+
+}  // namespace janus::sim
+
+#endif  // JANUS_SIM_CLUSTER_H_

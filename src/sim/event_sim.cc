@@ -1,0 +1,40 @@
+#include "sim/event_sim.h"
+
+namespace janus::sim {
+
+void Simulator::At(SimTime when, std::function<void()> fn) {
+  JANUS_EXPECTS(when >= now_);
+  queue_.push(Event{when, seq_++, std::move(fn)});
+}
+
+void Simulator::After(SimTime delay, std::function<void()> fn) {
+  At(now_ + delay, std::move(fn));
+}
+
+SimTime Simulator::Run() {
+  while (!queue_.empty()) {
+    // priority_queue::top is const; move via const_cast is UB — copy the
+    // function instead (events are small).
+    Event event = queue_.top();
+    queue_.pop();
+    now_ = event.when;
+    ++events_;
+    event.fn();
+  }
+  return now_;
+}
+
+SimTime FifoResource::Submit(SimTime ready, SimTime duration,
+                             std::function<void(SimTime)> done) {
+  JANUS_EXPECTS(duration >= 0);
+  const SimTime start = std::max(ready, busy_until_);
+  const SimTime finish = start + duration;
+  busy_until_ = finish;
+  total_busy_ += duration;
+  if (done != nullptr) {
+    sim_->At(finish, [done = std::move(done), finish] { done(finish); });
+  }
+  return finish;
+}
+
+}  // namespace janus::sim

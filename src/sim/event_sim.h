@@ -1,0 +1,72 @@
+// A small discrete-event simulation core: an event queue over simulated
+// time plus FIFO resources. Used by the cluster model that reproduces the
+// paper's multi-GPU scalability experiment (Fig. 8) — the physical testbed
+// (6 machines x 6 TITAN Xp, 100 Gbps InfiniBand) is simulated, calibrated
+// with per-op timings measured on this host (see DESIGN.md §2).
+#ifndef JANUS_SIM_EVENT_SIM_H_
+#define JANUS_SIM_EVENT_SIM_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/error.h"
+
+namespace janus::sim {
+
+using SimTime = double;  // seconds
+
+class Simulator {
+ public:
+  // Schedules `fn` at absolute simulated time `when`.
+  void At(SimTime when, std::function<void()> fn);
+  // Schedules `fn` `delay` seconds from now (only valid while running, or
+  // before Run() for time 0).
+  void After(SimTime delay, std::function<void()> fn);
+
+  // Runs until the event queue drains; returns the final simulated time.
+  SimTime Run();
+
+  SimTime now() const { return now_; }
+  std::int64_t events_processed() const { return events_; }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::int64_t seq;  // FIFO tie-break for simultaneous events
+    std::function<void()> fn;
+    bool operator>(const Event& other) const {
+      if (when != other.when) return when > other.when;
+      return seq > other.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  SimTime now_ = 0.0;
+  std::int64_t seq_ = 0;
+  std::int64_t events_ = 0;
+};
+
+// A FIFO-serving resource (a compute lane, a network link): jobs submitted
+// with a duration run one at a time in submission order.
+class FifoResource {
+ public:
+  explicit FifoResource(Simulator* sim) : sim_(sim) {}
+
+  // Submits a job available at `ready` taking `duration`; `done` fires at
+  // completion with the completion time. Returns the completion time.
+  SimTime Submit(SimTime ready, SimTime duration,
+                 std::function<void(SimTime)> done = nullptr);
+
+  SimTime busy_until() const { return busy_until_; }
+  SimTime total_busy() const { return total_busy_; }
+
+ private:
+  Simulator* sim_;
+  SimTime busy_until_ = 0.0;
+  SimTime total_busy_ = 0.0;
+};
+
+}  // namespace janus::sim
+
+#endif  // JANUS_SIM_EVENT_SIM_H_

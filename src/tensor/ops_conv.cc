@@ -1,0 +1,331 @@
+// Convolution and pooling kernels (NHWC layout, HWIO filters). Naive loop
+// implementations — throughput-realistic enough for framework-overhead
+// comparisons, which is what the paper's evaluation measures.
+#include <limits>
+
+#include "tensor/ops.h"
+
+namespace janus::ops {
+namespace {
+
+struct ConvGeometry {
+  std::int64_t batch, in_h, in_w, in_c;
+  std::int64_t f_h, f_w, out_c;
+  std::int64_t out_h, out_w;
+  std::int64_t pad_top, pad_left;
+  int stride;
+};
+
+ConvGeometry MakeGeometry(const Shape& input, const Shape& filter, int stride,
+                          const std::string& padding) {
+  if (input.rank() != 4 || filter.rank() != 4) {
+    throw InvalidArgument("Conv2D: input must be NHWC, filter HWIO");
+  }
+  if (input.dim(3) != filter.dim(2)) {
+    throw InvalidArgument("Conv2D: channel mismatch");
+  }
+  if (stride < 1) throw InvalidArgument("Conv2D: stride must be >= 1");
+  ConvGeometry g{};
+  g.batch = input.dim(0);
+  g.in_h = input.dim(1);
+  g.in_w = input.dim(2);
+  g.in_c = input.dim(3);
+  g.f_h = filter.dim(0);
+  g.f_w = filter.dim(1);
+  g.out_c = filter.dim(3);
+  g.stride = stride;
+  if (padding == "SAME") {
+    g.out_h = (g.in_h + stride - 1) / stride;
+    g.out_w = (g.in_w + stride - 1) / stride;
+    const std::int64_t pad_h =
+        std::max<std::int64_t>(0, (g.out_h - 1) * stride + g.f_h - g.in_h);
+    const std::int64_t pad_w =
+        std::max<std::int64_t>(0, (g.out_w - 1) * stride + g.f_w - g.in_w);
+    g.pad_top = pad_h / 2;
+    g.pad_left = pad_w / 2;
+  } else if (padding == "VALID") {
+    g.out_h = (g.in_h - g.f_h) / stride + 1;
+    g.out_w = (g.in_w - g.f_w) / stride + 1;
+    g.pad_top = 0;
+    g.pad_left = 0;
+    if (g.out_h < 1 || g.out_w < 1) {
+      throw InvalidArgument("Conv2D: filter larger than input under VALID");
+    }
+  } else {
+    throw InvalidArgument("Conv2D: padding must be SAME or VALID");
+  }
+  return g;
+}
+
+struct PoolGeometry {
+  std::int64_t batch, in_h, in_w, channels, out_h, out_w;
+};
+
+PoolGeometry MakePoolGeometry(const Shape& input, int window, int stride) {
+  if (input.rank() != 4) throw InvalidArgument("Pool2D: input must be NHWC");
+  if (window < 1 || stride < 1) {
+    throw InvalidArgument("Pool2D: window/stride must be >= 1");
+  }
+  PoolGeometry g{};
+  g.batch = input.dim(0);
+  g.in_h = input.dim(1);
+  g.in_w = input.dim(2);
+  g.channels = input.dim(3);
+  g.out_h = (g.in_h - window) / stride + 1;
+  g.out_w = (g.in_w - window) / stride + 1;
+  if (g.out_h < 1 || g.out_w < 1) {
+    throw InvalidArgument("Pool2D: window larger than input");
+  }
+  return g;
+}
+
+}  // namespace
+
+Tensor Conv2D(const Tensor& input, const Tensor& filter, int stride,
+              const std::string& padding) {
+  const ConvGeometry g =
+      MakeGeometry(input.shape(), filter.shape(), stride, padding);
+  Tensor out =
+      Tensor::Zeros(DType::kFloat32, Shape{g.batch, g.out_h, g.out_w, g.out_c});
+  const auto in = input.data<float>();
+  const auto fl = filter.data<float>();
+  auto ov = out.mutable_data<float>();
+  for (std::int64_t n = 0; n < g.batch; ++n) {
+    for (std::int64_t oh = 0; oh < g.out_h; ++oh) {
+      for (std::int64_t ow = 0; ow < g.out_w; ++ow) {
+        for (std::int64_t fh = 0; fh < g.f_h; ++fh) {
+          const std::int64_t ih = oh * g.stride + fh - g.pad_top;
+          if (ih < 0 || ih >= g.in_h) continue;
+          for (std::int64_t fw = 0; fw < g.f_w; ++fw) {
+            const std::int64_t iw = ow * g.stride + fw - g.pad_left;
+            if (iw < 0 || iw >= g.in_w) continue;
+            const std::size_t in_base = static_cast<std::size_t>(
+                ((n * g.in_h + ih) * g.in_w + iw) * g.in_c);
+            const std::size_t f_base =
+                static_cast<std::size_t>((fh * g.f_w + fw) * g.in_c * g.out_c);
+            const std::size_t out_base = static_cast<std::size_t>(
+                ((n * g.out_h + oh) * g.out_w + ow) * g.out_c);
+            for (std::int64_t c = 0; c < g.in_c; ++c) {
+              const float x = in[in_base + static_cast<std::size_t>(c)];
+              if (x == 0.0f) continue;
+              const std::size_t f_row =
+                  f_base + static_cast<std::size_t>(c * g.out_c);
+              for (std::int64_t oc = 0; oc < g.out_c; ++oc) {
+                ov[out_base + static_cast<std::size_t>(oc)] +=
+                    x * fl[f_row + static_cast<std::size_t>(oc)];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Conv2DGradInput(const Shape& input_shape, const Tensor& filter,
+                       const Tensor& grad, int stride,
+                       const std::string& padding) {
+  const ConvGeometry g =
+      MakeGeometry(input_shape, filter.shape(), stride, padding);
+  Tensor out = Tensor::Zeros(DType::kFloat32, input_shape);
+  const auto fl = filter.data<float>();
+  const auto gv = grad.data<float>();
+  auto ov = out.mutable_data<float>();
+  for (std::int64_t n = 0; n < g.batch; ++n) {
+    for (std::int64_t oh = 0; oh < g.out_h; ++oh) {
+      for (std::int64_t ow = 0; ow < g.out_w; ++ow) {
+        const std::size_t g_base = static_cast<std::size_t>(
+            ((n * g.out_h + oh) * g.out_w + ow) * g.out_c);
+        for (std::int64_t fh = 0; fh < g.f_h; ++fh) {
+          const std::int64_t ih = oh * g.stride + fh - g.pad_top;
+          if (ih < 0 || ih >= g.in_h) continue;
+          for (std::int64_t fw = 0; fw < g.f_w; ++fw) {
+            const std::int64_t iw = ow * g.stride + fw - g.pad_left;
+            if (iw < 0 || iw >= g.in_w) continue;
+            const std::size_t in_base = static_cast<std::size_t>(
+                ((n * g.in_h + ih) * g.in_w + iw) * g.in_c);
+            const std::size_t f_base =
+                static_cast<std::size_t>((fh * g.f_w + fw) * g.in_c * g.out_c);
+            for (std::int64_t c = 0; c < g.in_c; ++c) {
+              float acc = 0.0f;
+              const std::size_t f_row =
+                  f_base + static_cast<std::size_t>(c * g.out_c);
+              for (std::int64_t oc = 0; oc < g.out_c; ++oc) {
+                acc += gv[g_base + static_cast<std::size_t>(oc)] *
+                       fl[f_row + static_cast<std::size_t>(oc)];
+              }
+              ov[in_base + static_cast<std::size_t>(c)] += acc;
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Conv2DGradFilter(const Tensor& input, const Shape& filter_shape,
+                        const Tensor& grad, int stride,
+                        const std::string& padding) {
+  const ConvGeometry g =
+      MakeGeometry(input.shape(), filter_shape, stride, padding);
+  Tensor out = Tensor::Zeros(DType::kFloat32, filter_shape);
+  const auto in = input.data<float>();
+  const auto gv = grad.data<float>();
+  auto ov = out.mutable_data<float>();
+  for (std::int64_t n = 0; n < g.batch; ++n) {
+    for (std::int64_t oh = 0; oh < g.out_h; ++oh) {
+      for (std::int64_t ow = 0; ow < g.out_w; ++ow) {
+        const std::size_t g_base = static_cast<std::size_t>(
+            ((n * g.out_h + oh) * g.out_w + ow) * g.out_c);
+        for (std::int64_t fh = 0; fh < g.f_h; ++fh) {
+          const std::int64_t ih = oh * g.stride + fh - g.pad_top;
+          if (ih < 0 || ih >= g.in_h) continue;
+          for (std::int64_t fw = 0; fw < g.f_w; ++fw) {
+            const std::int64_t iw = ow * g.stride + fw - g.pad_left;
+            if (iw < 0 || iw >= g.in_w) continue;
+            const std::size_t in_base = static_cast<std::size_t>(
+                ((n * g.in_h + ih) * g.in_w + iw) * g.in_c);
+            const std::size_t f_base =
+                static_cast<std::size_t>((fh * g.f_w + fw) * g.in_c * g.out_c);
+            for (std::int64_t c = 0; c < g.in_c; ++c) {
+              const float x = in[in_base + static_cast<std::size_t>(c)];
+              if (x == 0.0f) continue;
+              const std::size_t f_row =
+                  f_base + static_cast<std::size_t>(c * g.out_c);
+              for (std::int64_t oc = 0; oc < g.out_c; ++oc) {
+                ov[f_row + static_cast<std::size_t>(oc)] +=
+                    x * gv[g_base + static_cast<std::size_t>(oc)];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor MaxPool2D(const Tensor& input, int window, int stride) {
+  const PoolGeometry g = MakePoolGeometry(input.shape(), window, stride);
+  Tensor out(DType::kFloat32, Shape{g.batch, g.out_h, g.out_w, g.channels});
+  const auto in = input.data<float>();
+  auto ov = out.mutable_data<float>();
+  for (std::int64_t n = 0; n < g.batch; ++n) {
+    for (std::int64_t oh = 0; oh < g.out_h; ++oh) {
+      for (std::int64_t ow = 0; ow < g.out_w; ++ow) {
+        for (std::int64_t c = 0; c < g.channels; ++c) {
+          float best = std::numeric_limits<float>::lowest();
+          for (int wh = 0; wh < window; ++wh) {
+            for (int ww = 0; ww < window; ++ww) {
+              const std::int64_t ih = oh * stride + wh;
+              const std::int64_t iw = ow * stride + ww;
+              const float v = in[static_cast<std::size_t>(
+                  ((n * g.in_h + ih) * g.in_w + iw) * g.channels + c)];
+              best = std::max(best, v);
+            }
+          }
+          ov[static_cast<std::size_t>(
+              ((n * g.out_h + oh) * g.out_w + ow) * g.channels + c)] = best;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor MaxPool2DGrad(const Tensor& input, const Tensor& grad, int window,
+                     int stride) {
+  const PoolGeometry g = MakePoolGeometry(input.shape(), window, stride);
+  Tensor out = Tensor::Zeros(DType::kFloat32, input.shape());
+  const auto in = input.data<float>();
+  const auto gv = grad.data<float>();
+  auto ov = out.mutable_data<float>();
+  for (std::int64_t n = 0; n < g.batch; ++n) {
+    for (std::int64_t oh = 0; oh < g.out_h; ++oh) {
+      for (std::int64_t ow = 0; ow < g.out_w; ++ow) {
+        for (std::int64_t c = 0; c < g.channels; ++c) {
+          float best = std::numeric_limits<float>::lowest();
+          std::size_t best_index = 0;
+          for (int wh = 0; wh < window; ++wh) {
+            for (int ww = 0; ww < window; ++ww) {
+              const std::int64_t ih = oh * stride + wh;
+              const std::int64_t iw = ow * stride + ww;
+              const std::size_t idx = static_cast<std::size_t>(
+                  ((n * g.in_h + ih) * g.in_w + iw) * g.channels + c);
+              if (in[idx] > best) {
+                best = in[idx];
+                best_index = idx;
+              }
+            }
+          }
+          ov[best_index] += gv[static_cast<std::size_t>(
+              ((n * g.out_h + oh) * g.out_w + ow) * g.channels + c)];
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor AvgPool2D(const Tensor& input, int window, int stride) {
+  const PoolGeometry g = MakePoolGeometry(input.shape(), window, stride);
+  Tensor out = Tensor::Zeros(DType::kFloat32,
+                             Shape{g.batch, g.out_h, g.out_w, g.channels});
+  const auto in = input.data<float>();
+  auto ov = out.mutable_data<float>();
+  const float scale = 1.0f / static_cast<float>(window * window);
+  for (std::int64_t n = 0; n < g.batch; ++n) {
+    for (std::int64_t oh = 0; oh < g.out_h; ++oh) {
+      for (std::int64_t ow = 0; ow < g.out_w; ++ow) {
+        for (std::int64_t c = 0; c < g.channels; ++c) {
+          float acc = 0.0f;
+          for (int wh = 0; wh < window; ++wh) {
+            for (int ww = 0; ww < window; ++ww) {
+              const std::int64_t ih = oh * stride + wh;
+              const std::int64_t iw = ow * stride + ww;
+              acc += in[static_cast<std::size_t>(
+                  ((n * g.in_h + ih) * g.in_w + iw) * g.channels + c)];
+            }
+          }
+          ov[static_cast<std::size_t>(
+              ((n * g.out_h + oh) * g.out_w + ow) * g.channels + c)] =
+              acc * scale;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor AvgPool2DGrad(const Shape& input_shape, const Tensor& grad, int window,
+                     int stride) {
+  const PoolGeometry g = MakePoolGeometry(input_shape, window, stride);
+  Tensor out = Tensor::Zeros(DType::kFloat32, input_shape);
+  const auto gv = grad.data<float>();
+  auto ov = out.mutable_data<float>();
+  const float scale = 1.0f / static_cast<float>(window * window);
+  for (std::int64_t n = 0; n < g.batch; ++n) {
+    for (std::int64_t oh = 0; oh < g.out_h; ++oh) {
+      for (std::int64_t ow = 0; ow < g.out_w; ++ow) {
+        for (std::int64_t c = 0; c < g.channels; ++c) {
+          const float v = gv[static_cast<std::size_t>(
+                              ((n * g.out_h + oh) * g.out_w + ow) *
+                                  g.channels + c)] * scale;
+          for (int wh = 0; wh < window; ++wh) {
+            for (int ww = 0; ww < window; ++ww) {
+              const std::int64_t ih = oh * stride + wh;
+              const std::int64_t iw = ow * stride + ww;
+              ov[static_cast<std::size_t>(
+                  ((n * g.in_h + ih) * g.in_w + iw) * g.channels + c)] += v;
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace janus::ops

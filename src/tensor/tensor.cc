@@ -1,0 +1,146 @@
+#include "tensor/tensor.h"
+
+#include <cstring>
+#include <sstream>
+
+namespace janus {
+
+const char* DTypeName(DType dtype) {
+  switch (dtype) {
+    case DType::kFloat32:
+      return "float32";
+    case DType::kInt64:
+      return "int64";
+    case DType::kBool:
+      return "bool";
+  }
+  return "unknown";
+}
+
+std::size_t DTypeSize(DType dtype) {
+  switch (dtype) {
+    case DType::kFloat32:
+      return sizeof(float);
+    case DType::kInt64:
+      return sizeof(std::int64_t);
+    case DType::kBool:
+      return sizeof(std::uint8_t);
+  }
+  return 0;
+}
+
+Tensor::Tensor() : Tensor(DType::kFloat32, Shape{}) {
+  mutable_data<float>()[0] = 0.0f;
+}
+
+Tensor::Tensor(DType dtype, Shape shape)
+    : dtype_(dtype),
+      shape_(std::move(shape)),
+      buffer_(std::make_shared<std::vector<std::byte>>(
+          static_cast<std::size_t>(shape_.num_elements()) * DTypeSize(dtype))) {}
+
+Tensor Tensor::Zeros(DType dtype, const Shape& shape) {
+  Tensor t(dtype, shape);
+  std::memset(t.raw(), 0, t.buffer_->size());
+  return t;
+}
+
+Tensor Tensor::Full(const Shape& shape, float value) {
+  Tensor t(DType::kFloat32, shape);
+  for (float& v : t.mutable_data<float>()) v = value;
+  return t;
+}
+
+Tensor Tensor::FullInt(const Shape& shape, std::int64_t value) {
+  Tensor t(DType::kInt64, shape);
+  for (std::int64_t& v : t.mutable_data<std::int64_t>()) v = value;
+  return t;
+}
+
+Tensor Tensor::Scalar(float value) { return Full(Shape{}, value); }
+
+Tensor Tensor::ScalarInt(std::int64_t value) { return FullInt(Shape{}, value); }
+
+Tensor Tensor::ScalarBool(bool value) {
+  Tensor t(DType::kBool, Shape{});
+  t.mutable_data<std::uint8_t>()[0] = value ? 1 : 0;
+  return t;
+}
+
+Tensor Tensor::FromVector(const std::vector<float>& values, Shape shape) {
+  JANUS_EXPECTS(static_cast<std::int64_t>(values.size()) ==
+                shape.num_elements());
+  Tensor t(DType::kFloat32, std::move(shape));
+  std::memcpy(t.raw(), values.data(), values.size() * sizeof(float));
+  return t;
+}
+
+Tensor Tensor::FromVectorInt(const std::vector<std::int64_t>& values,
+                             Shape shape) {
+  JANUS_EXPECTS(static_cast<std::int64_t>(values.size()) ==
+                shape.num_elements());
+  Tensor t(DType::kInt64, std::move(shape));
+  std::memcpy(t.raw(), values.data(), values.size() * sizeof(std::int64_t));
+  return t;
+}
+
+float Tensor::ScalarValue() const {
+  JANUS_EXPECTS(num_elements() == 1);
+  return data<float>()[0];
+}
+
+std::int64_t Tensor::ScalarIntValue() const {
+  JANUS_EXPECTS(num_elements() == 1);
+  return data<std::int64_t>()[0];
+}
+
+bool Tensor::ScalarBoolValue() const {
+  JANUS_EXPECTS(num_elements() == 1);
+  if (dtype_ == DType::kBool) return data<std::uint8_t>()[0] != 0;
+  if (dtype_ == DType::kFloat32) return data<float>()[0] != 0.0f;
+  return data<std::int64_t>()[0] != 0;
+}
+
+double Tensor::ElementAsDouble(std::int64_t index) const {
+  JANUS_EXPECTS(index >= 0 && index < num_elements());
+  const auto i = static_cast<std::size_t>(index);
+  switch (dtype_) {
+    case DType::kFloat32:
+      return static_cast<double>(data<float>()[i]);
+    case DType::kInt64:
+      return static_cast<double>(data<std::int64_t>()[i]);
+    case DType::kBool:
+      return data<std::uint8_t>()[i] != 0 ? 1.0 : 0.0;
+  }
+  return 0.0;
+}
+
+Tensor Tensor::Reshaped(Shape new_shape) const {
+  if (new_shape.num_elements() != num_elements()) {
+    throw InvalidArgument("reshape from " + shape_.ToString() + " to " +
+                          new_shape.ToString() + " changes element count");
+  }
+  Tensor t = *this;
+  t.shape_ = std::move(new_shape);
+  return t;
+}
+
+bool Tensor::ElementsEqual(const Tensor& other) const {
+  if (dtype_ != other.dtype_ || shape_ != other.shape_) return false;
+  return std::memcmp(raw(), other.raw(), buffer_->size()) == 0;
+}
+
+std::string Tensor::ToString(std::int64_t max_elements) const {
+  std::ostringstream oss;
+  oss << "Tensor<" << DTypeName(dtype_) << ", " << shape_.ToString() << ">[";
+  const std::int64_t n = std::min(num_elements(), max_elements);
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (i > 0) oss << ", ";
+    oss << ElementAsDouble(i);
+  }
+  if (n < num_elements()) oss << ", ...";
+  oss << ']';
+  return oss.str();
+}
+
+}  // namespace janus

@@ -1,0 +1,107 @@
+// The dense Tensor type used across the whole system: imperative executor,
+// dataflow graph runtime, autodiff, and benchmarks.
+//
+// A Tensor is a shape + dtype + shared immutable buffer. Copying a Tensor is
+// cheap (buffer is shared); kernels always allocate fresh outputs. The only
+// intentional aliasing mutation is Variable update in the runtime, which
+// replaces the buffer wholesale.
+#ifndef JANUS_TENSOR_TENSOR_H_
+#define JANUS_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "tensor/shape.h"
+
+namespace janus {
+
+enum class DType : std::uint8_t { kFloat32, kInt64, kBool };
+
+const char* DTypeName(DType dtype);
+std::size_t DTypeSize(DType dtype);
+
+class Tensor {
+ public:
+  // Default: float32 scalar 0.
+  Tensor();
+
+  // Allocates an uninitialised tensor (use the factories below instead
+  // where possible).
+  Tensor(DType dtype, Shape shape);
+
+  static Tensor Zeros(DType dtype, const Shape& shape);
+  static Tensor Full(const Shape& shape, float value);
+  static Tensor FullInt(const Shape& shape, std::int64_t value);
+  static Tensor Scalar(float value);
+  static Tensor ScalarInt(std::int64_t value);
+  static Tensor ScalarBool(bool value);
+  static Tensor FromVector(const std::vector<float>& values, Shape shape);
+  static Tensor FromVectorInt(const std::vector<std::int64_t>& values,
+                              Shape shape);
+
+  DType dtype() const { return dtype_; }
+  const Shape& shape() const { return shape_; }
+  std::int64_t num_elements() const { return shape_.num_elements(); }
+  int rank() const { return shape_.rank(); }
+  std::int64_t dim(int axis) const { return shape_.dim(axis); }
+
+  // Typed element access. The requested type must match dtype().
+  template <typename T>
+  std::span<const T> data() const {
+    CheckType<T>();
+    return {static_cast<const T*>(raw()), static_cast<std::size_t>(num_elements())};
+  }
+
+  template <typename T>
+  std::span<T> mutable_data() {
+    CheckType<T>();
+    return {static_cast<T*>(raw()), static_cast<std::size_t>(num_elements())};
+  }
+
+  // Scalar convenience readers (tensor must have exactly one element).
+  float ScalarValue() const;
+  std::int64_t ScalarIntValue() const;
+  bool ScalarBoolValue() const;
+  // Reads element 0 of any dtype as double (for metrics/printing).
+  double ElementAsDouble(std::int64_t index) const;
+
+  // Returns a tensor sharing this buffer but with a different shape of the
+  // same element count.
+  Tensor Reshaped(Shape new_shape) const;
+
+  // Deep equality (dtype, shape, and every element).
+  bool ElementsEqual(const Tensor& other) const;
+
+  // Identity of the underlying buffer (shared across Reshaped views). Used
+  // by the eager tape to associate produced tensors with graph nodes.
+  const void* data_id() const { return buffer_.get(); }
+
+  std::string ToString(std::int64_t max_elements = 16) const;
+
+ private:
+  template <typename T>
+  void CheckType() const {
+    const bool ok = (std::is_same_v<T, float> && dtype_ == DType::kFloat32) ||
+                    (std::is_same_v<T, std::int64_t> && dtype_ == DType::kInt64) ||
+                    (std::is_same_v<T, std::uint8_t> && dtype_ == DType::kBool);
+    if (!ok) {
+      throw InternalError(std::string("tensor dtype mismatch: tensor is ") +
+                          DTypeName(dtype_));
+    }
+  }
+
+  const void* raw() const { return buffer_->data(); }
+  void* raw() { return buffer_->data(); }
+
+  DType dtype_;
+  Shape shape_;
+  std::shared_ptr<std::vector<std::byte>> buffer_;
+};
+
+}  // namespace janus
+
+#endif  // JANUS_TENSOR_TENSOR_H_

@@ -1,0 +1,537 @@
+// Tests for the dataflow executor: DAG scheduling (sequential + parallel),
+// control-flow frames (Switch/Merge/Enter/Exit/NextIteration), deadness
+// propagation, InvokeOp recursion, functional While, variables, assertion
+// aborts, and deferred state commit.
+#include "runtime/executor.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "runtime/run_context.h"
+#include "tensor/ops.h"
+
+namespace janus {
+namespace {
+
+class FakeHostState : public StateInterface {
+ public:
+  Tensor GetAttr(std::int64_t object_id, const std::string& name) override {
+    reads.push_back(name);
+    return attrs.at({object_id, name});
+  }
+  void SetAttr(std::int64_t object_id, const std::string& name,
+               const Tensor& value) override {
+    attrs[{object_id, name}] = value;
+    writes.push_back(name);
+  }
+  Tensor GetSubscr(std::int64_t object_id, std::int64_t index) override {
+    return subscrs.at({object_id, index});
+  }
+  void SetSubscr(std::int64_t object_id, std::int64_t index,
+                 const Tensor& value) override {
+    subscrs[{object_id, index}] = value;
+  }
+
+  std::map<std::pair<std::int64_t, std::string>, Tensor> attrs;
+  std::map<std::pair<std::int64_t, std::int64_t>, Tensor> subscrs;
+  std::vector<std::string> reads;
+  std::vector<std::string> writes;
+};
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  std::vector<Tensor> Run(const Graph& g, std::vector<NodeOutput> fetches,
+                          const std::map<std::string, Tensor>& feeds = {}) {
+    Executor executor(&library_, &variables_, &host_, &rng_);
+    return executor.Run(g, feeds, fetches);
+  }
+
+  FunctionLibrary library_;
+  VariableStore variables_;
+  FakeHostState host_;
+  Rng rng_{42};
+};
+
+TEST_F(ExecutorTest, ConstantArithmetic) {
+  Graph g;
+  const NodeOutput a = g.Constant(Tensor::Scalar(2));
+  const NodeOutput b = g.Constant(Tensor::Scalar(3));
+  Node* add = g.AddNode("Add", {a, b});
+  Node* sq = g.AddNode("Square", {{add, 0}});
+  const auto out = Run(g, {{sq, 0}});
+  EXPECT_FLOAT_EQ(out[0].ScalarValue(), 25.0f);
+}
+
+TEST_F(ExecutorTest, PlaceholderFeeding) {
+  Graph g;
+  const NodeOutput x = g.Placeholder("x", DType::kFloat32);
+  Node* twice = g.AddNode("Add", {x, x});
+  const auto out = Run(g, {{twice, 0}}, {{"x", Tensor::Scalar(21)}});
+  EXPECT_FLOAT_EQ(out[0].ScalarValue(), 42.0f);
+}
+
+TEST_F(ExecutorTest, MissingFeedThrows) {
+  Graph g;
+  const NodeOutput x = g.Placeholder("x", DType::kFloat32);
+  EXPECT_THROW(Run(g, {x}), InvalidArgument);
+}
+
+TEST_F(ExecutorTest, MultipleFetches) {
+  Graph g;
+  const NodeOutput a = g.Constant(Tensor::Scalar(2));
+  Node* neg = g.AddNode("Neg", {a});
+  Node* sq = g.AddNode("Square", {a});
+  const auto out = Run(g, {{neg, 0}, {sq, 0}});
+  EXPECT_FLOAT_EQ(out[0].ScalarValue(), -2.0f);
+  EXPECT_FLOAT_EQ(out[1].ScalarValue(), 4.0f);
+}
+
+TEST_F(ExecutorTest, DiamondDependency) {
+  Graph g;
+  const NodeOutput x = g.Constant(Tensor::Scalar(3));
+  Node* left = g.AddNode("Square", {x});
+  Node* right = g.AddNode("Neg", {x});
+  Node* join = g.AddNode("Add", {{left, 0}, {right, 0}});
+  const auto out = Run(g, {{join, 0}});
+  EXPECT_FLOAT_EQ(out[0].ScalarValue(), 6.0f);
+}
+
+TEST_F(ExecutorTest, ParallelDagMatchesSequential) {
+  Graph g;
+  const NodeOutput x = g.Placeholder("x", DType::kFloat32);
+  // A wide fan-out of independent chains joined at the end.
+  std::vector<NodeOutput> chain_ends;
+  for (int i = 0; i < 16; ++i) {
+    NodeOutput v = x;
+    for (int j = 0; j < 5; ++j) {
+      v = {g.AddNode("Add", {v, g.Constant(Tensor::Scalar(1))}), 0};
+    }
+    chain_ends.push_back(v);
+  }
+  Node* sum = g.AddNode("AddN", chain_ends);
+  const std::map<std::string, Tensor> feeds{{"x", Tensor::Scalar(2)}};
+
+  Executor seq(&library_, &variables_, &host_, &rng_);
+  const auto a = seq.Run(g, feeds, std::vector<NodeOutput>{{sum, 0}});
+
+  ThreadPool pool(4);
+  Executor par(&library_, &variables_, &host_, &rng_, {true, &pool});
+  const auto b = par.Run(g, feeds, std::vector<NodeOutput>{{sum, 0}});
+  EXPECT_FLOAT_EQ(a[0].ScalarValue(), b[0].ScalarValue());
+  EXPECT_FLOAT_EQ(a[0].ScalarValue(), 16 * (2 + 5));
+}
+
+TEST_F(ExecutorTest, ParallelDagPropagatesException) {
+  Graph g;
+  const NodeOutput x = g.Placeholder("missing", DType::kFloat32);
+  Node* neg = g.AddNode("Neg", {x});
+  ThreadPool pool(2);
+  Executor par(&library_, &variables_, &host_, &rng_, {true, &pool});
+  EXPECT_THROW(
+      par.Run(g, {}, std::vector<NodeOutput>{{neg, 0}}),
+      InvalidArgument);
+}
+
+TEST_F(ExecutorTest, ControlDependencyOrdersExecution) {
+  // AssignVariable must run before ReadVariable via a control edge: since
+  // assignments are staged, the read sees the staged value.
+  variables_.Assign("v", Tensor::Scalar(1));
+  Graph g;
+  const NodeOutput ten = g.Constant(Tensor::Scalar(10));
+  Node* assign = g.AddNode("AssignVariable", {ten}, {{"var", std::string("v")}});
+  Node* read = g.AddNode("ReadVariable", {}, {{"var", std::string("v")}});
+  read->AddControlInput(assign);
+  const auto out = Run(g, {{read, 0}});
+  EXPECT_FLOAT_EQ(out[0].ScalarValue(), 10.0f);
+  // And the commit wrote the store.
+  EXPECT_FLOAT_EQ(variables_.Read("v").ScalarValue(), 10.0f);
+}
+
+// ---- Control flow: Switch/Merge conditional ----
+
+// Builds cond ? (x*3) : (x+100) with Switch/Merge primitives.
+struct CondGraph {
+  Graph g;
+  NodeOutput pred, x;
+  Node* merge;
+};
+
+CondGraph BuildCond() {
+  CondGraph c;
+  c.pred = c.g.Placeholder("pred", DType::kBool);
+  c.x = c.g.Placeholder("x", DType::kFloat32);
+  Node* sw = c.g.AddNode("Switch", {c.x, c.pred}, {}, 2);
+  // output 1 = true branch, output 0 = false branch.
+  Node* times3 =
+      c.g.AddNode("Mul", {{sw, 1}, c.g.Constant(Tensor::Scalar(3))});
+  Node* plus100 =
+      c.g.AddNode("Add", {{sw, 0}, c.g.Constant(Tensor::Scalar(100))});
+  c.merge = c.g.AddNode("Merge", {{times3, 0}, {plus100, 0}}, {}, 2);
+  return c;
+}
+
+TEST_F(ExecutorTest, SwitchMergeTrueBranch) {
+  CondGraph c = BuildCond();
+  const auto out = Run(c.g, {{c.merge, 0}},
+                       {{"pred", Tensor::ScalarBool(true)},
+                        {"x", Tensor::Scalar(5)}});
+  EXPECT_FLOAT_EQ(out[0].ScalarValue(), 15.0f);
+}
+
+TEST_F(ExecutorTest, SwitchMergeFalseBranch) {
+  CondGraph c = BuildCond();
+  const auto out = Run(c.g, {{c.merge, 0}},
+                       {{"pred", Tensor::ScalarBool(false)},
+                        {"x", Tensor::Scalar(5)}});
+  EXPECT_FLOAT_EQ(out[0].ScalarValue(), 105.0f);
+}
+
+TEST_F(ExecutorTest, MergeReportsTakenIndex) {
+  CondGraph c = BuildCond();
+  const auto out = Run(c.g, {{c.merge, 1}},
+                       {{"pred", Tensor::ScalarBool(false)},
+                        {"x", Tensor::Scalar(5)}});
+  EXPECT_EQ(out[0].ScalarIntValue(), 1);  // second Merge input won
+}
+
+TEST_F(ExecutorTest, DeadBranchKernelsNotExecuted) {
+  // The untaken branch must not run its kernels: put an Assert(false) there.
+  Graph g;
+  const NodeOutput pred = g.Placeholder("pred", DType::kBool);
+  const NodeOutput x = g.Placeholder("x", DType::kFloat32);
+  Node* sw = g.AddNode("Switch", {x, pred}, {}, 2);
+  const NodeOutput fail_const = g.Constant(Tensor::ScalarBool(false));
+  Node* poison = g.AddNode("Assert", {fail_const},
+                           {{"assumption", std::string("poison")}});
+  // Tie the poison op into the false branch via a control edge so it is only
+  // reachable (live) when the false branch is taken.
+  Node* false_side = g.AddNode("Identity", {{sw, 0}});
+  poison->AddControlInput(false_side);
+  Node* true_side = g.AddNode("Identity", {{sw, 1}});
+  Node* merge = g.AddNode("Merge", {{true_side, 0}, {poison, 0}}, {}, 2);
+  // True path: poison is dead, execution succeeds.
+  const auto out = Run(g, {{merge, 0}},
+                       {{"pred", Tensor::ScalarBool(true)},
+                        {"x", Tensor::Scalar(1)}});
+  EXPECT_FLOAT_EQ(out[0].ScalarValue(), 1.0f);
+}
+
+// ---- Control flow: dataflow while loop with frames ----
+
+// Builds the classic counting loop: i = 0; while (i < n) i = i + 1; fetch i.
+struct LoopGraph {
+  Graph g;
+  Node* exit;
+};
+
+LoopGraph BuildCountingLoop() {
+  LoopGraph l;
+  const NodeOutput zero = l.g.Constant(Tensor::ScalarInt(0));
+  const NodeOutput n = l.g.Placeholder("n", DType::kInt64);
+  Node* enter_i =
+      l.g.AddNode("Enter", {zero}, {{"frame", std::string("loop")}});
+  Node* enter_n = l.g.AddNode(
+      "Enter", {n}, {{"frame", std::string("loop")}, {"is_constant", true}});
+  Node* merge = l.g.AddNode("Merge", {{enter_i, 0}, {enter_i, 0}}, {}, 2);
+  Node* less = l.g.AddNode("Less", {{merge, 0}, {enter_n, 0}});
+  Node* sw = l.g.AddNode("Switch", {{merge, 0}, {less, 0}}, {}, 2);
+  Node* one = l.g.AddNode("Const", {}, {{"value", Tensor::ScalarInt(1)}});
+  Node* inc = l.g.AddNode("Add", {{sw, 1}, {one, 0}});
+  Node* next = l.g.AddNode("NextIteration", {{inc, 0}});
+  merge->set_input(1, {next, 0});
+  l.exit = l.g.AddNode("Exit", {{sw, 0}});
+  return l;
+}
+
+TEST_F(ExecutorTest, WhileLoopCountsToN) {
+  LoopGraph l = BuildCountingLoop();
+  const auto out =
+      Run(l.g, {{l.exit, 0}}, {{"n", Tensor::ScalarInt(7)}});
+  EXPECT_EQ(out[0].ScalarIntValue(), 7);
+}
+
+TEST_F(ExecutorTest, WhileLoopZeroIterations) {
+  LoopGraph l = BuildCountingLoop();
+  const auto out =
+      Run(l.g, {{l.exit, 0}}, {{"n", Tensor::ScalarInt(0)}});
+  EXPECT_EQ(out[0].ScalarIntValue(), 0);
+}
+
+TEST_F(ExecutorTest, WhileLoopManyIterations) {
+  LoopGraph l = BuildCountingLoop();
+  const auto out =
+      Run(l.g, {{l.exit, 0}}, {{"n", Tensor::ScalarInt(200)}});
+  EXPECT_EQ(out[0].ScalarIntValue(), 200);
+}
+
+TEST_F(ExecutorTest, NestedFramesViaAccumulatingLoop) {
+  // acc = 0; for i in [0,n): acc += i  =>  n*(n-1)/2, with two loop-carried
+  // values through the same frame.
+  Graph g;
+  const NodeOutput zero_i = g.Constant(Tensor::ScalarInt(0));
+  const NodeOutput zero_acc = g.Constant(Tensor::ScalarInt(0));
+  const NodeOutput n = g.Placeholder("n", DType::kInt64);
+  Node* enter_i = g.AddNode("Enter", {zero_i}, {{"frame", std::string("L")}});
+  Node* enter_acc =
+      g.AddNode("Enter", {zero_acc}, {{"frame", std::string("L")}});
+  Node* enter_n = g.AddNode(
+      "Enter", {n}, {{"frame", std::string("L")}, {"is_constant", true}});
+  Node* merge_i = g.AddNode("Merge", {{enter_i, 0}, {enter_i, 0}}, {}, 2);
+  Node* merge_acc =
+      g.AddNode("Merge", {{enter_acc, 0}, {enter_acc, 0}}, {}, 2);
+  Node* less = g.AddNode("Less", {{merge_i, 0}, {enter_n, 0}});
+  Node* sw_i = g.AddNode("Switch", {{merge_i, 0}, {less, 0}}, {}, 2);
+  Node* sw_acc = g.AddNode("Switch", {{merge_acc, 0}, {less, 0}}, {}, 2);
+  Node* one = g.AddNode("Const", {}, {{"value", Tensor::ScalarInt(1)}});
+  Node* inc = g.AddNode("Add", {{sw_i, 1}, {one, 0}});
+  Node* acc2 = g.AddNode("Add", {{sw_acc, 1}, {sw_i, 1}});
+  Node* next_i = g.AddNode("NextIteration", {{inc, 0}});
+  Node* next_acc = g.AddNode("NextIteration", {{acc2, 0}});
+  merge_i->set_input(1, {next_i, 0});
+  merge_acc->set_input(1, {next_acc, 0});
+  Node* exit_acc = g.AddNode("Exit", {{sw_acc, 0}});
+  const auto out =
+      Run(g, {{exit_acc, 0}}, {{"n", Tensor::ScalarInt(10)}});
+  EXPECT_EQ(out[0].ScalarIntValue(), 45);
+}
+
+// ---- Invoke: function calls and recursion ----
+
+TEST_F(ExecutorTest, InvokeSimpleFunction) {
+  auto fn = std::make_unique<GraphFunction>();
+  fn->name = "double";
+  Node* p = fn->graph.AddNode("Param", {}, {{"index", std::int64_t{0}}});
+  Node* d = fn->graph.AddNode("Add", {{p, 0}, {p, 0}});
+  fn->parameters = {p};
+  fn->results = {{d, 0}};
+  library_.Register(std::move(fn));
+
+  Graph g;
+  const NodeOutput x = g.Constant(Tensor::Scalar(4));
+  Node* call = g.AddNode("Invoke", {x}, {{"function", std::string("double")}});
+  const auto out = Run(g, {{call, 0}});
+  EXPECT_FLOAT_EQ(out[0].ScalarValue(), 8.0f);
+}
+
+TEST_F(ExecutorTest, InvokeRecursiveFactorial) {
+  // fact(n) = n <= 1 ? 1 : n * fact(n-1), with Switch/Merge inside the
+  // function body and a recursive Invoke.
+  auto fn = std::make_unique<GraphFunction>();
+  fn->name = "fact";
+  Graph& fg = fn->graph;
+  Node* n = fg.AddNode("Param", {}, {{"index", std::int64_t{0}}});
+  Node* one = fg.AddNode("Const", {}, {{"value", Tensor::ScalarInt(1)}});
+  Node* le = fg.AddNode("LessEqual", {{n, 0}, {one, 0}});
+  Node* sw = fg.AddNode("Switch", {{n, 0}, {le, 0}}, {}, 2);
+  // Base case (true side): 1.
+  Node* base = fg.AddNode("OnesLike", {{sw, 1}});
+  // Recursive case (false side): n * fact(n - 1).
+  Node* nm1 = fg.AddNode("Sub", {{sw, 0}, {one, 0}});
+  Node* rec = fg.AddNode("Invoke", {{nm1, 0}},
+                         {{"function", std::string("fact")}});
+  Node* prod = fg.AddNode("Mul", {{sw, 0}, {rec, 0}});
+  Node* merge = fg.AddNode("Merge", {{base, 0}, {prod, 0}}, {}, 2);
+  fn->parameters = {n};
+  fn->results = {{merge, 0}};
+  library_.Register(std::move(fn));
+
+  Graph g;
+  const NodeOutput five = g.Constant(Tensor::ScalarInt(5));
+  Node* call = g.AddNode("Invoke", {five}, {{"function", std::string("fact")}});
+  const auto out = Run(g, {{call, 0}});
+  EXPECT_EQ(out[0].ScalarIntValue(), 120);
+}
+
+// ---- Functional While ----
+
+TEST_F(ExecutorTest, FunctionalWhileRunsBodyUntilCondFalse) {
+  // carried: (i, acc); captures: (n). body: (i+1, acc*2).
+  auto cond = std::make_unique<GraphFunction>();
+  cond->name = "w_cond";
+  {
+    Graph& cg = cond->graph;
+    Node* i = cg.AddNode("Param", {}, {{"index", std::int64_t{0}}});
+    Node* acc = cg.AddNode("Param", {}, {{"index", std::int64_t{1}}});
+    Node* n = cg.AddNode("Param", {}, {{"index", std::int64_t{2}}});
+    (void)acc;
+    Node* lt = cg.AddNode("Less", {{i, 0}, {n, 0}});
+    cond->parameters = {i, acc, n};
+    cond->results = {{lt, 0}};
+  }
+  library_.Register(std::move(cond));
+
+  auto body = std::make_unique<GraphFunction>();
+  body->name = "w_body";
+  {
+    Graph& bg = body->graph;
+    Node* i = bg.AddNode("Param", {}, {{"index", std::int64_t{0}}});
+    Node* acc = bg.AddNode("Param", {}, {{"index", std::int64_t{1}}});
+    Node* n = bg.AddNode("Param", {}, {{"index", std::int64_t{2}}});
+    (void)n;
+    Node* one = bg.AddNode("Const", {}, {{"value", Tensor::ScalarInt(1)}});
+    Node* ip1 = bg.AddNode("Add", {{i, 0}, {one, 0}});
+    Node* two = bg.AddNode("Const", {}, {{"value", Tensor::Scalar(2)}});
+    Node* acc2 = bg.AddNode("Mul", {{acc, 0}, {two, 0}});
+    body->parameters = {i, acc, n};
+    body->results = {{ip1, 0}, {acc2, 0}};
+  }
+  library_.Register(std::move(body));
+
+  Graph g;
+  const NodeOutput i0 = g.Constant(Tensor::ScalarInt(0));
+  const NodeOutput acc0 = g.Constant(Tensor::Scalar(1));
+  const NodeOutput n = g.Placeholder("n", DType::kInt64);
+  Node* loop = g.AddNode("While", {i0, acc0, n},
+                         {{"cond_fn", std::string("w_cond")},
+                          {"body_fn", std::string("w_body")},
+                          {"num_carried", std::int64_t{2}}},
+                         2);
+  const auto out =
+      Run(g, {{loop, 1}}, {{"n", Tensor::ScalarInt(10)}});
+  EXPECT_FLOAT_EQ(out[0].ScalarValue(), 1024.0f);
+}
+
+// ---- Assertions and deferred state ----
+
+TEST_F(ExecutorTest, AssertPassesThrough) {
+  Graph g;
+  const NodeOutput t = g.Constant(Tensor::ScalarBool(true));
+  Node* a = g.AddNode("Assert", {t}, {{"assumption", std::string("ok")}});
+  const auto out = Run(g, {{a, 0}});
+  EXPECT_TRUE(out[0].ScalarBoolValue());
+}
+
+TEST_F(ExecutorTest, AssertFailureThrowsWithAssumptionId) {
+  Graph g;
+  const NodeOutput f = g.Constant(Tensor::ScalarBool(false));
+  Node* a = g.AddNode("Assert", {f}, {{"assumption", std::string("shape:x")}});
+  try {
+    Run(g, {{a, 0}});
+    FAIL() << "expected AssumptionFailed";
+  } catch (const AssumptionFailed& e) {
+    EXPECT_EQ(e.assumption_id(), "shape:x");
+  }
+}
+
+TEST_F(ExecutorTest, FailedRunCommitsNothing) {
+  // A variable assignment stages before the assert fails; the store must be
+  // untouched afterwards (all-or-nothing, paper §3.2).
+  variables_.Assign("w", Tensor::Scalar(1));
+  host_.attrs[{7, "state"}] = Tensor::Scalar(5);
+  Graph g;
+  const NodeOutput v = g.Constant(Tensor::Scalar(99));
+  Node* assign =
+      g.AddNode("AssignVariable", {v}, {{"var", std::string("w")}});
+  const NodeOutput obj = g.Constant(Tensor::ScalarInt(7));
+  Node* setattr = g.AddNode("PySetAttr", {obj, v},
+                            {{"attr", std::string("state")}});
+  const NodeOutput f = g.Constant(Tensor::ScalarBool(false));
+  Node* assert_node =
+      g.AddNode("Assert", {f}, {{"assumption", std::string("a")}});
+  assert_node->AddControlInput(assign);
+  assert_node->AddControlInput(setattr);
+  EXPECT_THROW(Run(g, {{assert_node, 0}}), AssumptionFailed);
+  EXPECT_FLOAT_EQ(variables_.Read("w").ScalarValue(), 1.0f);
+  EXPECT_FLOAT_EQ(host_.attrs.at({7, "state"}).ScalarValue(), 5.0f);
+  EXPECT_TRUE(host_.writes.empty());
+}
+
+TEST_F(ExecutorTest, PyAttrLocalCopySemantics) {
+  // Fig. 5: a write followed by a read inside one run sees the local copy;
+  // the host heap is written exactly once, at commit.
+  host_.attrs[{11, "state"}] = Tensor::Scalar(1);
+  Graph g;
+  const NodeOutput obj = g.Constant(Tensor::ScalarInt(11));
+  const NodeOutput v = g.Constant(Tensor::Scalar(42));
+  Node* set = g.AddNode("PySetAttr", {obj, v}, {{"attr", std::string("state")}});
+  Node* get = g.AddNode("PyGetAttr", {obj}, {{"attr", std::string("state")}});
+  get->AddControlInput(set);
+  const auto out = Run(g, {{get, 0}});
+  EXPECT_FLOAT_EQ(out[0].ScalarValue(), 42.0f);  // read saw local copy
+  EXPECT_TRUE(host_.reads.empty());              // host read bypassed
+  EXPECT_EQ(host_.writes.size(), 1u);            // single commit write
+  EXPECT_FLOAT_EQ(host_.attrs.at({11, "state"}).ScalarValue(), 42.0f);
+}
+
+TEST_F(ExecutorTest, PySubscrStagedAndCommitted) {
+  host_.subscrs[{3, 0}] = Tensor::Scalar(10);
+  Graph g;
+  const NodeOutput obj = g.Constant(Tensor::ScalarInt(3));
+  const NodeOutput idx = g.Constant(Tensor::ScalarInt(0));
+  Node* get = g.AddNode("PyGetSubscr", {obj, idx});
+  Node* doubled = g.AddNode("Add", {{get, 0}, {get, 0}});
+  Node* set = g.AddNode("PySetSubscr", {obj, idx, {doubled, 0}});
+  const auto out = Run(g, {{set, 0}});
+  EXPECT_FLOAT_EQ(out[0].ScalarValue(), 20.0f);
+  EXPECT_FLOAT_EQ(host_.subscrs.at({3, 0}).ScalarValue(), 20.0f);
+}
+
+TEST_F(ExecutorTest, ApplySGDUpdatesVariableAtCommit) {
+  variables_.Assign("w", Tensor::FromVector({1, 2}, Shape{2}));
+  Graph g;
+  const NodeOutput grad = g.Constant(Tensor::FromVector({10, 10}, Shape{2}));
+  const NodeOutput lr = g.Constant(Tensor::Scalar(0.1f));
+  Node* sgd = g.AddNode("ApplySGD", {grad, lr}, {{"var", std::string("w")}});
+  Run(g, {{sgd, 0}});
+  const auto w = variables_.Read("w").data<float>();
+  EXPECT_FLOAT_EQ(w[0], 0.0f);
+  EXPECT_FLOAT_EQ(w[1], 1.0f);
+}
+
+TEST_F(ExecutorTest, ReadVariableSeesStagedWrite) {
+  variables_.Assign("v", Tensor::Scalar(1));
+  Graph g;
+  const NodeOutput c = g.Constant(Tensor::Scalar(5));
+  Node* assign = g.AddNode("AssignVariable", {c}, {{"var", std::string("v")}});
+  Node* read = g.AddNode("ReadVariable", {}, {{"var", std::string("v")}});
+  read->AddControlInput(assign);
+  Node* plus = g.AddNode("Add", {{read, 0}, c});
+  const auto out = Run(g, {{plus, 0}});
+  EXPECT_FLOAT_EQ(out[0].ScalarValue(), 10.0f);
+}
+
+TEST_F(ExecutorTest, OpsExecutedCounter) {
+  Graph g;
+  const NodeOutput a = g.Constant(Tensor::Scalar(1));
+  Node* n1 = g.AddNode("Neg", {a});
+  Node* n2 = g.AddNode("Neg", {{n1, 0}});
+  std::int64_t ops = 0;
+  Executor executor(&library_, &variables_, &host_, &rng_);
+  executor.Run(g, {}, std::vector<NodeOutput>{{n2, 0}}, &ops);
+  EXPECT_EQ(ops, 2);  // Const resolves without a kernel
+}
+
+TEST_F(ExecutorTest, NeedsDynamicExecutionDetection) {
+  Graph dag;
+  const NodeOutput c = dag.Constant(Tensor::Scalar(1));
+  dag.AddNode("Neg", {c});
+  EXPECT_FALSE(Executor::NeedsDynamicExecution(dag));
+
+  CondGraph cond = BuildCond();
+  EXPECT_TRUE(Executor::NeedsDynamicExecution(cond.g));
+}
+
+TEST_F(ExecutorTest, RandomOpsDeterministicPerSeed) {
+  Graph g;
+  Node* r1 = g.AddNode("RandomNormal", {},
+                       {{"shape", std::vector<std::int64_t>{4}},
+                        {"mean", 0.0},
+                        {"stddev", 1.0}});
+  Rng rng_a(9);
+  Rng rng_b(9);
+  Executor ex_a(&library_, &variables_, &host_, &rng_a);
+  Executor ex_b(&library_, &variables_, &host_, &rng_b);
+  const auto a = ex_a.Run(g, {}, std::vector<NodeOutput>{{r1, 0}});
+  const auto b = ex_b.Run(g, {}, std::vector<NodeOutput>{{r1, 0}});
+  EXPECT_TRUE(a[0].ElementsEqual(b[0]));
+}
+
+TEST_F(ExecutorTest, UnknownOpThrows) {
+  Graph g;
+  const NodeOutput c = g.Constant(Tensor::Scalar(1));
+  Node* bad = g.AddNode("NoSuchOp", {c});
+  EXPECT_THROW(Run(g, {{bad, 0}}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace janus

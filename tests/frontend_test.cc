@@ -1,0 +1,532 @@
+// Tests for the MiniPy frontend: lexer, parser, interpreter semantics
+// (dynamic control flow, dynamic types, impure functions — the paper's three
+// dynamic-feature classes), builtins, and eager tape training.
+#include "frontend/interpreter.h"
+
+#include <gtest/gtest.h>
+
+#include "frontend/builtins.h"
+#include "frontend/lexer.h"
+#include "frontend/parser.h"
+
+namespace janus::minipy {
+namespace {
+
+class FrontendTest : public ::testing::Test {
+ protected:
+  FrontendTest() : interp_(&variables_, &rng_) { InstallBuiltins(interp_); }
+
+  Value RunAndGet(const std::string& source, const std::string& global) {
+    interp_.Run(source);
+    return interp_.GetGlobal(global);
+  }
+
+  double Num(const Value& v) {
+    if (const auto* i = std::get_if<std::int64_t>(&v)) {
+      return static_cast<double>(*i);
+    }
+    if (const auto* d = std::get_if<double>(&v)) return *d;
+    if (const auto* t = std::get_if<Tensor>(&v)) return t->ElementAsDouble(0);
+    if (const auto* b = std::get_if<bool>(&v)) return *b ? 1 : 0;
+    ADD_FAILURE() << "not numeric: " << ValueTypeName(v);
+    return 0;
+  }
+
+  VariableStore variables_;
+  Rng rng_{11};
+  Interpreter interp_;
+};
+
+// ---- Lexer ----
+
+TEST(LexerTest, TokenizesOperatorsAndLiterals) {
+  const auto tokens = Tokenize("x = 3 + 4.5 ** 2\n");
+  ASSERT_GE(tokens.size(), 8u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kName);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kAssign);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kInt);
+  EXPECT_EQ(tokens[2].int_value, 3);
+  EXPECT_EQ(tokens[4].kind, TokenKind::kFloat);
+  EXPECT_DOUBLE_EQ(tokens[4].float_value, 4.5);
+  EXPECT_EQ(tokens[5].kind, TokenKind::kDoubleStar);
+}
+
+TEST(LexerTest, IndentationProducesLayoutTokens) {
+  const auto tokens = Tokenize("if x:\n    y = 1\nz = 2\n");
+  int indents = 0;
+  int dedents = 0;
+  for (const Token& t : tokens) {
+    if (t.kind == TokenKind::kIndent) ++indents;
+    if (t.kind == TokenKind::kDedent) ++dedents;
+  }
+  EXPECT_EQ(indents, 1);
+  EXPECT_EQ(dedents, 1);
+}
+
+TEST(LexerTest, NewlinesInsideBracketsIgnored) {
+  const auto tokens = Tokenize("x = [1,\n     2,\n     3]\n");
+  int newlines = 0;
+  for (const Token& t : tokens) {
+    if (t.kind == TokenKind::kNewline) ++newlines;
+  }
+  EXPECT_EQ(newlines, 1);
+}
+
+TEST(LexerTest, CommentsAndBlankLinesSkipped) {
+  const auto tokens = Tokenize("# header\n\nx = 1  # trailing\n");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kName);
+}
+
+TEST(LexerTest, StringEscapes) {
+  const auto tokens = Tokenize("s = 'a\\nb'\n");
+  EXPECT_EQ(tokens[2].text, "a\nb");
+}
+
+TEST(LexerTest, UnterminatedStringThrows) {
+  EXPECT_THROW(Tokenize("s = 'oops\n"), InvalidArgument);
+}
+
+TEST(LexerTest, InconsistentIndentThrows) {
+  EXPECT_THROW(Tokenize("if x:\n    y = 1\n  z = 2\n"), InvalidArgument);
+}
+
+// ---- Parser ----
+
+TEST(ParserTest, ParsesFunctionAndClass) {
+  const Module m = Parse(R"(
+def f(a, b):
+    return a + b
+
+class Model:
+    def __init__(self):
+        self.state = 0
+)");
+  ASSERT_EQ(m.body.size(), 2u);
+  EXPECT_EQ(m.body[0]->kind, StmtKind::kDef);
+  EXPECT_EQ(m.body[0]->params.size(), 2u);
+  EXPECT_EQ(m.body[1]->kind, StmtKind::kClass);
+  EXPECT_EQ(m.body[1]->methods.size(), 1u);
+}
+
+TEST(ParserTest, OperatorPrecedence) {
+  const Module m = Parse("x = 1 + 2 * 3 ** 2\n");
+  const Expr* root = m.body[0]->value.get();
+  ASSERT_EQ(root->kind, ExprKind::kBinary);
+  EXPECT_EQ(root->binary_op, BinaryOp::kAdd);  // * and ** bind tighter
+}
+
+TEST(ParserTest, UniqueNodeIds) {
+  const Module m = Parse("x = 1 + 2\ny = x * 3\n");
+  EXPECT_GT(m.num_nodes, 5);
+}
+
+TEST(ParserTest, UnsupportedKeywordsRejected) {
+  EXPECT_THROW(Parse("import os\n"), InvalidArgument);
+  EXPECT_THROW(Parse("def f():\n    yield 1\n"), InvalidArgument);
+  EXPECT_THROW(Parse("with x:\n    pass\n"), InvalidArgument);
+}
+
+TEST(ParserTest, SyntaxErrorHasLineNumber) {
+  try {
+    Parse("x = 1\ny = (\n");
+    FAIL();
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("line"), std::string::npos);
+  }
+}
+
+// ---- Interpreter: core semantics ----
+
+TEST_F(FrontendTest, ArithmeticAndPrecedence) {
+  EXPECT_EQ(Num(RunAndGet("x = 2 + 3 * 4\n", "x")), 14);
+  EXPECT_EQ(Num(RunAndGet("y = (2 + 3) * 4\n", "y")), 20);
+  EXPECT_EQ(Num(RunAndGet("z = 2 ** 3 ** 2\n", "z")), 512);  // right assoc
+  EXPECT_EQ(Num(RunAndGet("q = 7 // 2\n", "q")), 3);
+  EXPECT_EQ(Num(RunAndGet("r = -7 // 2\n", "r")), -4);
+  EXPECT_EQ(Num(RunAndGet("m = -7 % 3\n", "m")), 2);  // Python modulo
+  EXPECT_DOUBLE_EQ(Num(RunAndGet("d = 7 / 2\n", "d")), 3.5);
+}
+
+TEST_F(FrontendTest, DynamicTyping) {
+  // The same variable holds an int, then a string, then a list (DT).
+  interp_.Run(R"(
+x = 1
+x = x + 1
+t1 = x
+x = 'hello '
+x = x + 'world'
+t2 = x
+x = [1, 2] + [3]
+t3 = len(x)
+)");
+  EXPECT_EQ(Num(interp_.GetGlobal("t1")), 2);
+  EXPECT_EQ(std::get<std::string>(interp_.GetGlobal("t2")), "hello world");
+  EXPECT_EQ(Num(interp_.GetGlobal("t3")), 3);
+}
+
+TEST_F(FrontendTest, ControlFlow) {
+  interp_.Run(R"(
+total = 0
+for i in range(10):
+    if i % 2 == 0:
+        total += i
+    else:
+        total -= 1
+while total > 10:
+    total = total - 10
+)");
+  // evens 0..8 sum to 20, minus 5 odd decrements = 15; then 15-10 = 5.
+  EXPECT_EQ(Num(interp_.GetGlobal("total")), 5);
+}
+
+TEST_F(FrontendTest, BreakAndContinue) {
+  interp_.Run(R"(
+acc = 0
+for i in range(100):
+    if i == 5:
+        break
+    if i % 2 == 1:
+        continue
+    acc += i
+)");
+  EXPECT_EQ(Num(interp_.GetGlobal("acc")), 6);  // 0 + 2 + 4
+}
+
+TEST_F(FrontendTest, FunctionsAndRecursion) {
+  interp_.Run(R"(
+def fib(n):
+    if n < 2:
+        return n
+    return fib(n - 1) + fib(n - 2)
+result = fib(10)
+)");
+  EXPECT_EQ(Num(interp_.GetGlobal("result")), 55);
+}
+
+TEST_F(FrontendTest, ClosuresCaptureEnvironment) {
+  interp_.Run(R"(
+def make_adder(k):
+    def add(x):
+        return x + k
+    return add
+add5 = make_adder(5)
+result = add5(37)
+)");
+  EXPECT_EQ(Num(interp_.GetGlobal("result")), 42);
+}
+
+TEST_F(FrontendTest, LambdaExpressions) {
+  interp_.Run(R"(
+f = lambda a, b: a * b + 1
+result = f(6, 7)
+)");
+  EXPECT_EQ(Num(interp_.GetGlobal("result")), 43);
+}
+
+TEST_F(FrontendTest, GlobalStatement) {
+  interp_.Run(R"(
+counter = 0
+def bump():
+    global counter
+    counter = counter + 1
+bump()
+bump()
+bump()
+)");
+  EXPECT_EQ(Num(interp_.GetGlobal("counter")), 3);
+}
+
+TEST_F(FrontendTest, ClassesAndImpureMethods) {
+  // The RNN state-passing pattern of Fig. 1: a method reads and mutates an
+  // object attribute (IF).
+  interp_.Run(R"(
+class Accumulator:
+    def __init__(self, start):
+        self.state = start
+    def add(self, x):
+        self.state = self.state + x
+        return self.state
+
+acc = Accumulator(10)
+a = acc.add(1)
+b = acc.add(2)
+final = acc.state
+)");
+  EXPECT_EQ(Num(interp_.GetGlobal("a")), 11);
+  EXPECT_EQ(Num(interp_.GetGlobal("b")), 13);
+  EXPECT_EQ(Num(interp_.GetGlobal("final")), 13);
+}
+
+TEST_F(FrontendTest, CallableObjectsViaDunderCall) {
+  interp_.Run(R"(
+class Doubler:
+    def __call__(self, x):
+        return x * 2
+d = Doubler()
+result = d(21)
+)");
+  EXPECT_EQ(Num(interp_.GetGlobal("result")), 42);
+}
+
+TEST_F(FrontendTest, ListsAndDicts) {
+  interp_.Run(R"(
+xs = [1, 2, 3]
+xs.append(4)
+xs[0] = 10
+d = {'a': 1, 2: 'two'}
+d['b'] = xs[3]
+n = len(xs) + len(d)
+has = 2 in d
+first = xs[0]
+neg = xs[-1]
+)");
+  EXPECT_EQ(Num(interp_.GetGlobal("n")), 7);
+  EXPECT_TRUE(std::get<bool>(interp_.GetGlobal("has")));
+  EXPECT_EQ(Num(interp_.GetGlobal("first")), 10);
+  EXPECT_EQ(Num(interp_.GetGlobal("neg")), 4);
+}
+
+TEST_F(FrontendTest, TupleUnpacking) {
+  interp_.Run("a, b = [1, 2]\nc = a + b\n");
+  EXPECT_EQ(Num(interp_.GetGlobal("c")), 3);
+}
+
+TEST_F(FrontendTest, TryExceptFinallyAndRaise) {
+  interp_.Run(R"(
+log = []
+def risky(x):
+    try:
+        if x > 0:
+            raise 'positive!'
+        log.append('ok')
+    except Error as e:
+        log.append('caught')
+    finally:
+        log.append('finally')
+
+risky(1)
+risky(-1)
+n = len(log)
+)");
+  EXPECT_EQ(Num(interp_.GetGlobal("n")), 4);  // caught,finally,ok,finally
+}
+
+TEST_F(FrontendTest, UncaughtRaisePropagates) {
+  EXPECT_THROW(interp_.Run("raise 'boom'\n"), MiniPyError);
+}
+
+TEST_F(FrontendTest, BooleanShortCircuit) {
+  interp_.Run(R"(
+def boom():
+    raise 'should not run'
+a = False and boom()
+b = True or boom()
+)");
+  EXPECT_FALSE(std::get<bool>(interp_.GetGlobal("a")));
+  EXPECT_TRUE(std::get<bool>(interp_.GetGlobal("b")));
+}
+
+TEST_F(FrontendTest, NameErrorsHaveMessages) {
+  try {
+    interp_.Run("x = undefined_name\n");
+    FAIL();
+  } catch (const MiniPyError& e) {
+    EXPECT_NE(std::string(e.what()).find("undefined_name"),
+              std::string::npos);
+  }
+}
+
+// ---- Interpreter: tensors ----
+
+TEST_F(FrontendTest, TensorArithmeticWithBroadcast) {
+  interp_.Run(R"(
+a = constant([[1.0, 2.0], [3.0, 4.0]])
+b = constant([10.0, 20.0])
+c = a * 2 + b
+s = reduce_sum(c)
+)");
+  EXPECT_DOUBLE_EQ(Num(interp_.GetGlobal("s")), 2 + 4 + 6 + 8 + 4 * 15);
+}
+
+TEST_F(FrontendTest, TensorIterationAndSubscript) {
+  interp_.Run(R"(
+m = constant([[1.0, 2.0], [3.0, 4.0], [5.0, 6.0]])
+total = 0.0
+for row in m:
+    total = total + reduce_sum(row)
+first_row_sum = reduce_sum(m[0])
+)");
+  EXPECT_DOUBLE_EQ(Num(interp_.GetGlobal("total")), 21);
+  EXPECT_DOUBLE_EQ(Num(interp_.GetGlobal("first_row_sum")), 3);
+}
+
+TEST_F(FrontendTest, TensorComparisonsAndSelect) {
+  interp_.Run(R"(
+x = constant([1.0, -2.0, 3.0])
+mask = x > 0
+y = select(mask, x, 0.0 * x)
+s = reduce_sum(y)
+)");
+  EXPECT_DOUBLE_EQ(Num(interp_.GetGlobal("s")), 4);
+}
+
+TEST_F(FrontendTest, MatmulAndShapes) {
+  interp_.Run(R"(
+a = constant([[1.0, 2.0, 3.0], [4.0, 5.0, 6.0]])
+b = transpose(a)
+c = matmul(a, b)
+dims = c.shape
+)");
+  const auto dims =
+      std::get<std::shared_ptr<ListValue>>(interp_.GetGlobal("dims"));
+  EXPECT_EQ(Num(dims->items[0]), 2);
+  EXPECT_EQ(Num(dims->items[1]), 2);
+}
+
+TEST_F(FrontendTest, VariablesPersistAcrossStatements) {
+  interp_.Run(R"(
+w = variable('w', constant([1.0, 2.0]))
+assign(w, w * 3)
+s = reduce_sum(w)
+)");
+  EXPECT_DOUBLE_EQ(Num(interp_.GetGlobal("s")), 9);
+  EXPECT_TRUE(variables_.Contains("w"));
+}
+
+// ---- Imperative training via the tape ----
+
+TEST_F(FrontendTest, OptimizeRunsSgdOnLinearRegression) {
+  // Fit y = 2x with a scalar weight; loss must decrease.
+  interp_.Run(R"(
+w = variable('lin_w', constant([[0.5]]))
+x = constant([[1.0], [2.0], [3.0]])
+y = constant([[2.0], [4.0], [6.0]])
+
+def loss_fn():
+    pred = matmul(x, w)
+    err = pred - y
+    return reduce_mean(err * err)
+
+first = optimize(loss_fn, 0.05)
+for i in range(60):
+    last = optimize(loss_fn, 0.05)
+)");
+  const double first = Num(interp_.GetGlobal("first"));
+  const double last = Num(interp_.GetGlobal("last"));
+  EXPECT_LT(last, first * 0.05);
+  // Weight converged near 2.
+  EXPECT_NEAR(variables_.Read("lin_w").data<float>()[0], 2.0f, 0.1f);
+}
+
+TEST_F(FrontendTest, GradientsBuiltinMatchesManualDerivative) {
+  interp_.Run(R"(
+w = variable('gw', constant([3.0]))
+def f():
+    return reduce_sum(w * w)
+g = gradients(f)
+)");
+  const auto dict =
+      std::get<std::shared_ptr<DictValue>>(interp_.GetGlobal("g"));
+  const Tensor grad = std::get<Tensor>(dict->items.at(DictKey{"gw"}));
+  EXPECT_FLOAT_EQ(grad.data<float>()[0], 6.0f);  // d(w^2)/dw = 2w
+}
+
+TEST_F(FrontendTest, GradientsFlowThroughPythonControlFlow) {
+  // The tape records through interpreter-level loops and branches (DCF).
+  interp_.Run(R"(
+w = variable('cw', constant([2.0]))
+def f():
+    acc = w
+    for i in range(3):
+        if i % 2 == 0:
+            acc = acc * w
+        else:
+            acc = acc + w
+    return reduce_sum(acc)
+g = gradients(f)
+)");
+  // acc = ((w*w)+w)*w = w^3+w^2; d/dw = 3w^2+2w = 16 at w=2.
+  const auto dict =
+      std::get<std::shared_ptr<DictValue>>(interp_.GetGlobal("g"));
+  const Tensor grad = std::get<Tensor>(dict->items.at(DictKey{"cw"}));
+  EXPECT_FLOAT_EQ(grad.data<float>()[0], 16.0f);
+}
+
+TEST_F(FrontendTest, Fig1RnnPatternTrainsImperatively) {
+  // The paper's Figure 1 program shape: state passing through an object
+  // attribute across optimize() calls.
+  interp_.Run(R"(
+class RNNModel:
+    def __init__(self):
+        self.state = zeros([1, 4])
+        self.w = variable('rnn_w', randn([8, 4], 0.1))
+    def __call__(self, sequence):
+        state = self.state
+        outputs = []
+        for item in sequence:
+            joined = concat([state, item], 1)
+            state = tanh(matmul(joined, self.w))
+            outputs = outputs + [state]
+        self.state = stop_gradient(state)
+        total = 0.0
+        for out in outputs:
+            total = total + reduce_mean(out * out)
+        return total
+
+model = RNNModel()
+sequences = [constant([[1.0, 0.0, 0.0, 1.0]]), constant([[0.0, 1.0, 1.0, 0.0]])]
+losses = []
+for i in range(4):
+    for seq in sequences:
+        losses.append(optimize(lambda: model([seq]), 0.1))
+n = len(losses)
+)");
+  EXPECT_EQ(Num(interp_.GetGlobal("n")), 8);
+}
+
+TEST_F(FrontendTest, StatementCounterAdvances) {
+  const auto before = interp_.statements_executed();
+  interp_.Run("x = 1\ny = 2\nz = x + y\n");
+  EXPECT_GE(interp_.statements_executed() - before, 3);
+}
+
+// ---- Observer hooks ----
+
+class RecordingObserver : public ExecutionObserver {
+ public:
+  void OnBranch(const Stmt*, bool taken) override {
+    branches.push_back(taken);
+  }
+  void OnLoopFinished(const Stmt*, std::int64_t trips) override {
+    loops.push_back(trips);
+  }
+  void OnFunctionEntry(const Stmt* def, std::span<const Value>) override {
+    entries.push_back(def->name);
+  }
+  std::vector<bool> branches;
+  std::vector<std::int64_t> loops;
+  std::vector<std::string> entries;
+};
+
+TEST_F(FrontendTest, ObserverSeesBranchesLoopsAndCalls) {
+  RecordingObserver observer;
+  interp_.set_observer(&observer);
+  interp_.Run(R"(
+def f(n):
+    total = 0
+    for i in range(n):
+        if i % 2 == 0:
+            total += i
+    return total
+r = f(4)
+)");
+  interp_.set_observer(nullptr);
+  ASSERT_EQ(observer.loops.size(), 1u);
+  EXPECT_EQ(observer.loops[0], 4);
+  EXPECT_EQ(observer.branches.size(), 4u);
+  ASSERT_EQ(observer.entries.size(), 1u);
+  EXPECT_EQ(observer.entries[0], "f");
+}
+
+}  // namespace
+}  // namespace janus::minipy

@@ -1,0 +1,136 @@
+// Unit tests for the graph IR: node construction, attributes, control
+// dependencies, pruning, and the function library.
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace janus {
+namespace {
+
+TEST(GraphTest, AddNodeAssignsUniqueIdsAndNames) {
+  Graph g;
+  Node* a = g.AddNode("Const", {}, {{"value", Tensor::Scalar(1)}});
+  Node* b = g.AddNode("Const", {}, {{"value", Tensor::Scalar(2)}});
+  EXPECT_NE(a->id(), b->id());
+  EXPECT_NE(a->name(), b->name());
+  EXPECT_EQ(g.num_nodes(), 2u);
+}
+
+TEST(GraphTest, ExplicitNamePreserved) {
+  Graph g;
+  Node* n = g.AddNode("NoOp", {}, {}, 1, "anchor");
+  EXPECT_EQ(n->name(), "anchor");
+}
+
+TEST(GraphTest, InputsWireProducersToConsumers) {
+  Graph g;
+  const NodeOutput c1 = g.Constant(Tensor::Scalar(1));
+  const NodeOutput c2 = g.Constant(Tensor::Scalar(2));
+  Node* add = g.AddNode("Add", {c1, c2});
+  ASSERT_EQ(add->num_inputs(), 2);
+  EXPECT_EQ(add->input(0).node, c1.node);
+  EXPECT_EQ(add->input(1).node, c2.node);
+}
+
+TEST(GraphTest, InvalidInputIndexRejected) {
+  Graph g;
+  const NodeOutput c = g.Constant(Tensor::Scalar(1));
+  EXPECT_THROW(g.AddNode("Add", {{c.node, 3}, c}), ContractViolation);
+}
+
+TEST(GraphTest, SetInputRewires) {
+  Graph g;
+  const NodeOutput c1 = g.Constant(Tensor::Scalar(1));
+  const NodeOutput c2 = g.Constant(Tensor::Scalar(2));
+  Node* neg = g.AddNode("Neg", {c1});
+  neg->set_input(0, c2);
+  EXPECT_EQ(neg->input(0).node, c2.node);
+}
+
+TEST(GraphTest, ControlInputs) {
+  Graph g;
+  Node* a = g.AddNode("NoOp", {});
+  Node* b = g.AddNode("NoOp", {});
+  b->AddControlInput(a);
+  ASSERT_EQ(b->control_inputs().size(), 1u);
+  EXPECT_EQ(b->control_inputs()[0], a);
+  Node* c = g.AddNode("NoOp", {});
+  b->ReplaceControlInput(a, c);
+  EXPECT_EQ(b->control_inputs()[0], c);
+}
+
+TEST(GraphTest, AttrAccessors) {
+  Graph g;
+  Node* n = g.AddNode("Conv2D", {},
+                      {{"stride", std::int64_t{2}},
+                       {"padding", std::string("SAME")},
+                       {"training", true},
+                       {"rate", 0.5},
+                       {"axes", std::vector<std::int64_t>{0, 1}},
+                       {"dtype", DType::kInt64}});
+  EXPECT_EQ(n->GetIntAttr("stride"), 2);
+  EXPECT_EQ(n->GetStringAttr("padding"), "SAME");
+  EXPECT_TRUE(n->GetBoolAttr("training"));
+  EXPECT_DOUBLE_EQ(n->GetFloatAttr("rate"), 0.5);
+  EXPECT_EQ(n->GetIntListAttr("axes"), (std::vector<std::int64_t>{0, 1}));
+  EXPECT_EQ(n->GetDTypeAttr("dtype"), DType::kInt64);
+  EXPECT_TRUE(n->HasAttr("stride"));
+  EXPECT_FALSE(n->HasAttr("missing"));
+  EXPECT_THROW(n->attr("missing"), InternalError);
+  EXPECT_THROW(n->GetIntAttr("padding"), InternalError);
+}
+
+TEST(GraphTest, SetAttrOverwrites) {
+  Graph g;
+  Node* n = g.AddNode("NoOp", {});
+  n->SetAttr("k", std::int64_t{1});
+  n->SetAttr("k", std::int64_t{7});
+  EXPECT_EQ(n->GetIntAttr("k"), 7);
+}
+
+TEST(GraphTest, PruneKeepsOnlyListedNodes) {
+  Graph g;
+  Node* a = g.AddNode("NoOp", {});
+  g.AddNode("NoOp", {});
+  Node* c = g.AddNode("NoOp", {});
+  g.Prune({a, c});
+  EXPECT_EQ(g.num_nodes(), 2u);
+}
+
+TEST(GraphTest, DebugStringMentionsOpAndInputs) {
+  Graph g;
+  const NodeOutput c = g.Constant(Tensor::Scalar(3), "three");
+  Node* neg = g.AddNode("Neg", {c}, {}, 1, "negate");
+  const std::string s = neg->DebugString();
+  EXPECT_NE(s.find("Neg"), std::string::npos);
+  EXPECT_NE(s.find("three"), std::string::npos);
+}
+
+TEST(FunctionLibraryTest, RegisterAndLookup) {
+  FunctionLibrary lib;
+  auto fn = std::make_unique<GraphFunction>();
+  fn->name = "f";
+  Node* p = fn->graph.AddNode("Param", {}, {{"index", std::int64_t{0}}});
+  fn->parameters = {p};
+  fn->results = {{p, 0}};
+  lib.Register(std::move(fn));
+  EXPECT_TRUE(lib.Contains("f"));
+  EXPECT_FALSE(lib.Contains("g"));
+  EXPECT_EQ(lib.Lookup("f").parameters.size(), 1u);
+  EXPECT_THROW(lib.Lookup("g"), InvalidArgument);
+}
+
+TEST(FunctionLibraryTest, DuplicateNameThrows) {
+  FunctionLibrary lib;
+  auto fn1 = std::make_unique<GraphFunction>();
+  fn1->name = "dup";
+  lib.Register(std::move(fn1));
+  auto fn2 = std::make_unique<GraphFunction>();
+  fn2->name = "dup";
+  EXPECT_THROW(lib.Register(std::move(fn2)), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace janus

@@ -1,0 +1,432 @@
+// End-to-end tests of the JANUS engine: profiling, speculative graph
+// generation, caching, assumption validation, fallback, deferred state
+// update, shape relaxation (Fig. 4), recursion, BASE-mode lowering, and the
+// tracing baseline's deliberate incorrectness.
+#include "core/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "frontend/builtins.h"
+
+namespace janus {
+namespace {
+
+using minipy::Interpreter;
+using minipy::Value;
+
+class JanusTest : public ::testing::Test {
+ protected:
+  // Builds a fresh interpreter + engine with the given options.
+  struct Session {
+    Session(EngineOptions options, std::uint64_t seed = 17)
+        : rng(seed), interp(&variables, &rng), engine(&interp, options) {
+      minipy::InstallBuiltins(interp);
+      engine.Attach();
+    }
+    VariableStore variables;
+    Rng rng;
+    Interpreter interp;
+    JanusEngine engine;
+
+    double Num(const std::string& global) {
+      const Value v = interp.GetGlobal(global);
+      if (const auto* t = std::get_if<Tensor>(&v)) return t->ElementAsDouble(0);
+      if (const auto* d = std::get_if<double>(&v)) return *d;
+      if (const auto* i = std::get_if<std::int64_t>(&v)) {
+        return static_cast<double>(*i);
+      }
+      if (const auto* b = std::get_if<bool>(&v)) return *b ? 1 : 0;
+      ADD_FAILURE() << "global " << global << " is not numeric";
+      return 0;
+    }
+  };
+};
+
+// A linear-regression training program exercising the basic conversion path.
+constexpr const char* kLinearProgram = R"(
+w = variable('w', constant([[0.2]]))
+b = variable('b', constant([0.0]))
+x = constant([[1.0], [2.0], [3.0], [4.0]])
+y = constant([[2.5], [4.5], [6.5], [8.5]])
+
+def loss_fn():
+    pred = matmul(x, w) + b
+    err = pred - y
+    return reduce_mean(err * err)
+
+losses = []
+for i in range(30):
+    losses.append(float(optimize(loss_fn, 0.04)))
+first = losses[0]
+last = losses[29]
+)";
+
+TEST_F(JanusTest, ConvertsAndTrainsLinearModel) {
+  Session session(EngineOptions{});
+  session.interp.Run(kLinearProgram);
+  EXPECT_LT(session.Num("last"), session.Num("first") * 0.05);
+  const auto& stats = session.engine.stats();
+  // 3 profiled imperative steps, then graph executions.
+  EXPECT_EQ(stats.imperative_executions, 3);
+  EXPECT_EQ(stats.graph_generations, 1);
+  EXPECT_EQ(stats.graph_executions, 27);
+  EXPECT_EQ(stats.assumption_failures, 0);
+}
+
+TEST_F(JanusTest, GraphModeMatchesImperativeMode) {
+  Session janus_session(EngineOptions{});
+  Session imperative_session(EngineOptions::ImperativePreset());
+  janus_session.interp.Run(kLinearProgram);
+  imperative_session.interp.Run(kLinearProgram);
+  EXPECT_NEAR(janus_session.Num("last"), imperative_session.Num("last"),
+              1e-4);
+  // Learned parameters agree too.
+  const float wj = janus_session.variables.Read("w").data<float>()[0];
+  const float wi = imperative_session.variables.Read("w").data<float>()[0];
+  EXPECT_NEAR(wj, wi, 1e-4f);
+  EXPECT_EQ(imperative_session.engine.stats().graph_executions, 0);
+}
+
+TEST_F(JanusTest, StableBranchIsSpeculatedThenFallsBackOnFlip) {
+  // The branch direction is stable during profiling, then flips: the
+  // speculative graph's AssertOp must fail, execution falls back, and a
+  // relaxed (dynamic-branch) graph takes over — Fig. 2 (E).
+  constexpr const char* program = R"(
+w = variable('sw', constant([2.0]))
+mode = constant([1.0])
+
+def loss_fn():
+    h = w * 3.0
+    if reduce_sum(mode) > 0.0:
+        out = h * h
+    else:
+        out = h + 100.0
+    return reduce_sum(out)
+
+r1 = 0.0
+for i in range(8):
+    r1 = float(optimize(loss_fn, 0.0))
+)";
+  Session session(EngineOptions{});
+  session.interp.Run(program);
+  EXPECT_NEAR(session.Num("r1"), 36.0, 1e-3);
+  const auto stats_before = session.engine.stats();
+  EXPECT_GE(stats_before.graph_executions, 4);
+  EXPECT_EQ(stats_before.assumption_failures, 0);
+
+  // Flip the branch: mode becomes negative.
+  session.interp.Run(R"(
+mode = constant([-1.0])
+r2 = 0.0
+for i in range(8):
+    r2 = float(optimize(loss_fn, 0.0))
+r3 = float(optimize(loss_fn, 0.0))
+)");
+  EXPECT_NEAR(session.Num("r2"), 106.0, 1e-3);
+  const auto& stats = session.engine.stats();
+  EXPECT_GE(stats.assumption_failures, 1);
+  EXPECT_GE(stats.fallbacks, 1);
+  // After relaxation the dynamic-branch graph executes without failures.
+  EXPECT_GT(stats.graph_executions, stats_before.graph_executions);
+}
+
+TEST_F(JanusTest, Fig1StatePassingMatchesImperative) {
+  // The paper's Figure 1 pattern: attribute state carried across calls via
+  // deferred PyGetAttr/PySetAttr.
+  constexpr const char* program = R"(
+class RNNModel:
+    def __init__(self):
+        self.state = constant([[0.5, 0.5]])
+        self.w = variable('fig1_w', constant([[0.3, 0.1], [0.2, 0.4]]))
+    def __call__(self, item):
+        state = tanh(matmul(self.state, self.w) + item)
+        self.state = state
+        return reduce_mean(state * state)
+
+model = RNNModel()
+items = [constant([[1.0, 0.0]]), constant([[0.0, 1.0]])]
+total = 0.0
+for i in range(10):
+    for item in items:
+        total = total + float(optimize(lambda: model(item), 0.05))
+final_state = reduce_sum(model.state)
+)";
+  Session janus_session(EngineOptions{});
+  Session imperative_session(EngineOptions::ImperativePreset());
+  janus_session.interp.Run(program);
+  imperative_session.interp.Run(program);
+  EXPECT_NEAR(janus_session.Num("total"), imperative_session.Num("total"),
+              2e-3);
+  EXPECT_NEAR(janus_session.Num("final_state"),
+              imperative_session.Num("final_state"), 1e-3);
+  EXPECT_GT(janus_session.engine.stats().graph_executions, 0);
+}
+
+TEST_F(JanusTest, ShapeRelaxationFollowsFig4) {
+  // Shapes (4,2) for a while, then (3,2): first generation pins (4,2); the
+  // (3,2) batch misses, regenerates with (?,2); a later (2,2) batch then
+  // hits the relaxed graph without another generation.
+  constexpr const char* program = R"(
+w = variable('rw', constant([[1.0], [1.0]]))
+batch = zeros([4, 2])
+
+def loss_fn():
+    return reduce_mean(matmul(batch, w))
+
+for i in range(6):
+    optimize(loss_fn, 0.0)
+)";
+  Session session(EngineOptions{});
+  session.interp.Run(program);
+  const auto gen_after_first = session.engine.stats().graph_generations;
+  EXPECT_EQ(gen_after_first, 1);
+
+  session.interp.Run(R"(
+batch = zeros([3, 2])
+for i in range(3):
+    optimize(loss_fn, 0.0)
+)");
+  const auto gen_after_relax = session.engine.stats().graph_generations;
+  EXPECT_EQ(gen_after_relax, 2);  // one regeneration with relaxed shape
+
+  session.interp.Run(R"(
+batch = zeros([2, 2])
+for i in range(3):
+    optimize(loss_fn, 0.0)
+)");
+  // The (?,2) graph covers the new batch size: no further generation.
+  EXPECT_EQ(session.engine.stats().graph_generations, gen_after_relax);
+}
+
+TEST_F(JanusTest, UnconvertibleFunctionStaysImperative) {
+  constexpr const char* program = R"(
+w = variable('uw', constant([1.0]))
+def loss_fn():
+    try:
+        x = w * 2.0
+    except Error:
+        x = w
+    return reduce_sum(x)
+
+out = 0.0
+for i in range(8):
+    out = float(optimize(loss_fn, 0.0))
+)";
+  Session session(EngineOptions{});
+  session.interp.Run(program);
+  EXPECT_NEAR(session.Num("out"), 2.0, 1e-5);
+  const auto& stats = session.engine.stats();
+  EXPECT_EQ(stats.graph_executions, 0);
+  EXPECT_GE(stats.not_convertible, 1);
+  EXPECT_EQ(stats.imperative_executions, 8);
+}
+
+TEST_F(JanusTest, TracingBakesStateWritesAndJanusDoesNot) {
+  // State accumulation: each step doubles self.scale. Tracing bakes the
+  // traced value and drops the write; JANUS tracks it correctly.
+  constexpr const char* program = R"(
+class Model:
+    def __init__(self):
+        self.scale = constant([1.0])
+    def step(self):
+        self.scale = self.scale * 2.0
+        return reduce_sum(self.scale)
+
+m = Model()
+out = 0.0
+for i in range(6):
+    out = float(optimize(lambda: m.step(), 0.0))
+)";
+  Session janus_session(EngineOptions{});
+  janus_session.interp.Run(program);
+  EXPECT_NEAR(janus_session.Num("out"), 64.0, 1e-3);  // 2^6
+
+  Session tracing_session(EngineOptions::TracingPreset());
+  tracing_session.interp.Run(program);
+  // First call is imperative (scale -> 2); every traced execution returns
+  // the baked value and never updates the state: silently wrong.
+  EXPECT_NEAR(tracing_session.Num("out"), 4.0, 1e-3);
+  EXPECT_GT(tracing_session.engine.stats().graph_executions, 0);
+}
+
+TEST_F(JanusTest, TracingMisbakesBranchJanusAsserts) {
+  // Batch-norm-style training/eval flag: tracing converts the first trace's
+  // branch and silently keeps it; JANUS guards it with an AssertOp and
+  // falls back correctly when the flag flips.
+  constexpr const char* program = R"(
+class Net:
+    def __init__(self):
+        self.training = True
+    def forward(self, x):
+        if self.training:
+            return reduce_sum(x * 2.0)
+        return reduce_sum(x * 1000.0)
+
+net = Net()
+data = constant([1.0, 2.0])
+
+def loss_fn():
+    return net.forward(data)
+
+train_out = 0.0
+for i in range(6):
+    train_out = float(optimize(loss_fn, 0.0))
+net.training = False
+eval_out = float(optimize(loss_fn, 0.0))
+)";
+  Session janus_session(EngineOptions{});
+  janus_session.interp.Run(program);
+  EXPECT_NEAR(janus_session.Num("train_out"), 6.0, 1e-3);
+  EXPECT_NEAR(janus_session.Num("eval_out"), 3000.0, 1e-3);
+
+  Session tracing_session(EngineOptions::TracingPreset());
+  tracing_session.interp.Run(program);
+  EXPECT_NEAR(tracing_session.Num("train_out"), 6.0, 1e-3);
+  // Tracing baked self.training == True: eval silently wrong.
+  EXPECT_NEAR(tracing_session.Num("eval_out"), 6.0, 1e-3);
+}
+
+TEST_F(JanusTest, RecursiveTreeFunctionConverts) {
+  // TreeRNN-style recursion over per-sample tree objects: dynamic object
+  // pointers, PyGetAttr type dispatch, InvokeOp recursion, and training.
+  constexpr const char* program = R"(
+class Node:
+    def __init__(self, is_leaf, emb, left, right):
+        self.is_leaf = is_leaf
+        self.emb = emb
+        self.left = left
+        self.right = right
+
+w = variable('tree_w', constant([[0.5, 0.1], [0.2, 0.3]]))
+
+def embed(node):
+    if node.is_leaf == 1:
+        return node.emb
+    a = embed(node.left)
+    b = embed(node.right)
+    return tanh(matmul(a + b, w))
+
+def make_leaf(v):
+    return Node(1, constant([v]), None, None)
+
+def make_pair(l, r):
+    return Node(0, None, l, r)
+
+tree_a = make_pair(make_leaf([1.0, 0.0]), make_leaf([0.0, 1.0]))
+tree_b = make_pair(make_pair(make_leaf([1.0, 1.0]), make_leaf([0.5, 0.5])),
+                   make_leaf([0.2, 0.8]))
+trees = [tree_a, tree_b]
+
+current = tree_a
+
+def loss_fn():
+    out = embed(current)
+    return reduce_mean(out * out)
+
+losses = []
+for i in range(8):
+    for t in trees:
+        current = t
+        losses.append(float(optimize(loss_fn, 0.02)))
+n = len(losses)
+last = losses[15]
+)";
+  Session janus_session(EngineOptions{});
+  Session imperative_session(EngineOptions::ImperativePreset());
+  janus_session.interp.Run(program);
+  imperative_session.interp.Run(program);
+  EXPECT_EQ(janus_session.Num("n"), 16);
+  EXPECT_NEAR(janus_session.Num("last"), imperative_session.Num("last"),
+              2e-3);
+  EXPECT_GT(janus_session.engine.stats().graph_executions, 0);
+  EXPECT_EQ(janus_session.engine.stats().not_convertible, 0);
+}
+
+TEST_F(JanusTest, BaseModeLowersLoopToFunctionalWhile) {
+  // With speculative unrolling disabled (BASE of Fig. 7), a data-dependent
+  // range loop becomes a functional While — and still trains correctly.
+  constexpr const char* program = R"(
+w = variable('bw', constant([1.5]))
+steps = constant_int(5)
+
+def loss_fn():
+    acc = w * 1.0
+    for i in range(int(reduce_sum(cast_float(steps)))):
+        acc = acc * 0.5
+    return reduce_sum(acc)
+
+out = 0.0
+for i in range(8):
+    out = float(optimize(loss_fn, 0.0))
+)";
+  EngineOptions base;
+  base.generator.speculative_unroll = false;
+  base.generator.specialize = false;
+  base.parallel_execution = false;
+  Session session(base);
+  session.interp.Run(program);
+  EXPECT_NEAR(session.Num("out"), 1.5 * std::pow(0.5, 5), 1e-4);
+  EXPECT_GT(session.engine.stats().graph_executions, 0);
+  EXPECT_EQ(session.engine.stats().not_convertible, 0);
+}
+
+TEST_F(JanusTest, ParallelExecutionMatchesSequential) {
+  EngineOptions sequential;
+  sequential.parallel_execution = false;
+  Session seq_session(sequential);
+  Session par_session(EngineOptions{});
+  seq_session.interp.Run(kLinearProgram);
+  par_session.interp.Run(kLinearProgram);
+  EXPECT_NEAR(seq_session.Num("last"), par_session.Num("last"), 1e-5);
+}
+
+TEST_F(JanusTest, MarkedInferenceFunctionIsConverted) {
+  constexpr const char* program = R"(
+w = variable('iw', constant([[2.0, 0.0], [0.0, 3.0]]))
+
+def predict(x):
+    return reduce_sum(matmul(x, w))
+
+predict = janus_function(predict)
+data = constant([[1.0, 1.0]])
+out = 0.0
+for i in range(8):
+    out = float(predict(data))
+)";
+  Session session(EngineOptions{});
+  session.interp.Run(program);
+  EXPECT_NEAR(session.Num("out"), 5.0, 1e-4);
+  EXPECT_GT(session.engine.stats().graph_executions, 0);
+}
+
+TEST_F(JanusTest, AssertionsCanBeDisabled) {
+  EngineOptions no_asserts;
+  no_asserts.generator.insert_assertions = false;
+  Session session(no_asserts);
+  session.interp.Run(kLinearProgram);
+  EXPECT_LT(session.Num("last"), session.Num("first") * 0.05);
+}
+
+TEST_F(JanusTest, DeferredPrintOnlyOnSuccess) {
+  // print inside a converted function is buffered and committed; this just
+  // exercises the PyPrint path end-to-end.
+  constexpr const char* program = R"(
+w = variable('pw', constant([1.0]))
+def loss_fn():
+    loss = reduce_sum(w * w)
+    print('loss is', loss)
+    return loss
+for i in range(5):
+    optimize(loss_fn, 0.0)
+)";
+  Session session(EngineOptions{});
+  testing::internal::CaptureStdout();
+  session.interp.Run(program);
+  const std::string output = testing::internal::GetCapturedStdout();
+  // 5 executions, 5 printed lines (imperative and graph mode alike).
+  EXPECT_EQ(std::count(output.begin(), output.end(), '\n'), 5);
+  EXPECT_NE(output.find("loss is"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace janus

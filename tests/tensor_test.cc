@@ -1,0 +1,496 @@
+// Unit tests for the tensor substrate: shapes, broadcasting, elementwise
+// kernels, linear algebra, reductions, NN ops, and gather/scatter.
+#include "tensor/ops.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace janus {
+namespace {
+
+using ::testing::Test;
+
+Tensor Vec(std::vector<float> v) {
+  const auto n = static_cast<std::int64_t>(v.size());
+  return Tensor::FromVector(std::move(v), Shape{n});
+}
+
+Tensor Mat(std::vector<float> v, std::int64_t rows, std::int64_t cols) {
+  return Tensor::FromVector(std::move(v), Shape{rows, cols});
+}
+
+void ExpectNear(const Tensor& t, const std::vector<float>& expected,
+                float tol = 1e-5f) {
+  ASSERT_EQ(t.num_elements(), static_cast<std::int64_t>(expected.size()));
+  const auto data = t.data<float>();
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_NEAR(data[i], expected[i], tol) << "at index " << i;
+  }
+}
+
+TEST(ShapeTest, RankAndElements) {
+  const Shape s{2, 3, 4};
+  EXPECT_EQ(s.rank(), 3);
+  EXPECT_EQ(s.num_elements(), 24);
+  EXPECT_EQ(s.dim(0), 2);
+  EXPECT_EQ(s.dim(-1), 4);
+  EXPECT_EQ(s.ToString(), "(2, 3, 4)");
+}
+
+TEST(ShapeTest, ScalarShape) {
+  const Shape s{};
+  EXPECT_EQ(s.rank(), 0);
+  EXPECT_EQ(s.num_elements(), 1);
+}
+
+TEST(ShapeTest, Strides) {
+  const Shape s{2, 3, 4};
+  const auto strides = s.Strides();
+  EXPECT_EQ(strides, (std::vector<std::int64_t>{12, 4, 1}));
+}
+
+TEST(ShapeTest, BroadcastCompatible) {
+  EXPECT_EQ(BroadcastShapes(Shape{4, 1}, Shape{3}), (Shape{4, 3}));
+  EXPECT_EQ(BroadcastShapes(Shape{}, Shape{2, 2}), (Shape{2, 2}));
+  EXPECT_EQ(BroadcastShapes(Shape{5, 1, 3}, Shape{1, 2, 1}), (Shape{5, 2, 3}));
+}
+
+TEST(ShapeTest, BroadcastIncompatibleThrows) {
+  EXPECT_THROW(BroadcastShapes(Shape{2, 3}, Shape{4, 3}), InvalidArgument);
+}
+
+TEST(TensorTest, FactoryAndAccess) {
+  const Tensor z = Tensor::Zeros(DType::kFloat32, Shape{2, 2});
+  ExpectNear(z, {0, 0, 0, 0});
+  const Tensor f = Tensor::Full(Shape{3}, 2.5f);
+  ExpectNear(f, {2.5f, 2.5f, 2.5f});
+  const Tensor s = Tensor::Scalar(7.0f);
+  EXPECT_FLOAT_EQ(s.ScalarValue(), 7.0f);
+  const Tensor i = Tensor::ScalarInt(42);
+  EXPECT_EQ(i.ScalarIntValue(), 42);
+  EXPECT_TRUE(Tensor::ScalarBool(true).ScalarBoolValue());
+}
+
+TEST(TensorTest, ReshapeSharesBufferAndChecksCount) {
+  const Tensor t = Vec({1, 2, 3, 4});
+  const Tensor r = t.Reshaped(Shape{2, 2});
+  EXPECT_EQ(r.shape(), (Shape{2, 2}));
+  EXPECT_THROW(t.Reshaped(Shape{3}), InvalidArgument);
+}
+
+TEST(TensorTest, ElementsEqual) {
+  EXPECT_TRUE(Vec({1, 2}).ElementsEqual(Vec({1, 2})));
+  EXPECT_FALSE(Vec({1, 2}).ElementsEqual(Vec({1, 3})));
+  EXPECT_FALSE(Vec({1, 2}).ElementsEqual(Tensor::ScalarInt(1)));
+}
+
+TEST(TensorTest, DTypeMismatchThrows) {
+  const Tensor t = Tensor::ScalarInt(1);
+  EXPECT_THROW(t.data<float>(), InternalError);
+}
+
+TEST(ElementwiseTest, AddSameShape) {
+  ExpectNear(ops::Add(Vec({1, 2, 3}), Vec({10, 20, 30})), {11, 22, 33});
+}
+
+TEST(ElementwiseTest, AddBroadcastScalar) {
+  ExpectNear(ops::Add(Vec({1, 2, 3}), Tensor::Scalar(5)), {6, 7, 8});
+}
+
+TEST(ElementwiseTest, AddBroadcastRows) {
+  const Tensor a = Mat({1, 2, 3, 4, 5, 6}, 2, 3);
+  const Tensor row = Vec({10, 20, 30});
+  ExpectNear(ops::Add(a, row), {11, 22, 33, 14, 25, 36});
+}
+
+TEST(ElementwiseTest, AddBroadcastColumns) {
+  const Tensor a = Mat({1, 2, 3, 4, 5, 6}, 2, 3);
+  const Tensor col = Mat({100, 200}, 2, 1);
+  ExpectNear(ops::Add(a, col), {101, 102, 103, 204, 205, 206});
+}
+
+TEST(ElementwiseTest, IntArithmetic) {
+  const Tensor a = Tensor::FromVectorInt({7, -7}, Shape{2});
+  const Tensor b = Tensor::FromVectorInt({2, 2}, Shape{2});
+  const Tensor fd = ops::FloorDiv(a, b);
+  EXPECT_EQ(fd.data<std::int64_t>()[0], 3);
+  EXPECT_EQ(fd.data<std::int64_t>()[1], -4);  // floor semantics
+  const Tensor m = ops::Mod(a, b);
+  EXPECT_EQ(m.data<std::int64_t>()[0], 1);
+  EXPECT_EQ(m.data<std::int64_t>()[1], 1);  // Python-style modulo
+}
+
+TEST(ElementwiseTest, TrueDivPromotesIntToFloat) {
+  const Tensor q = ops::Div(Tensor::ScalarInt(7), Tensor::ScalarInt(2));
+  EXPECT_EQ(q.dtype(), DType::kFloat32);
+  EXPECT_FLOAT_EQ(q.ScalarValue(), 3.5f);
+}
+
+TEST(ElementwiseTest, DivByZeroIntThrows) {
+  EXPECT_THROW(ops::FloorDiv(Tensor::ScalarInt(1), Tensor::ScalarInt(0)),
+               InvalidArgument);
+}
+
+TEST(ElementwiseTest, PowFloatAndInt) {
+  EXPECT_FLOAT_EQ(ops::Pow(Tensor::Scalar(2), Tensor::Scalar(10)).ScalarValue(),
+                  1024.0f);
+  EXPECT_EQ(
+      ops::Pow(Tensor::ScalarInt(3), Tensor::ScalarInt(4)).ScalarIntValue(),
+      81);
+}
+
+TEST(ElementwiseTest, DTypeMismatchThrows) {
+  EXPECT_THROW(ops::Add(Tensor::Scalar(1), Tensor::ScalarInt(1)),
+               InvalidArgument);
+}
+
+TEST(ElementwiseTest, UnaryMath) {
+  ExpectNear(ops::Neg(Vec({1, -2})), {-1, 2});
+  ExpectNear(ops::Abs(Vec({-3, 4})), {3, 4});
+  ExpectNear(ops::Exp(Vec({0, 1})), {1.0f, std::exp(1.0f)});
+  ExpectNear(ops::Log(Vec({1, std::exp(2.0f)})), {0, 2});
+  ExpectNear(ops::Sqrt(Vec({4, 9})), {2, 3});
+  ExpectNear(ops::Square(Vec({3, -2})), {9, 4});
+  ExpectNear(ops::Relu(Vec({-1, 0, 2})), {0, 0, 2});
+  ExpectNear(ops::Sigmoid(Vec({0})), {0.5f});
+  ExpectNear(ops::Tanh(Vec({0})), {0});
+  ExpectNear(ops::Sign(Vec({-5, 0, 3})), {-1, 0, 1});
+}
+
+TEST(ElementwiseTest, ReluGradMasks) {
+  ExpectNear(ops::ReluGrad(Vec({10, 10, 10}), Vec({-1, 0, 2})), {0, 0, 10});
+}
+
+TEST(ComparisonTest, ProducesBools) {
+  const Tensor lt = ops::Less(Vec({1, 5}), Vec({3, 3}));
+  EXPECT_EQ(lt.dtype(), DType::kBool);
+  EXPECT_EQ(lt.data<std::uint8_t>()[0], 1);
+  EXPECT_EQ(lt.data<std::uint8_t>()[1], 0);
+  EXPECT_TRUE(ops::Equal(Tensor::ScalarInt(4), Tensor::ScalarInt(4))
+                  .ScalarBoolValue());
+  EXPECT_TRUE(ops::GreaterEqual(Tensor::Scalar(2), Tensor::Scalar(2))
+                  .ScalarBoolValue());
+}
+
+TEST(ComparisonTest, LogicalOps) {
+  const Tensor t = Tensor::ScalarBool(true);
+  const Tensor f = Tensor::ScalarBool(false);
+  EXPECT_FALSE(ops::LogicalAnd(t, f).ScalarBoolValue());
+  EXPECT_TRUE(ops::LogicalOr(t, f).ScalarBoolValue());
+  EXPECT_TRUE(ops::LogicalNot(f).ScalarBoolValue());
+}
+
+TEST(SelectTest, PicksByCondition) {
+  const Tensor cond = ops::Greater(Vec({1, -1, 2}), Tensor::Scalar(0));
+  ExpectNear(ops::Select(cond, Vec({10, 20, 30}), Vec({-10, -20, -30})),
+             {10, -20, 30});
+}
+
+TEST(MatMulTest, Basic) {
+  const Tensor a = Mat({1, 2, 3, 4}, 2, 2);
+  const Tensor b = Mat({5, 6, 7, 8}, 2, 2);
+  ExpectNear(ops::MatMul(a, b), {19, 22, 43, 50});
+}
+
+TEST(MatMulTest, RectangularShapes) {
+  const Tensor a = Mat({1, 0, 0, 1, 1, 1}, 3, 2);
+  const Tensor b = Mat({2, 3, 4, 5, 6, 7, 8, 9}, 2, 4);
+  const Tensor c = ops::MatMul(a, b);
+  EXPECT_EQ(c.shape(), (Shape{3, 4}));
+  ExpectNear(c, {2, 3, 4, 5, 6, 7, 8, 9, 8, 10, 12, 14});
+}
+
+TEST(MatMulTest, IncompatibleThrows) {
+  EXPECT_THROW(ops::MatMul(Mat({1, 2}, 1, 2), Mat({1, 2, 3}, 1, 3)),
+               InvalidArgument);
+}
+
+TEST(TransposeTest, Basic) {
+  ExpectNear(ops::Transpose(Mat({1, 2, 3, 4, 5, 6}, 2, 3)),
+             {1, 4, 2, 5, 3, 6});
+}
+
+TEST(ReduceTest, SumAll) {
+  EXPECT_FLOAT_EQ(ops::ReduceSum(Mat({1, 2, 3, 4}, 2, 2)).ScalarValue(), 10);
+}
+
+TEST(ReduceTest, SumAxis0) {
+  ExpectNear(ops::ReduceSum(Mat({1, 2, 3, 4, 5, 6}, 2, 3), {0}), {5, 7, 9});
+}
+
+TEST(ReduceTest, SumAxis1KeepDims) {
+  const Tensor r = ops::ReduceSum(Mat({1, 2, 3, 4, 5, 6}, 2, 3), {1}, true);
+  EXPECT_EQ(r.shape(), (Shape{2, 1}));
+  ExpectNear(r, {6, 15});
+}
+
+TEST(ReduceTest, NegativeAxis) {
+  ExpectNear(ops::ReduceSum(Mat({1, 2, 3, 4}, 2, 2), {-1}), {3, 7});
+}
+
+TEST(ReduceTest, Mean) {
+  EXPECT_FLOAT_EQ(ops::ReduceMean(Vec({2, 4, 6})).ScalarValue(), 4);
+}
+
+TEST(ReduceTest, Max) {
+  ExpectNear(ops::ReduceMax(Mat({1, 9, 3, 4, 5, 6}, 2, 3), {1}), {9, 6});
+}
+
+TEST(ReduceTest, ReduceToShapeReversesBroadcast) {
+  const Tensor grad = Mat({1, 1, 1, 1, 1, 1}, 2, 3);
+  const Tensor row = ops::ReduceToShape(grad, Shape{3});
+  ExpectNear(row, {2, 2, 2});
+  const Tensor col = ops::ReduceToShape(grad, Shape{2, 1});
+  ExpectNear(col, {3, 3});
+  const Tensor scalar = ops::ReduceToShape(grad, Shape{});
+  EXPECT_FLOAT_EQ(scalar.ScalarValue(), 6);
+}
+
+TEST(ArgMaxTest, LastAxis) {
+  const Tensor am = ops::ArgMax(Mat({1, 9, 3, 6, 5, 4}, 2, 3), -1);
+  EXPECT_EQ(am.dtype(), DType::kInt64);
+  EXPECT_EQ(am.data<std::int64_t>()[0], 1);
+  EXPECT_EQ(am.data<std::int64_t>()[1], 0);
+}
+
+TEST(SoftmaxTest, RowsSumToOne) {
+  const Tensor sm = ops::Softmax(Mat({1, 2, 3, 1, 1, 1}, 2, 3));
+  const Tensor sums = ops::ReduceSum(sm, {1});
+  ExpectNear(sums, {1, 1});
+  // Uniform logits give uniform probabilities.
+  const auto data = sm.data<float>();
+  EXPECT_NEAR(data[3], 1.0f / 3, 1e-5f);
+}
+
+TEST(SoftmaxTest, NumericallyStableForLargeLogits) {
+  const Tensor sm = ops::Softmax(Mat({1000, 1001, 999}, 1, 3));
+  const auto data = sm.data<float>();
+  EXPECT_FALSE(std::isnan(data[0]));
+  EXPECT_GT(data[1], data[0]);
+}
+
+TEST(SoftmaxXentTest, MatchesManualComputation) {
+  const Tensor logits = Mat({2, 1, 0, 0, 1, 2}, 2, 3);
+  const Tensor labels = Tensor::FromVectorInt({0, 2}, Shape{2});
+  const Tensor losses = ops::SoftmaxCrossEntropy(logits, labels);
+  // loss = -log softmax(logits)[label]
+  const float denom = std::exp(2.0f) + std::exp(1.0f) + std::exp(0.0f);
+  const float expected = -std::log(std::exp(2.0f) / denom);
+  ExpectNear(losses, {expected, expected}, 1e-4f);
+}
+
+TEST(OneHotTest, Basic) {
+  const Tensor oh = ops::OneHot(Tensor::FromVectorInt({1, 0}, Shape{2}), 3);
+  ExpectNear(oh, {0, 1, 0, 1, 0, 0});
+}
+
+TEST(OneHotTest, OutOfRangeThrows) {
+  EXPECT_THROW(ops::OneHot(Tensor::FromVectorInt({5}, Shape{1}), 3),
+               InvalidArgument);
+}
+
+TEST(ConcatTest, Axis0AndAxis1) {
+  const Tensor a = Mat({1, 2, 3, 4}, 2, 2);
+  const Tensor b = Mat({5, 6}, 1, 2);
+  const Tensor c0 = ops::Concat({a, b}, 0);
+  EXPECT_EQ(c0.shape(), (Shape{3, 2}));
+  ExpectNear(c0, {1, 2, 3, 4, 5, 6});
+
+  const Tensor col = Mat({9, 8}, 2, 1);
+  const Tensor c1 = ops::Concat({a, col}, 1);
+  EXPECT_EQ(c1.shape(), (Shape{2, 3}));
+  ExpectNear(c1, {1, 2, 9, 3, 4, 8});
+}
+
+TEST(StackTest, AddsLeadingAxis) {
+  const Tensor s = ops::Stack({Vec({1, 2}), Vec({3, 4}), Vec({5, 6})});
+  EXPECT_EQ(s.shape(), (Shape{3, 2}));
+  ExpectNear(s, {1, 2, 3, 4, 5, 6});
+}
+
+TEST(SliceTest, Basic) {
+  const Tensor a = Mat({1, 2, 3, 4, 5, 6, 7, 8, 9}, 3, 3);
+  const Tensor s = ops::Slice(a, {1, 0}, {2, 2});
+  EXPECT_EQ(s.shape(), (Shape{2, 2}));
+  ExpectNear(s, {4, 5, 7, 8});
+}
+
+TEST(SliceTest, NegativeOneSizeMeansToEnd) {
+  const Tensor a = Vec({1, 2, 3, 4, 5});
+  ExpectNear(ops::Slice(a, {2}, {-1}), {3, 4, 5});
+}
+
+TEST(SliceTest, OutOfBoundsThrows) {
+  EXPECT_THROW(ops::Slice(Vec({1, 2}), {1}, {5}), InvalidArgument);
+}
+
+TEST(CastTest, RoundTrips) {
+  const Tensor f = ops::Cast(Tensor::ScalarInt(3), DType::kFloat32);
+  EXPECT_FLOAT_EQ(f.ScalarValue(), 3.0f);
+  const Tensor i = ops::Cast(Tensor::Scalar(2.9f), DType::kInt64);
+  EXPECT_EQ(i.ScalarIntValue(), 2);
+  const Tensor b = ops::Cast(Tensor::Scalar(0.0f), DType::kBool);
+  EXPECT_FALSE(b.ScalarBoolValue());
+}
+
+TEST(BroadcastToTest, Materialises) {
+  const Tensor b = ops::BroadcastTo(Vec({1, 2}), Shape{3, 2});
+  ExpectNear(b, {1, 2, 1, 2, 1, 2});
+  EXPECT_THROW(ops::BroadcastTo(Vec({1, 2, 3}), Shape{2, 2}), InvalidArgument);
+}
+
+TEST(GatherTest, LooksUpRows) {
+  const Tensor params = Mat({1, 2, 10, 20, 100, 200}, 3, 2);
+  const Tensor ids = Tensor::FromVectorInt({2, 0, 2}, Shape{3});
+  const Tensor g = ops::Gather(params, ids);
+  EXPECT_EQ(g.shape(), (Shape{3, 2}));
+  ExpectNear(g, {100, 200, 1, 2, 100, 200});
+}
+
+TEST(GatherTest, OutOfVocabThrows) {
+  EXPECT_THROW(ops::Gather(Mat({1, 2}, 1, 2),
+                           Tensor::FromVectorInt({1}, Shape{1})),
+               InvalidArgument);
+}
+
+TEST(GatherGradTest, ScatterAddsDuplicates) {
+  const Tensor ids = Tensor::FromVectorInt({1, 1, 0}, Shape{3});
+  const Tensor grad = Mat({1, 1, 2, 2, 5, 5}, 3, 2);
+  const Tensor g = ops::GatherGrad(Shape{3, 2}, ids, grad);
+  ExpectNear(g, {5, 5, 3, 3, 0, 0});
+}
+
+TEST(Conv2DTest, IdentityFilterPreservesInput) {
+  // 1x1 filter with weight 1: output == input.
+  const Tensor input = Tensor::FromVector({1, 2, 3, 4}, Shape{1, 2, 2, 1});
+  const Tensor filter = Tensor::FromVector({1}, Shape{1, 1, 1, 1});
+  const Tensor out = ops::Conv2D(input, filter, 1, "VALID");
+  EXPECT_EQ(out.shape(), (Shape{1, 2, 2, 1}));
+  ExpectNear(out, {1, 2, 3, 4});
+}
+
+TEST(Conv2DTest, SumFilterValid) {
+  // 2x2 all-ones filter over a 3x3 image: each output is a window sum.
+  const Tensor input =
+      Tensor::FromVector({1, 2, 3, 4, 5, 6, 7, 8, 9}, Shape{1, 3, 3, 1});
+  const Tensor filter = Tensor::FromVector({1, 1, 1, 1}, Shape{2, 2, 1, 1});
+  const Tensor out = ops::Conv2D(input, filter, 1, "VALID");
+  EXPECT_EQ(out.shape(), (Shape{1, 2, 2, 1}));
+  ExpectNear(out, {12, 16, 24, 28});
+}
+
+TEST(Conv2DTest, SamePaddingKeepsSpatialSize) {
+  const Tensor input =
+      Tensor::FromVector({1, 2, 3, 4, 5, 6, 7, 8, 9}, Shape{1, 3, 3, 1});
+  const Tensor filter =
+      Tensor::FromVector({0, 0, 0, 0, 1, 0, 0, 0, 0}, Shape{3, 3, 1, 1});
+  const Tensor out = ops::Conv2D(input, filter, 1, "SAME");
+  EXPECT_EQ(out.shape(), (Shape{1, 3, 3, 1}));
+  ExpectNear(out, {1, 2, 3, 4, 5, 6, 7, 8, 9});  // centre-tap identity
+}
+
+TEST(Conv2DTest, StrideTwoHalvesOutput) {
+  const Tensor input = Tensor::Full(Shape{1, 4, 4, 1}, 1.0f);
+  const Tensor filter = Tensor::FromVector({1}, Shape{1, 1, 1, 1});
+  const Tensor out = ops::Conv2D(input, filter, 2, "VALID");
+  EXPECT_EQ(out.shape(), (Shape{1, 2, 2, 1}));
+}
+
+TEST(Conv2DTest, MultiChannel) {
+  // 2 input channels summed by a 1x1 filter into one output channel.
+  const Tensor input =
+      Tensor::FromVector({1, 10, 2, 20, 3, 30, 4, 40}, Shape{1, 2, 2, 2});
+  const Tensor filter = Tensor::FromVector({1, 1}, Shape{1, 1, 2, 1});
+  ExpectNear(ops::Conv2D(input, filter, 1, "VALID"), {11, 22, 33, 44});
+}
+
+TEST(Conv2DGradTest, GradInputOfSumFilterSpreadsGradient) {
+  const Shape in_shape{1, 2, 2, 1};
+  const Tensor filter = Tensor::FromVector({1, 1, 1, 1}, Shape{2, 2, 1, 1});
+  const Tensor grad = Tensor::FromVector({1}, Shape{1, 1, 1, 1});
+  const Tensor gi = ops::Conv2DGradInput(in_shape, filter, grad, 1, "VALID");
+  ExpectNear(gi, {1, 1, 1, 1});
+}
+
+TEST(Conv2DGradTest, GradFilterAccumulatesInput) {
+  const Tensor input = Tensor::FromVector({1, 2, 3, 4}, Shape{1, 2, 2, 1});
+  const Tensor grad = Tensor::FromVector({1}, Shape{1, 1, 1, 1});
+  const Tensor gf =
+      ops::Conv2DGradFilter(input, Shape{2, 2, 1, 1}, grad, 1, "VALID");
+  ExpectNear(gf, {1, 2, 3, 4});
+}
+
+TEST(PoolTest, MaxPoolPicksWindowMax) {
+  const Tensor input = Tensor::FromVector({1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11,
+                                           12, 13, 14, 15, 16},
+                                          Shape{1, 4, 4, 1});
+  const Tensor out = ops::MaxPool2D(input, 2, 2);
+  EXPECT_EQ(out.shape(), (Shape{1, 2, 2, 1}));
+  ExpectNear(out, {6, 8, 14, 16});
+}
+
+TEST(PoolTest, MaxPoolGradRoutesToArgmax) {
+  const Tensor input =
+      Tensor::FromVector({1, 5, 2, 3}, Shape{1, 2, 2, 1});
+  const Tensor grad = Tensor::FromVector({7}, Shape{1, 1, 1, 1});
+  const Tensor gi = ops::MaxPool2DGrad(input, grad, 2, 2);
+  ExpectNear(gi, {0, 7, 0, 0});
+}
+
+TEST(PoolTest, AvgPoolAveragesAndGradSpreads) {
+  const Tensor input = Tensor::FromVector({2, 4, 6, 8}, Shape{1, 2, 2, 1});
+  EXPECT_FLOAT_EQ(
+      ops::AvgPool2D(input, 2, 2).data<float>()[0], 5.0f);
+  const Tensor grad = Tensor::FromVector({4}, Shape{1, 1, 1, 1});
+  ExpectNear(ops::AvgPool2DGrad(Shape{1, 2, 2, 1}, grad, 2, 2), {1, 1, 1, 1});
+}
+
+TEST(RandomTest, DeterministicUnderSeed) {
+  Rng rng1(123);
+  Rng rng2(123);
+  const Tensor a = ops::RandomNormal(Shape{8}, 0, 1, rng1);
+  const Tensor b = ops::RandomNormal(Shape{8}, 0, 1, rng2);
+  EXPECT_TRUE(a.ElementsEqual(b));
+}
+
+TEST(RandomTest, UniformWithinRange) {
+  Rng rng(7);
+  const Tensor u = ops::RandomUniform(Shape{100}, -2, 3, rng);
+  for (const float v : u.data<float>()) {
+    EXPECT_GE(v, -2.0f);
+    EXPECT_LT(v, 3.0f);
+  }
+}
+
+// Property-style sweep: ReduceToShape(grad_of(a op b), shape(x)) always has
+// the operand's shape, for every broadcast combination.
+class BroadcastShapeSweep
+    : public ::testing::TestWithParam<std::pair<Shape, Shape>> {};
+
+TEST_P(BroadcastShapeSweep, ReduceToShapeRestoresOperandShape) {
+  const auto& [sa, sb] = GetParam();
+  const Tensor a = Tensor::Full(sa, 1.0f);
+  const Tensor b = Tensor::Full(sb, 2.0f);
+  const Tensor out = ops::Add(a, b);
+  EXPECT_EQ(out.shape(), BroadcastShapes(sa, sb));
+  const Tensor grad = Tensor::Full(out.shape(), 1.0f);
+  EXPECT_EQ(ops::ReduceToShape(grad, sa).shape(), sa);
+  EXPECT_EQ(ops::ReduceToShape(grad, sb).shape(), sb);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Combos, BroadcastShapeSweep,
+    ::testing::Values(std::pair<Shape, Shape>{Shape{4, 3}, Shape{3}},
+                      std::pair<Shape, Shape>{Shape{4, 3}, Shape{4, 1}},
+                      std::pair<Shape, Shape>{Shape{2, 1, 3}, Shape{1, 5, 1}},
+                      std::pair<Shape, Shape>{Shape{}, Shape{2, 2}},
+                      std::pair<Shape, Shape>{Shape{1}, Shape{3, 1}},
+                      std::pair<Shape, Shape>{Shape{5}, Shape{5}}));
+
+}  // namespace
+}  // namespace janus
