@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_specialization.dir/fig4_specialization.cc.o"
+  "CMakeFiles/fig4_specialization.dir/fig4_specialization.cc.o.d"
+  "fig4_specialization"
+  "fig4_specialization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_specialization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

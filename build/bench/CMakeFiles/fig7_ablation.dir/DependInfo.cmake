@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig7_ablation.cc" "bench/CMakeFiles/fig7_ablation.dir/fig7_ablation.cc.o" "gcc" "bench/CMakeFiles/fig7_ablation.dir/fig7_ablation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/models/CMakeFiles/janus_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/janus_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/janus_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/janus_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/janus_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/autodiff/CMakeFiles/janus_autodiff.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/janus_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/janus_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/janus_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/janus_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/janus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

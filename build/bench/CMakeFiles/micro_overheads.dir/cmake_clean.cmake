@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_overheads.dir/micro_overheads.cc.o"
+  "CMakeFiles/micro_overheads.dir/micro_overheads.cc.o.d"
+  "micro_overheads"
+  "micro_overheads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_overheads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_throughput.dir/table3_throughput.cc.o"
+  "CMakeFiles/table3_throughput.dir/table3_throughput.cc.o.d"
+  "table3_throughput"
+  "table3_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_coverage.dir/table4_coverage.cc.o"
+  "CMakeFiles/table4_coverage.dir/table4_coverage.cc.o.d"
+  "table4_coverage"
+  "table4_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

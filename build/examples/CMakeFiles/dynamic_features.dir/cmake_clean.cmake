@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_features.dir/dynamic_features.cpp.o"
+  "CMakeFiles/dynamic_features.dir/dynamic_features.cpp.o.d"
+  "dynamic_features"
+  "dynamic_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

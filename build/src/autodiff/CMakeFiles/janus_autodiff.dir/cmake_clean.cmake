@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/janus_autodiff.dir/gradients.cc.o"
+  "CMakeFiles/janus_autodiff.dir/gradients.cc.o.d"
+  "libjanus_autodiff.a"
+  "libjanus_autodiff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/janus_autodiff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/janus_common.dir/error.cc.o"
+  "CMakeFiles/janus_common.dir/error.cc.o.d"
+  "CMakeFiles/janus_common.dir/logging.cc.o"
+  "CMakeFiles/janus_common.dir/logging.cc.o.d"
+  "CMakeFiles/janus_common.dir/thread_pool.cc.o"
+  "CMakeFiles/janus_common.dir/thread_pool.cc.o.d"
+  "libjanus_common.a"
+  "libjanus_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/janus_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

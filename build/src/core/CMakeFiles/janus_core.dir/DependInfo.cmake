@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/assumptions.cc" "src/core/CMakeFiles/janus_core.dir/assumptions.cc.o" "gcc" "src/core/CMakeFiles/janus_core.dir/assumptions.cc.o.d"
+  "/root/repo/src/core/compiled_graph.cc" "src/core/CMakeFiles/janus_core.dir/compiled_graph.cc.o" "gcc" "src/core/CMakeFiles/janus_core.dir/compiled_graph.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/core/CMakeFiles/janus_core.dir/engine.cc.o" "gcc" "src/core/CMakeFiles/janus_core.dir/engine.cc.o.d"
+  "/root/repo/src/core/generator.cc" "src/core/CMakeFiles/janus_core.dir/generator.cc.o" "gcc" "src/core/CMakeFiles/janus_core.dir/generator.cc.o.d"
+  "/root/repo/src/core/host_state.cc" "src/core/CMakeFiles/janus_core.dir/host_state.cc.o" "gcc" "src/core/CMakeFiles/janus_core.dir/host_state.cc.o.d"
+  "/root/repo/src/core/profiler.cc" "src/core/CMakeFiles/janus_core.dir/profiler.cc.o" "gcc" "src/core/CMakeFiles/janus_core.dir/profiler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/frontend/CMakeFiles/janus_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/autodiff/CMakeFiles/janus_autodiff.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/janus_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/janus_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/janus_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/janus_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/janus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

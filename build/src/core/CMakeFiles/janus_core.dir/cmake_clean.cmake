@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/janus_core.dir/assumptions.cc.o"
+  "CMakeFiles/janus_core.dir/assumptions.cc.o.d"
+  "CMakeFiles/janus_core.dir/compiled_graph.cc.o"
+  "CMakeFiles/janus_core.dir/compiled_graph.cc.o.d"
+  "CMakeFiles/janus_core.dir/engine.cc.o"
+  "CMakeFiles/janus_core.dir/engine.cc.o.d"
+  "CMakeFiles/janus_core.dir/generator.cc.o"
+  "CMakeFiles/janus_core.dir/generator.cc.o.d"
+  "CMakeFiles/janus_core.dir/host_state.cc.o"
+  "CMakeFiles/janus_core.dir/host_state.cc.o.d"
+  "CMakeFiles/janus_core.dir/profiler.cc.o"
+  "CMakeFiles/janus_core.dir/profiler.cc.o.d"
+  "libjanus_core.a"
+  "libjanus_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/janus_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/janus_dist.dir/allreduce.cc.o"
+  "CMakeFiles/janus_dist.dir/allreduce.cc.o.d"
+  "CMakeFiles/janus_dist.dir/trainer.cc.o"
+  "CMakeFiles/janus_dist.dir/trainer.cc.o.d"
+  "libjanus_dist.a"
+  "libjanus_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/janus_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

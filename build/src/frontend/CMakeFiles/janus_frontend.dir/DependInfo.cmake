@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/frontend/builtins.cc" "src/frontend/CMakeFiles/janus_frontend.dir/builtins.cc.o" "gcc" "src/frontend/CMakeFiles/janus_frontend.dir/builtins.cc.o.d"
+  "/root/repo/src/frontend/eager.cc" "src/frontend/CMakeFiles/janus_frontend.dir/eager.cc.o" "gcc" "src/frontend/CMakeFiles/janus_frontend.dir/eager.cc.o.d"
+  "/root/repo/src/frontend/interpreter.cc" "src/frontend/CMakeFiles/janus_frontend.dir/interpreter.cc.o" "gcc" "src/frontend/CMakeFiles/janus_frontend.dir/interpreter.cc.o.d"
+  "/root/repo/src/frontend/lexer.cc" "src/frontend/CMakeFiles/janus_frontend.dir/lexer.cc.o" "gcc" "src/frontend/CMakeFiles/janus_frontend.dir/lexer.cc.o.d"
+  "/root/repo/src/frontend/parser.cc" "src/frontend/CMakeFiles/janus_frontend.dir/parser.cc.o" "gcc" "src/frontend/CMakeFiles/janus_frontend.dir/parser.cc.o.d"
+  "/root/repo/src/frontend/value.cc" "src/frontend/CMakeFiles/janus_frontend.dir/value.cc.o" "gcc" "src/frontend/CMakeFiles/janus_frontend.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/autodiff/CMakeFiles/janus_autodiff.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/janus_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/janus_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/janus_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/janus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/janus_frontend.dir/builtins.cc.o"
+  "CMakeFiles/janus_frontend.dir/builtins.cc.o.d"
+  "CMakeFiles/janus_frontend.dir/eager.cc.o"
+  "CMakeFiles/janus_frontend.dir/eager.cc.o.d"
+  "CMakeFiles/janus_frontend.dir/interpreter.cc.o"
+  "CMakeFiles/janus_frontend.dir/interpreter.cc.o.d"
+  "CMakeFiles/janus_frontend.dir/lexer.cc.o"
+  "CMakeFiles/janus_frontend.dir/lexer.cc.o.d"
+  "CMakeFiles/janus_frontend.dir/parser.cc.o"
+  "CMakeFiles/janus_frontend.dir/parser.cc.o.d"
+  "CMakeFiles/janus_frontend.dir/value.cc.o"
+  "CMakeFiles/janus_frontend.dir/value.cc.o.d"
+  "libjanus_frontend.a"
+  "libjanus_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/janus_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/janus_graph.dir/dot.cc.o"
+  "CMakeFiles/janus_graph.dir/dot.cc.o.d"
+  "CMakeFiles/janus_graph.dir/graph.cc.o"
+  "CMakeFiles/janus_graph.dir/graph.cc.o.d"
+  "libjanus_graph.a"
+  "libjanus_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/janus_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/janus_models.dir/cartpole.cc.o"
+  "CMakeFiles/janus_models.dir/cartpole.cc.o.d"
+  "CMakeFiles/janus_models.dir/datasets.cc.o"
+  "CMakeFiles/janus_models.dir/datasets.cc.o.d"
+  "CMakeFiles/janus_models.dir/zoo.cc.o"
+  "CMakeFiles/janus_models.dir/zoo.cc.o.d"
+  "libjanus_models.a"
+  "libjanus_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/janus_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/janus_opt.dir/passes.cc.o"
+  "CMakeFiles/janus_opt.dir/passes.cc.o.d"
+  "libjanus_opt.a"
+  "libjanus_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/janus_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

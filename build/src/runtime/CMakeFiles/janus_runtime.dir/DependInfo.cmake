@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/executor.cc" "src/runtime/CMakeFiles/janus_runtime.dir/executor.cc.o" "gcc" "src/runtime/CMakeFiles/janus_runtime.dir/executor.cc.o.d"
+  "/root/repo/src/runtime/kernel.cc" "src/runtime/CMakeFiles/janus_runtime.dir/kernel.cc.o" "gcc" "src/runtime/CMakeFiles/janus_runtime.dir/kernel.cc.o.d"
+  "/root/repo/src/runtime/kernels_array.cc" "src/runtime/CMakeFiles/janus_runtime.dir/kernels_array.cc.o" "gcc" "src/runtime/CMakeFiles/janus_runtime.dir/kernels_array.cc.o.d"
+  "/root/repo/src/runtime/kernels_functional.cc" "src/runtime/CMakeFiles/janus_runtime.dir/kernels_functional.cc.o" "gcc" "src/runtime/CMakeFiles/janus_runtime.dir/kernels_functional.cc.o.d"
+  "/root/repo/src/runtime/kernels_grad.cc" "src/runtime/CMakeFiles/janus_runtime.dir/kernels_grad.cc.o" "gcc" "src/runtime/CMakeFiles/janus_runtime.dir/kernels_grad.cc.o.d"
+  "/root/repo/src/runtime/kernels_math.cc" "src/runtime/CMakeFiles/janus_runtime.dir/kernels_math.cc.o" "gcc" "src/runtime/CMakeFiles/janus_runtime.dir/kernels_math.cc.o.d"
+  "/root/repo/src/runtime/kernels_nn.cc" "src/runtime/CMakeFiles/janus_runtime.dir/kernels_nn.cc.o" "gcc" "src/runtime/CMakeFiles/janus_runtime.dir/kernels_nn.cc.o.d"
+  "/root/repo/src/runtime/kernels_state.cc" "src/runtime/CMakeFiles/janus_runtime.dir/kernels_state.cc.o" "gcc" "src/runtime/CMakeFiles/janus_runtime.dir/kernels_state.cc.o.d"
+  "/root/repo/src/runtime/run_context.cc" "src/runtime/CMakeFiles/janus_runtime.dir/run_context.cc.o" "gcc" "src/runtime/CMakeFiles/janus_runtime.dir/run_context.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/janus_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/janus_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/janus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/janus_runtime.dir/executor.cc.o"
+  "CMakeFiles/janus_runtime.dir/executor.cc.o.d"
+  "CMakeFiles/janus_runtime.dir/kernel.cc.o"
+  "CMakeFiles/janus_runtime.dir/kernel.cc.o.d"
+  "CMakeFiles/janus_runtime.dir/kernels_array.cc.o"
+  "CMakeFiles/janus_runtime.dir/kernels_array.cc.o.d"
+  "CMakeFiles/janus_runtime.dir/kernels_functional.cc.o"
+  "CMakeFiles/janus_runtime.dir/kernels_functional.cc.o.d"
+  "CMakeFiles/janus_runtime.dir/kernels_grad.cc.o"
+  "CMakeFiles/janus_runtime.dir/kernels_grad.cc.o.d"
+  "CMakeFiles/janus_runtime.dir/kernels_math.cc.o"
+  "CMakeFiles/janus_runtime.dir/kernels_math.cc.o.d"
+  "CMakeFiles/janus_runtime.dir/kernels_nn.cc.o"
+  "CMakeFiles/janus_runtime.dir/kernels_nn.cc.o.d"
+  "CMakeFiles/janus_runtime.dir/kernels_state.cc.o"
+  "CMakeFiles/janus_runtime.dir/kernels_state.cc.o.d"
+  "CMakeFiles/janus_runtime.dir/run_context.cc.o"
+  "CMakeFiles/janus_runtime.dir/run_context.cc.o.d"
+  "libjanus_runtime.a"
+  "libjanus_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/janus_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

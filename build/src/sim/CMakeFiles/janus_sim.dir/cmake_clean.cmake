@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/janus_sim.dir/cluster.cc.o"
+  "CMakeFiles/janus_sim.dir/cluster.cc.o.d"
+  "CMakeFiles/janus_sim.dir/event_sim.cc.o"
+  "CMakeFiles/janus_sim.dir/event_sim.cc.o.d"
+  "libjanus_sim.a"
+  "libjanus_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/janus_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/janus_tensor.dir/ops_array.cc.o"
+  "CMakeFiles/janus_tensor.dir/ops_array.cc.o.d"
+  "CMakeFiles/janus_tensor.dir/ops_conv.cc.o"
+  "CMakeFiles/janus_tensor.dir/ops_conv.cc.o.d"
+  "CMakeFiles/janus_tensor.dir/ops_elementwise.cc.o"
+  "CMakeFiles/janus_tensor.dir/ops_elementwise.cc.o.d"
+  "CMakeFiles/janus_tensor.dir/ops_linalg.cc.o"
+  "CMakeFiles/janus_tensor.dir/ops_linalg.cc.o.d"
+  "CMakeFiles/janus_tensor.dir/shape.cc.o"
+  "CMakeFiles/janus_tensor.dir/shape.cc.o.d"
+  "CMakeFiles/janus_tensor.dir/tensor.cc.o"
+  "CMakeFiles/janus_tensor.dir/tensor.cc.o.d"
+  "libjanus_tensor.a"
+  "libjanus_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/janus_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

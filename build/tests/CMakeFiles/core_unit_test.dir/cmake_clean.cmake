@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_unit_test.dir/core_unit_test.cc.o"
+  "CMakeFiles/core_unit_test.dir/core_unit_test.cc.o.d"
+  "core_unit_test"
+  "core_unit_test.pdb"
+  "core_unit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

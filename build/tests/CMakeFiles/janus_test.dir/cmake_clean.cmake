@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/janus_test.dir/janus_test.cc.o"
+  "CMakeFiles/janus_test.dir/janus_test.cc.o.d"
+  "janus_test"
+  "janus_test.pdb"
+  "janus_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/janus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

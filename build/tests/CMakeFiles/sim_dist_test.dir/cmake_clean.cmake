@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_dist_test.dir/sim_dist_test.cc.o"
+  "CMakeFiles/sim_dist_test.dir/sim_dist_test.cc.o.d"
+  "sim_dist_test"
+  "sim_dist_test.pdb"
+  "sim_dist_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_dist_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

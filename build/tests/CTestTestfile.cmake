@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/tensor_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_test[1]_include.cmake")
+include("/root/repo/build/tests/executor_test[1]_include.cmake")
+include("/root/repo/build/tests/autodiff_test[1]_include.cmake")
+include("/root/repo/build/tests/opt_test[1]_include.cmake")
+include("/root/repo/build/tests/frontend_test[1]_include.cmake")
+include("/root/repo/build/tests/janus_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_dist_test[1]_include.cmake")
+include("/root/repo/build/tests/models_test[1]_include.cmake")
+include("/root/repo/build/tests/core_unit_test[1]_include.cmake")
