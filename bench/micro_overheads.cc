@@ -8,10 +8,22 @@
 #include "frontend/builtins.h"
 #include "opt/passes.h"
 #include "runtime/executor.h"
+#include "runtime/plan.h"
 #include "tensor/ops.h"
 
 namespace janus {
 namespace {
+
+// Builds a chain of N Adds: the shape shared by the plan-layer benchmarks
+// below so plan-build cost and per-run dispatch cost are comparable.
+NodeOutput BuildAddChain(Graph& g, int n) {
+  NodeOutput v = g.Constant(Tensor::Full(Shape{8, 8}, 1.0f));
+  const NodeOutput one = g.Constant(Tensor::Full(Shape{8, 8}, 1.0f));
+  for (int i = 0; i < n; ++i) {
+    v = {g.AddNode("Add", {v, one}), 0};
+  }
+  return v;
+}
 
 void BM_EagerOpDispatch(benchmark::State& state) {
   VariableStore variables;
@@ -26,14 +38,11 @@ void BM_EagerOpDispatch(benchmark::State& state) {
 BENCHMARK(BM_EagerOpDispatch);
 
 void BM_GraphExecutionPerOp(benchmark::State& state) {
-  // A chain of N adds executed through the DAG executor (plan cached).
+  // A chain of N adds executed through the DAG executor (plan cached after
+  // the first run, so this measures the cached-graph hot path).
   const int n = static_cast<int>(state.range(0));
   Graph g;
-  NodeOutput v = g.Constant(Tensor::Full(Shape{8, 8}, 1.0f));
-  const NodeOutput one = g.Constant(Tensor::Full(Shape{8, 8}, 1.0f));
-  for (int i = 0; i < n; ++i) {
-    v = {g.AddNode("Add", {v, one}), 0};
-  }
+  const NodeOutput v = BuildAddChain(g, n);
   FunctionLibrary library;
   VariableStore variables;
   Rng rng(1);
@@ -45,6 +54,66 @@ void BM_GraphExecutionPerOp(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_GraphExecutionPerOp)->Arg(16)->Arg(128);
+
+void BM_PlanBuild(benchmark::State& state) {
+  // Cost of compiling an ExecutionPlan from scratch: the one-time price the
+  // engine pays at generation time so runs never schedule.
+  const int n = static_cast<int>(state.range(0));
+  Graph g;
+  const NodeOutput v = BuildAddChain(g, n);
+  const std::vector<NodeOutput> fetches{v};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ExecutionPlan::Build(g, fetches));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_PlanBuild)->Arg(16)->Arg(128);
+
+void BM_PrebuiltPlanDispatch(benchmark::State& state) {
+  // Pure dispatch over a prebuilt plan (Executor::Run(plan, ...)): the
+  // cached-graph path with even the plan-cache probe removed.
+  const int n = static_cast<int>(state.range(0));
+  Graph g;
+  const NodeOutput v = BuildAddChain(g, n);
+  FunctionLibrary library;
+  VariableStore variables;
+  Rng rng(1);
+  Executor executor(&library, &variables, nullptr, &rng);
+  const auto plan = GetOrBuildPlan(g, std::vector<NodeOutput>{v});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(executor.Run(*plan, {}));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_PrebuiltPlanDispatch)->Arg(16)->Arg(128);
+
+void BM_EnginePlanCaching(benchmark::State& state) {
+  // Steady-state engine loop on a cached graph; counters surface the
+  // compile-once/run-many split (plan_builds stays at its post-generation
+  // value while plan_cache_hits grows with every run).
+  VariableStore variables;
+  Rng rng(1);
+  minipy::Interpreter interp(&variables, &rng);
+  minipy::InstallBuiltins(interp);
+  JanusEngine engine(&interp, EngineOptions{});
+  engine.Attach();
+  interp.Run(R"(
+w = variable('w', constant([[0.5]]))
+x = constant([[1.0], [2.0]])
+def fn():
+    return reduce_mean(matmul(x, w))
+for i in range(6):
+    optimize(fn, 0.01)
+)");
+  for (auto _ : state) {
+    interp.Run("optimize(fn, 0.01)\n");
+  }
+  state.counters["plan_builds"] =
+      static_cast<double>(engine.stats().plan_builds);
+  state.counters["plan_cache_hits"] =
+      static_cast<double>(engine.stats().plan_cache_hits);
+}
+BENCHMARK(BM_EnginePlanCaching);
 
 void BM_InterpreterStatements(benchmark::State& state) {
   VariableStore variables;

@@ -72,6 +72,21 @@ std::string ContextRef::ToString() const {
   return oss.str();
 }
 
+int CompiledGraph::BuildPlans() {
+  if (plan != nullptr) return 0;
+  int built = 0;
+  plan = GetOrBuildPlan(graph, fetches);
+  ++built;
+  if (library != nullptr) {
+    for (const std::string& name : library->FunctionNames()) {
+      const GraphFunction& fn = library->Lookup(name);
+      function_plans.push_back(GetOrBuildPlan(fn.graph, fn.results));
+      ++built;
+    }
+  }
+  return built;
+}
+
 bool EntryValueMatches(const Value& actual, const Value& expected) {
   // Heap values and callables compare by identity; tensors are never entry
   // expectations (they become captures); scalars compare by value.

@@ -12,6 +12,7 @@
 #include "core/assumptions.h"
 #include "frontend/value.h"
 #include "graph/graph.h"
+#include "runtime/plan.h"
 
 namespace janus {
 
@@ -70,6 +71,18 @@ struct CompiledGraph {
   bool training = false;
   double learning_rate = 0.0;
   int num_assert_ops = 0;
+
+  // Compile-once execution plans: `plan` is the main graph's schedule for
+  // `fetches`; `function_plans` pin one plan per FunctionLibrary function so
+  // nested Invoke/While kernels dispatch through their graph's plan cache
+  // without ever replanning. Built right after generation (Fig. 2's pay-once
+  // conversion cost) and reused by every subsequent ExecuteCompiled.
+  std::shared_ptr<const ExecutionPlan> plan;
+  std::vector<std::shared_ptr<const ExecutionPlan>> function_plans;
+
+  // Builds `plan` and `function_plans` (idempotent). Returns the number of
+  // plans built by this call, for EngineStats::plan_builds accounting.
+  int BuildPlans();
 };
 
 // Compares a resolved context value against an expectation: identity for

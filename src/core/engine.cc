@@ -199,6 +199,10 @@ minipy::Value JanusEngine::Run(const std::shared_ptr<FunctionValue>& fn,
     try {
       auto compiled = generator_.Compile(fn, args, training, lr);
       ++stats_.graph_generations;
+      // Pay the scheduling cost once, here, with the rest of the conversion
+      // cost: compile execution plans for the graph and every library
+      // function so no ExecuteCompiled ever plans on the hot path.
+      stats_.plan_builds += compiled->BuildPlans();
       CacheEntry entry{std::move(compiled), fn->closure};
       if (static_cast<int>(unit->candidates.size()) >=
           options_.max_cached_graphs_per_unit) {
@@ -348,10 +352,19 @@ minipy::Value JanusEngine::ExecuteCompiled(CacheEntry& entry,
   exec_options.pool = pool_.get();
   Executor executor(entry.compiled->library.get(), interp_->variables(),
                     &host_state_, interp_->rng(), exec_options);
-  std::int64_t ops = 0;
-  std::vector<Tensor> results = executor.Run(
-      entry.compiled->graph, feeds, entry.compiled->fetches, &ops);
-  stats_.graph_ops_executed += ops;
+  if (entry.compiled->plan == nullptr) {
+    // Defensive: graphs injected into the cache without going through the
+    // generator (tests) still get a one-time plan build.
+    stats_.plan_builds += entry.compiled->BuildPlans();
+  }
+  RunMetrics metrics;
+  std::vector<Tensor> results =
+      executor.Run(*entry.compiled->plan, feeds, &metrics);
+  stats_.graph_ops_executed += metrics.ops_executed;
+  stats_.plan_builds += metrics.plan_builds;
+  // The prebuilt main-graph plan counts as a hit, as do nested
+  // Invoke/While dispatches through each function's plan cache.
+  stats_.plan_cache_hits += 1 + metrics.plan_cache_hits;
   return results.at(0);
 }
 

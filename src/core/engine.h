@@ -64,6 +64,12 @@ struct EngineStats {
   std::int64_t fallbacks = 0;
   std::int64_t not_convertible = 0;
   std::int64_t graph_ops_executed = 0;
+  // Execution-plan cache accounting (runtime/plan.h): builds happen at
+  // generation time (once per compiled graph + library function); every
+  // cached-graph run afterwards is hits-only — the compile-once/run-many
+  // split the paper's amortization argument relies on.
+  std::int64_t plan_builds = 0;
+  std::int64_t plan_cache_hits = 0;
 };
 
 class JanusEngine : public minipy::CallInterceptor {

@@ -1,23 +1,40 @@
 #include "frontend/eager.h"
 
-#include <sstream>
 #include <unordered_map>
 
 #include "autodiff/gradients.h"
 #include "runtime/executor.h"
 #include "runtime/kernel.h"
+#include "runtime/plan.h"
 #include "tensor/ops.h"
 
 namespace janus::minipy {
 namespace {
 
-// Tape identity of a tensor: buffer pointer + shape + dtype, so reshaped
-// views sharing a buffer do not collide.
-std::string TensorKey(const Tensor& t) {
-  std::ostringstream oss;
-  oss << t.data_id() << '|' << static_cast<int>(t.dtype()) << '|'
-      << t.shape().ToString();
-  return oss.str();
+// Tape identity of a tensor: buffer pointer + dtype + dims, so reshaped
+// views sharing a buffer do not collide. A plain struct key: this runs on
+// every eager op and every tape record, so no string formatting.
+struct TensorKey {
+  const void* id = nullptr;
+  DType dtype = DType::kFloat32;
+  std::vector<std::int64_t> dims;
+
+  bool operator==(const TensorKey& other) const = default;
+};
+
+struct TensorKeyHash {
+  std::size_t operator()(const TensorKey& key) const {
+    std::size_t h = std::hash<const void*>()(key.id);
+    h = h * 1099511628211ull ^ static_cast<std::size_t>(key.dtype);
+    for (const std::int64_t dim : key.dims) {
+      h = h * 1099511628211ull ^ std::hash<std::int64_t>()(dim);
+    }
+    return h;
+  }
+};
+
+TensorKey KeyFor(const Tensor& t) {
+  return {t.data_id(), t.dtype(), t.shape().dims()};
 }
 
 }  // namespace
@@ -25,12 +42,12 @@ std::string TensorKey(const Tensor& t) {
 struct EagerContext::Tape {
   Graph graph;
   FunctionLibrary library;  // gradient functions (unused by eager bodies)
-  std::unordered_map<std::string, NodeOutput> value_to_node;
+  std::unordered_map<TensorKey, NodeOutput, TensorKeyHash> value_to_node;
   std::map<std::string, NodeOutput> variable_reads;  // var name -> node
   internal::Precomputed precomputed;
 
   NodeOutput NodeFor(const Tensor& t) {
-    const std::string key = TensorKey(t);
+    const TensorKey key = KeyFor(t);
     const auto it = value_to_node.find(key);
     if (it != value_to_node.end()) return it->second;
     // External input (data batch, literal): record as a constant leaf.
@@ -46,7 +63,7 @@ struct EagerContext::Tape {
     input_nodes.reserve(inputs.size());
     for (const Tensor& input : inputs) input_nodes.push_back(NodeFor(input));
     Node* node = graph.AddNode(op, std::move(input_nodes), std::move(attrs));
-    value_to_node[TensorKey(output)] = {node, 0};
+    value_to_node[KeyFor(output)] = {node, 0};
     precomputed[node] = {output};
   }
 };
@@ -88,7 +105,7 @@ Tensor EagerContext::ReadVariable(const std::string& name) {
       Node* node = tape_->graph.AddNode("ReadVariable", {}, {{"var", name}});
       tape_->variable_reads[name] = {node, 0};
       tape_->precomputed[node] = {value};
-      tape_->value_to_node[TensorKey(value)] = {node, 0};
+      tape_->value_to_node[KeyFor(value)] = {node, 0};
     }
   }
   return value;
@@ -106,7 +123,7 @@ std::map<std::string, Tensor> EagerContext::GradientsAndStopTape(
   JANUS_EXPECTS(tape_ != nullptr);
   auto tape = std::move(tape_);
 
-  const auto loss_it = tape->value_to_node.find(TensorKey(loss));
+  const auto loss_it = tape->value_to_node.find(KeyFor(loss));
   if (loss_it == tape->value_to_node.end()) {
     throw InvalidArgument(
         "loss tensor was not produced under the gradient tape");
@@ -128,8 +145,12 @@ std::map<std::string, Tensor> EagerContext::GradientsAndStopTape(
   run.library = &tape->library;
   const std::map<std::string, Tensor> no_feeds;
   run.feeds = &no_feeds;
+  // One-shot plan over the tape graph: the gradient subgraph executes with
+  // the recorded forward values fed in as precomputed node outputs.
+  const std::shared_ptr<const ExecutionPlan> plan =
+      GetOrBuildPlan(tape->graph, grads, &run);
   const std::vector<Tensor> grad_values = internal::ExecuteDag(
-      run, tape->graph, {}, grads, /*parallel=*/false, &tape->precomputed);
+      run, *plan, {}, /*parallel=*/false, &tape->precomputed);
   ops_executed_ += run.ops_executed.load();
 
   std::map<std::string, Tensor> result;

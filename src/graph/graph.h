@@ -117,14 +117,16 @@ class Graph {
   // once execution starts (as in TF).
   std::uint64_t version() const { return version_; }
 
-  // Executor-owned cached plans (opaque to the graph).
+  // Runtime-owned cache of compiled ExecutionPlans (opaque to the graph),
+  // keyed by (structural version, fetch set). See runtime/plan.h.
   struct ExecCache {
     std::mutex mu;
-    std::uint64_t dag_version = ~0ull;
-    std::shared_ptr<const void> dag_plan;
-    std::vector<NodeOutput> dag_fetches;
-    std::uint64_t dyn_version = ~0ull;
-    std::shared_ptr<const void> dyn_plan;
+    struct Entry {
+      std::uint64_t version = 0;
+      std::vector<NodeOutput> fetches;
+      std::shared_ptr<const void> plan;
+    };
+    std::vector<Entry> entries;
   };
   ExecCache& exec_cache() const { return *exec_cache_; }
 

@@ -1,0 +1,150 @@
+// DAG strategy: executes a precompiled ExecutionPlan over dependency
+// countdown, sequentially or fanned out to a thread pool. All scheduling
+// data (dense indices, pending counts, consumer lists, resolved kernels)
+// comes from the plan; the only per-run state is the countdown/output array.
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+
+#include "common/logging.h"
+#include "runtime/executor.h"
+
+namespace janus {
+namespace internal {
+namespace {
+
+struct DagNodeState {
+  int pending = 0;
+  std::vector<Tensor> outputs;
+};
+
+}  // namespace
+
+std::vector<Tensor> ExecuteDag(RunContext& run, const ExecutionPlan& plan,
+                               const Bindings& bindings, bool parallel,
+                               const Precomputed* precomputed) {
+  const std::vector<ExecutionPlan::DagNode>& nodes = plan.dag_nodes();
+  std::vector<DagNodeState> states(nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    states[i].pending = nodes[i].initial_pending;
+  }
+
+  const auto run_node = [&](int index) {
+    const ExecutionPlan::DagNode& entry =
+        nodes[static_cast<std::size_t>(index)];
+    auto& state = states[static_cast<std::size_t>(index)];
+    if (precomputed != nullptr) {
+      const auto it = precomputed->find(entry.node);
+      if (it != precomputed->end()) {
+        state.outputs = it->second;
+        return;
+      }
+    }
+    switch (entry.kind) {
+      case ExecutionPlan::OpKind::kConst:
+        state.outputs.assign(1, entry.const_value);
+        return;
+      case ExecutionPlan::OpKind::kPlaceholder:
+      case ExecutionPlan::OpKind::kParam:
+        state.outputs.assign(
+            1, ResolveSource(run, entry.kind, *entry.node, bindings));
+        return;
+      default:
+        break;
+    }
+    std::vector<Tensor> inputs;
+    inputs.reserve(entry.inputs.size());
+    for (const ExecutionPlan::DagInput& input : entry.inputs) {
+      const auto& producer = states[static_cast<std::size_t>(input.producer)];
+      inputs.push_back(
+          producer.outputs.at(static_cast<std::size_t>(input.slot)));
+    }
+    ExecuteKernel(run, *entry.node, *entry.kernel, inputs, state.outputs);
+  };
+
+  if (!parallel) {
+    // Sequential: simple worklist in dependency order.
+    std::deque<int> ready;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      if (states[i].pending == 0) ready.push_back(static_cast<int>(i));
+    }
+    std::size_t executed = 0;
+    while (!ready.empty()) {
+      const int index = ready.front();
+      ready.pop_front();
+      run_node(index);
+      ++executed;
+      for (const int consumer :
+           nodes[static_cast<std::size_t>(index)].consumers) {
+        if (--states[static_cast<std::size_t>(consumer)].pending == 0) {
+          ready.push_back(consumer);
+        }
+      }
+    }
+    if (executed != nodes.size()) {
+      throw InternalError("graph contains a cycle (DAG executor)");
+    }
+  } else {
+    JANUS_EXPECTS(run.pool != nullptr);
+    std::mutex mu;
+    std::condition_variable cv;
+    std::size_t remaining = nodes.size();
+    std::exception_ptr first_error;
+
+    // Forward declaration via std::function for the recursive completion
+    // chain: finishing a node may schedule its consumers.
+    std::function<void(int)> dispatch = [&](int index) {
+      try {
+        run_node(index);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+      std::vector<int> newly_ready;
+      {
+        const std::lock_guard<std::mutex> lock(mu);
+        for (const int consumer :
+             nodes[static_cast<std::size_t>(index)].consumers) {
+          if (--states[static_cast<std::size_t>(consumer)].pending == 0) {
+            newly_ready.push_back(consumer);
+          }
+        }
+        --remaining;
+        if (remaining == 0) cv.notify_all();
+      }
+      // Even after an error we keep draining dependencies so `remaining`
+      // reaches zero; erroring nodes simply produce empty outputs that no
+      // one will read (the first error is rethrown at the end).
+      for (std::size_t i = 0; i + 1 < newly_ready.size(); ++i) {
+        run.pool->Schedule([&dispatch, n = newly_ready[i]] { dispatch(n); });
+      }
+      if (!newly_ready.empty()) dispatch(newly_ready.back());
+    };
+
+    std::vector<int> roots;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      if (states[i].pending == 0) roots.push_back(static_cast<int>(i));
+    }
+    for (std::size_t i = 0; i + 1 < roots.size(); ++i) {
+      run.pool->Schedule([&dispatch, n = roots[i]] { dispatch(n); });
+    }
+    if (!roots.empty()) dispatch(roots.back());
+
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return remaining == 0; });
+    if (first_error) std::rethrow_exception(first_error);
+  }
+
+  std::vector<Tensor> results;
+  results.reserve(plan.dag_fetch_slots().size());
+  for (const ExecutionPlan::DagInput& fetch : plan.dag_fetch_slots()) {
+    const auto& state = states[static_cast<std::size_t>(fetch.producer)];
+    results.push_back(state.outputs.at(static_cast<std::size_t>(fetch.slot)));
+  }
+  return results;
+}
+
+}  // namespace internal
+}  // namespace janus

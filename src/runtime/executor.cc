@@ -1,32 +1,22 @@
+// Thin execution driver: resolves the per-graph ExecutionPlan (from the
+// graph's plan cache or a caller-supplied prebuilt plan) and hands it to the
+// strategy implementation in dag_executor.cc / dynamic_executor.cc. All
+// schedule construction lives in plan.cc; nothing here is per-node work.
 #include "runtime/executor.h"
 
 #include <chrono>
-#include <condition_variable>
-#include <deque>
-#include <exception>
-#include <optional>
-#include <unordered_map>
-#include <unordered_set>
 
 #include "common/logging.h"
 
 namespace janus {
 namespace internal {
-namespace {
 
-bool IsControlFlowOp(const std::string& op) {
-  return op == "Switch" || op == "Merge" || op == "Enter" || op == "Exit" ||
-         op == "NextIteration";
-}
-
-bool IsSourceOp(const std::string& op) {
-  return op == "Const" || op == "Placeholder" || op == "Param";
-}
-
-Tensor ResolveSource(RunContext& run, const Node& node,
-                     const Bindings& bindings) {
-  if (node.op() == "Const") return node.GetTensorAttr("value");
-  if (node.op() == "Param") {
+Tensor ResolveSource(RunContext& run, ExecutionPlan::OpKind kind,
+                     const Node& node, const Bindings& bindings) {
+  if (kind == ExecutionPlan::OpKind::kConst) {
+    return node.GetTensorAttr("value");
+  }
+  if (kind == ExecutionPlan::OpKind::kParam) {
     const auto it = bindings.find(&node);
     if (it == bindings.end()) {
       throw InternalError("unbound Param node '" + node.name() + "'");
@@ -41,7 +31,7 @@ Tensor ResolveSource(RunContext& run, const Node& node,
   throw InvalidArgument("placeholder '" + node.name() + "' was not fed");
 }
 
-void ExecuteKernel(RunContext& run, const Node& node,
+void ExecuteKernel(RunContext& run, const Node& node, const KernelFn& kernel,
                    std::span<const Tensor> inputs,
                    std::vector<Tensor>& outputs) {
   if (run.dispatch_penalty_ns > 0) {
@@ -52,7 +42,6 @@ void ExecuteKernel(RunContext& run, const Node& node,
     while (std::chrono::steady_clock::now() < deadline) {
     }
   }
-  const KernelFn& kernel = KernelRegistry::Global().Lookup(node.op());
   KernelContext ctx;
   ctx.node = &node;
   ctx.inputs = inputs;
@@ -70,604 +59,6 @@ void ExecuteKernel(RunContext& run, const Node& node,
   outputs = std::move(ctx.outputs);
 }
 
-// ---------------------------------------------------------------------------
-// DAG executor
-// ---------------------------------------------------------------------------
-
-struct DagNodeState {
-  int pending = 0;
-  std::vector<Tensor> outputs;
-};
-
-struct DagPlan {
-  // Consumers of each node (data + control), for dependency countdown.
-  std::vector<std::vector<int>> consumers;  // by node id -> consumer ids
-  std::vector<int> initial_pending;         // by node id
-  std::unordered_map<const Node*, int> index;
-  std::vector<const Node*> nodes;           // by node id (dense)
-};
-
-DagPlan PlanDag(const Graph& graph,
-                const std::unordered_set<const Node*>& needed) {
-  DagPlan plan;
-  plan.nodes.reserve(needed.size());
-  for (const auto& node : graph.nodes()) {
-    if (needed.find(node.get()) == needed.end()) continue;
-    plan.index[node.get()] = static_cast<int>(plan.nodes.size());
-    plan.nodes.push_back(node.get());
-  }
-  plan.consumers.resize(plan.nodes.size());
-  plan.initial_pending.resize(plan.nodes.size(), 0);
-  for (std::size_t i = 0; i < plan.nodes.size(); ++i) {
-    const Node* node = plan.nodes[i];
-    std::unordered_set<int> producers;
-    for (const NodeOutput& input : node->inputs()) {
-      producers.insert(plan.index.at(input.node));
-    }
-    for (const Node* control : node->control_inputs()) {
-      producers.insert(plan.index.at(control));
-    }
-    plan.initial_pending[i] = static_cast<int>(producers.size());
-    for (const int producer : producers) {
-      plan.consumers[static_cast<std::size_t>(producer)].push_back(
-          static_cast<int>(i));
-    }
-  }
-  return plan;
-}
-
-}  // namespace
-
-std::vector<Tensor> ExecuteDag(RunContext& run, const Graph& graph,
-                               const Bindings& bindings,
-                               std::span<const NodeOutput> fetches,
-                               bool parallel,
-                               const Precomputed* precomputed) {
-  // Plan caching: planning is O(nodes) with allocations, which dominates
-  // small graphs executed at high rates (e.g. recursive InvokeOp bodies).
-  std::shared_ptr<const DagPlan> plan_ptr;
-  {
-    auto& cache = graph.exec_cache();
-    const std::lock_guard<std::mutex> lock(cache.mu);
-    if (cache.dag_version == graph.version() &&
-        std::equal(cache.dag_fetches.begin(), cache.dag_fetches.end(),
-                   fetches.begin(), fetches.end())
-            && cache.dag_fetches.size() == fetches.size()) {
-      plan_ptr = std::static_pointer_cast<const DagPlan>(cache.dag_plan);
-    }
-  }
-  if (plan_ptr == nullptr) {
-    // Restrict execution to the nodes the fetches transitively need
-    // (through data and control edges): side-effecting ops only run when
-    // anchored to a fetch (the update-anchor NoOp convention).
-    std::unordered_set<const Node*> needed;
-    std::vector<const Node*> stack;
-    for (const NodeOutput& fetch : fetches) stack.push_back(fetch.node);
-    while (!stack.empty()) {
-      const Node* node = stack.back();
-      stack.pop_back();
-      if (!needed.insert(node).second) continue;
-      for (const NodeOutput& input : node->inputs()) {
-        stack.push_back(input.node);
-      }
-      for (const Node* control : node->control_inputs()) {
-        stack.push_back(control);
-      }
-    }
-    plan_ptr = std::make_shared<const DagPlan>(PlanDag(graph, needed));
-    auto& cache = graph.exec_cache();
-    const std::lock_guard<std::mutex> lock(cache.mu);
-    cache.dag_version = graph.version();
-    cache.dag_plan = plan_ptr;
-    cache.dag_fetches.assign(fetches.begin(), fetches.end());
-  }
-  const DagPlan& plan = *plan_ptr;
-  std::vector<DagNodeState> states(plan.nodes.size());
-  for (std::size_t i = 0; i < plan.nodes.size(); ++i) {
-    states[i].pending = plan.initial_pending[i];
-  }
-
-  const auto run_node = [&](int index) {
-    const Node& node = *plan.nodes[static_cast<std::size_t>(index)];
-    auto& state = states[static_cast<std::size_t>(index)];
-    if (precomputed != nullptr) {
-      const auto it = precomputed->find(&node);
-      if (it != precomputed->end()) {
-        state.outputs = it->second;
-        return;
-      }
-    }
-    if (IsSourceOp(node.op())) {
-      state.outputs.assign(1, ResolveSource(run, node, bindings));
-      return;
-    }
-    std::vector<Tensor> inputs;
-    inputs.reserve(node.inputs().size());
-    for (const NodeOutput& input : node.inputs()) {
-      const auto& producer =
-          states[static_cast<std::size_t>(plan.index.at(input.node))];
-      inputs.push_back(
-          producer.outputs.at(static_cast<std::size_t>(input.index)));
-    }
-    ExecuteKernel(run, node, inputs, state.outputs);
-  };
-
-  if (!parallel) {
-    // Sequential: simple worklist in dependency order.
-    std::deque<int> ready;
-    for (std::size_t i = 0; i < plan.nodes.size(); ++i) {
-      if (states[i].pending == 0) ready.push_back(static_cast<int>(i));
-    }
-    std::size_t executed = 0;
-    while (!ready.empty()) {
-      const int index = ready.front();
-      ready.pop_front();
-      run_node(index);
-      ++executed;
-      for (const int consumer : plan.consumers[static_cast<std::size_t>(index)]) {
-        if (--states[static_cast<std::size_t>(consumer)].pending == 0) {
-          ready.push_back(consumer);
-        }
-      }
-    }
-    if (executed != plan.nodes.size()) {
-      throw InternalError("graph contains a cycle (DAG executor)");
-    }
-  } else {
-    JANUS_EXPECTS(run.pool != nullptr);
-    std::mutex mu;
-    std::condition_variable cv;
-    std::size_t remaining = plan.nodes.size();
-    std::exception_ptr first_error;
-
-    // Forward declaration via std::function for the recursive completion
-    // chain: finishing a node may schedule its consumers.
-    std::function<void(int)> dispatch = [&](int index) {
-      try {
-        run_node(index);
-      } catch (...) {
-        const std::lock_guard<std::mutex> lock(mu);
-        if (!first_error) first_error = std::current_exception();
-      }
-      std::vector<int> newly_ready;
-      {
-        const std::lock_guard<std::mutex> lock(mu);
-        for (const int consumer :
-             plan.consumers[static_cast<std::size_t>(index)]) {
-          if (--states[static_cast<std::size_t>(consumer)].pending == 0) {
-            newly_ready.push_back(consumer);
-          }
-        }
-        --remaining;
-        if (remaining == 0) cv.notify_all();
-      }
-      // Even after an error we keep draining dependencies so `remaining`
-      // reaches zero; erroring nodes simply produce empty outputs that no
-      // one will read (the first error is rethrown at the end).
-      for (std::size_t i = 0; i + 1 < newly_ready.size(); ++i) {
-        run.pool->Schedule([&dispatch, n = newly_ready[i]] { dispatch(n); });
-      }
-      if (!newly_ready.empty()) dispatch(newly_ready.back());
-    };
-
-    std::vector<int> roots;
-    for (std::size_t i = 0; i < plan.nodes.size(); ++i) {
-      if (states[i].pending == 0) roots.push_back(static_cast<int>(i));
-    }
-    for (std::size_t i = 0; i + 1 < roots.size(); ++i) {
-      run.pool->Schedule([&dispatch, n = roots[i]] { dispatch(n); });
-    }
-    if (!roots.empty()) dispatch(roots.back());
-
-    std::unique_lock<std::mutex> lock(mu);
-    cv.wait(lock, [&] { return remaining == 0; });
-    if (first_error) std::rethrow_exception(first_error);
-  }
-
-  std::vector<Tensor> results;
-  results.reserve(fetches.size());
-  for (const NodeOutput& fetch : fetches) {
-    const auto& state = states[static_cast<std::size_t>(plan.index.at(fetch.node))];
-    results.push_back(state.outputs.at(static_cast<std::size_t>(fetch.index)));
-  }
-  return results;
-}
-
-// ---------------------------------------------------------------------------
-// Dynamic (tagged-token) executor
-// ---------------------------------------------------------------------------
-
-namespace {
-
-struct Token {
-  Tensor value;
-  bool dead = false;
-};
-
-// A tag is the textual encoding of the frame path: "" is the root frame;
-// entering frame F yields "<parent>/F#0"; NextIteration bumps the trailing
-// iteration counter.
-std::string ChildTag(const std::string& tag, const std::string& frame) {
-  return tag + "/" + frame + "#0";
-}
-
-std::string ParentTag(const std::string& tag) {
-  const auto pos = tag.rfind('/');
-  JANUS_EXPECTS(pos != std::string::npos);
-  return tag.substr(0, pos);
-}
-
-std::string NextIterTag(const std::string& tag) {
-  const auto pos = tag.rfind('#');
-  JANUS_EXPECTS(pos != std::string::npos);
-  const std::int64_t iter = std::stoll(tag.substr(pos + 1));
-  return tag.substr(0, pos + 1) + std::to_string(iter + 1);
-}
-
-// Base of a frame instance: the tag minus its iteration counter. Used to
-// track loop-invariant (constant) Enter values.
-std::string FrameBase(const std::string& tag) {
-  const auto pos = tag.rfind('#');
-  JANUS_EXPECTS(pos != std::string::npos);
-  return tag.substr(0, pos);
-}
-
-struct PendingNode {
-  std::vector<std::optional<Token>> inputs;
-  int control_pending = 0;
-  int arrived = 0;
-  bool fired = false;        // Merge: fired on first live arrival
-  bool initialized = false;  // input slots sized; source inputs prefilled
-  bool any_control_dead = false;
-};
-
-struct Edge {
-  const Node* consumer;
-  int input_slot;  // -1 for control edges
-};
-
-}  // namespace
-
-std::vector<Tensor> ExecuteDynamic(RunContext& run, const Graph& graph,
-                                   const Bindings& bindings,
-                                   std::span<const NodeOutput> fetches) {
-  // Consumer lists per (node, output index) and control consumers per node,
-  // cached across runs (built once per graph version).
-  struct DynPlan {
-    std::unordered_map<const Node*, std::vector<std::vector<Edge>>> out_edges;
-    std::unordered_map<const Node*, std::vector<Edge>> control_edges;
-  };
-  std::shared_ptr<const DynPlan> dyn_plan;
-  {
-    auto& cache = graph.exec_cache();
-    const std::lock_guard<std::mutex> lock(cache.mu);
-    if (cache.dyn_version == graph.version()) {
-      dyn_plan = std::static_pointer_cast<const DynPlan>(cache.dyn_plan);
-    }
-  }
-  if (dyn_plan == nullptr) {
-    auto fresh = std::make_shared<DynPlan>();
-    for (const auto& node : graph.nodes()) {
-      fresh->out_edges[node.get()].resize(
-          static_cast<std::size_t>(std::max(1, node->num_outputs())));
-    }
-    for (const auto& node : graph.nodes()) {
-      for (int slot = 0; slot < node->num_inputs(); ++slot) {
-        const NodeOutput input = node->input(slot);
-        fresh->out_edges[input.node][static_cast<std::size_t>(input.index)]
-            .push_back({node.get(), slot});
-      }
-      for (Node* control : node->control_inputs()) {
-        fresh->control_edges[control].push_back({node.get(), -1});
-      }
-    }
-    dyn_plan = fresh;
-    auto& cache = graph.exec_cache();
-    const std::lock_guard<std::mutex> lock(cache.mu);
-    cache.dyn_version = graph.version();
-    cache.dyn_plan = dyn_plan;
-  }
-  const auto& out_edges = dyn_plan->out_edges;
-  const auto& control_edges = dyn_plan->control_edges;
-
-  // Execution state per (node, tag).
-  struct Key {
-    const Node* node;
-    std::string tag;
-    bool operator==(const Key& other) const = default;
-  };
-  struct KeyHash {
-    std::size_t operator()(const Key& key) const {
-      return std::hash<const void*>()(key.node) * 1315423911u ^
-             std::hash<std::string>()(key.tag);
-    }
-  };
-  std::unordered_map<Key, PendingNode, KeyHash> pending;
-
-  // Loop-invariant Enter values per frame base, plus which iterations of
-  // that frame have been seeded with them already.
-  struct FrameConstants {
-    std::vector<std::pair<const Node*, Token>> values;  // producer Enter node
-    std::unordered_set<std::string> seeded_tags;
-  };
-  std::unordered_map<std::string, FrameConstants> frame_constants;
-
-  // Fetch bookkeeping: fetches resolve at the root tag.
-  std::vector<std::optional<Tensor>> fetched(fetches.size());
-  std::size_t fetches_outstanding = fetches.size();
-
-  std::deque<std::pair<Key, PendingNode>> ready;
-
-  const auto required_inputs = [](const Node& node) {
-    return node.num_inputs();
-  };
-
-  // Source values are tag-polymorphic: Const/Placeholder/Param outputs (and
-  // the outputs of input-less stateful nodes, evaluated once up front) are
-  // available in every frame at every iteration, so consumers inside loop
-  // frames need no explicit Enter edges for them. This mirrors how TF hoists
-  // loop invariants with constant Enter nodes, without burdening the graph
-  // generator.
-  std::unordered_map<const Node*, std::vector<Token>> source_values;
-  const auto is_source_producer = [&](const Node* node) {
-    return source_values.find(node) != source_values.end();
-  };
-
-  // Forward declaration: delivering a token may enqueue ready nodes.
-  std::function<void(const Node*, int, const std::string&, const Token&)>
-      deliver_output;
-
-  const auto deliver_to = [&](const Node* consumer, int slot,
-                              const std::string& tag, const Token& token) {
-    const Key key{consumer, tag};
-    auto& state = pending[key];
-    if (!state.initialized) {
-      state.initialized = true;
-      state.inputs.resize(
-          static_cast<std::size_t>(required_inputs(*consumer)));
-      state.control_pending =
-          static_cast<int>(consumer->control_inputs().size());
-      if (!tag.empty()) {
-        // Prefill inputs produced by tag-polymorphic sources; at the root
-        // tag they are delivered through the normal seeding pass instead.
-        for (int i = 0; i < consumer->num_inputs(); ++i) {
-          const NodeOutput input = consumer->input(i);
-          const auto it = source_values.find(input.node);
-          if (it != source_values.end()) {
-            state.inputs[static_cast<std::size_t>(i)] =
-                it->second.at(static_cast<std::size_t>(input.index));
-            ++state.arrived;
-          }
-        }
-        for (const Node* control : consumer->control_inputs()) {
-          if (is_source_producer(control)) --state.control_pending;
-        }
-      }
-    }
-    // A fired Merge may receive a late token from the branch that lost the
-    // race (its state was already consumed); ignore it.
-    if (consumer->op() == "Merge" && state.fired) return;
-    if (slot >= 0) {
-      auto& cell = state.inputs.at(static_cast<std::size_t>(slot));
-      if (cell.has_value()) {
-        // Merge nodes may legitimately receive a late token on an input the
-        // other side already satisfied; everything else is a bug.
-        if (consumer->op() != "Merge") {
-          throw InternalError("duplicate token for " + consumer->name());
-        }
-      }
-      cell = token;
-      ++state.arrived;
-    } else {
-      --state.control_pending;
-      if (token.dead) state.any_control_dead = true;
-    }
-
-    const bool controls_done = state.control_pending <= 0;
-    if (consumer->op() == "Merge") {
-      if (state.fired) return;
-      // Fire on the first live arrival, or once every input arrived dead.
-      if (controls_done && slot >= 0 && !token.dead) {
-        state.fired = true;
-        ready.push_back({key, std::move(pending[key])});
-        return;
-      }
-      if (controls_done &&
-          state.arrived == required_inputs(*consumer)) {
-        bool all_dead = true;
-        for (const auto& cell : state.inputs) {
-          if (cell.has_value() && !cell->dead) all_dead = false;
-        }
-        if (all_dead) {
-          state.fired = true;
-          ready.push_back({key, std::move(pending[key])});
-        }
-      }
-      return;
-    }
-    if (controls_done && state.arrived == required_inputs(*consumer)) {
-      ready.push_back({key, std::move(pending[key])});
-      pending.erase(key);
-    }
-  };
-
-  deliver_output = [&](const Node* producer, int index, const std::string& tag,
-                       const Token& token) {
-    // Fetches resolve only at the root tag.
-    if (tag.empty()) {
-      for (std::size_t i = 0; i < fetches.size(); ++i) {
-        if (fetches[i].node == producer && fetches[i].index == index &&
-            !fetched[i].has_value() && !token.dead) {
-          fetched[i] = token.value;
-          --fetches_outstanding;
-        }
-      }
-    }
-    for (const Edge& edge :
-         out_edges.at(producer)[static_cast<std::size_t>(index)]) {
-      deliver_to(edge.consumer, edge.input_slot, tag, token);
-    }
-    if (index == 0) {
-      const auto control_it = control_edges.find(producer);
-      if (control_it != control_edges.end()) {
-        for (const Edge& edge : control_it->second) {
-          deliver_to(edge.consumer, -1, tag, token);
-        }
-      }
-    }
-  };
-
-  // Seed a newly observed loop iteration with the frame's constant values.
-  const auto seed_iteration = [&](const std::string& tag) {
-    auto it = frame_constants.find(FrameBase(tag));
-    if (it == frame_constants.end()) return;
-    if (!it->second.seeded_tags.insert(tag).second) return;
-    for (const auto& [enter_node, token] : it->second.values) {
-      deliver_output(enter_node, 0, tag, token);
-    }
-  };
-
-  // Evaluate source nodes up front. Input-less stateful nodes (ReadVariable,
-  // RandomNormal, ...) with no control dependencies execute exactly once per
-  // run, so their outputs are also tag-polymorphic sources.
-  for (const auto& node : graph.nodes()) {
-    if (IsSourceOp(node->op())) {
-      source_values[node.get()] = {
-          Token{ResolveSource(run, *node, bindings), false}};
-    } else if (node->num_inputs() == 0 && node->control_inputs().empty()) {
-      std::vector<Tensor> outputs;
-      ExecuteKernel(run, *node, {}, outputs);
-      std::vector<Token> tokens;
-      tokens.reserve(outputs.size());
-      for (Tensor& out : outputs) tokens.push_back(Token{std::move(out), false});
-      source_values[node.get()] = std::move(tokens);
-    }
-  }
-  // Deliver source outputs at the root tag (frame consumers receive them via
-  // the prefill in deliver_to instead).
-  for (const auto& [producer, tokens] : source_values) {
-    for (std::size_t index = 0; index < tokens.size(); ++index) {
-      deliver_output(producer, static_cast<int>(index), "", tokens[index]);
-    }
-  }
-
-  while (!ready.empty() && fetches_outstanding > 0) {
-    auto [key, state] = std::move(ready.front());
-    ready.pop_front();
-    const Node& node = *key.node;
-    const std::string& tag = key.tag;
-
-    // Collect input tokens (absent cells are only legal for Merge).
-    std::vector<Token> tokens(state.inputs.size());
-    bool any_dead = state.any_control_dead;
-    for (std::size_t i = 0; i < state.inputs.size(); ++i) {
-      if (state.inputs[i].has_value()) {
-        tokens[i] = *state.inputs[i];
-        if (tokens[i].dead) any_dead = true;
-      } else if (node.op() != "Merge") {
-        throw InternalError("missing token for " + node.name());
-      }
-    }
-
-    if (node.op() == "Merge") {
-      // Forward the first live input (and its index); dead if none live.
-      Token out{Tensor{}, true};
-      std::int64_t live_index = -1;
-      for (std::size_t i = 0; i < tokens.size(); ++i) {
-        if (state.inputs[i].has_value() && !tokens[i].dead) {
-          out = tokens[i];
-          live_index = static_cast<std::int64_t>(i);
-          break;
-        }
-      }
-      deliver_output(&node, 0, tag, out);
-      deliver_output(&node, 1, tag,
-                     Token{Tensor::ScalarInt(live_index), out.dead});
-      continue;
-    }
-    if (node.op() == "Switch") {
-      const Token& data = tokens.at(0);
-      const Token& pred = tokens.at(1);
-      if (data.dead || pred.dead) {
-        deliver_output(&node, 0, tag, Token{Tensor{}, true});
-        deliver_output(&node, 1, tag, Token{Tensor{}, true});
-        continue;
-      }
-      const bool taken = pred.value.ScalarBoolValue();
-      deliver_output(&node, taken ? 1 : 0, tag, data);
-      deliver_output(&node, taken ? 0 : 1, tag, Token{Tensor{}, true});
-      continue;
-    }
-    if (node.op() == "Enter") {
-      const std::string child = ChildTag(tag, node.GetStringAttr("frame"));
-      if (node.HasAttr("is_constant") && node.GetBoolAttr("is_constant") &&
-          !tokens.at(0).dead) {
-        frame_constants[FrameBase(child)].values.push_back(
-            {&node, tokens.at(0)});
-        frame_constants[FrameBase(child)].seeded_tags.insert(child);
-      }
-      deliver_output(&node, 0, child, tokens.at(0));
-      continue;
-    }
-    if (node.op() == "NextIteration") {
-      if (tokens.at(0).dead) continue;  // loop termination: drop dead tokens
-      const std::string next = NextIterTag(tag);
-      seed_iteration(next);
-      deliver_output(&node, 0, next, tokens.at(0));
-      continue;
-    }
-    if (node.op() == "Exit") {
-      if (tokens.at(0).dead) continue;  // only the final live value escapes
-      deliver_output(&node, 0, ParentTag(tag), tokens.at(0));
-      continue;
-    }
-
-    // Ordinary op: dead in => dead out, kernel skipped.
-    if (any_dead) {
-      for (int i = 0; i < node.num_outputs(); ++i) {
-        deliver_output(&node, i, tag, Token{Tensor{}, true});
-      }
-      continue;
-    }
-    std::vector<Tensor> inputs;
-    inputs.reserve(tokens.size());
-    for (const Token& token : tokens) inputs.push_back(token.value);
-    std::vector<Tensor> outputs;
-    ExecuteKernel(run, node, inputs, outputs);
-    for (int i = 0; i < node.num_outputs(); ++i) {
-      deliver_output(&node, i, tag,
-                     Token{outputs.at(static_cast<std::size_t>(i)), false});
-    }
-  }
-
-  if (fetches_outstanding > 0) {
-    std::string detail;
-    for (std::size_t i = 0; i < fetches.size(); ++i) {
-      if (!fetched[i].has_value()) {
-        detail += " " + fetches[i].node->DebugString();
-      }
-    }
-    detail += " | pending:";
-    int listed = 0;
-    for (const auto& [key, state] : pending) {
-      if (listed >= 12) break;
-      if (!state.initialized || state.fired) continue;
-      detail += " " + key.node->name() + "(" +
-                std::to_string(state.arrived) + "/" +
-                std::to_string(key.node->num_inputs()) + ",c" +
-                std::to_string(state.control_pending) + ")@" + key.tag;
-      ++listed;
-    }
-    throw InternalError(
-        "dynamic executor deadlock: " + std::to_string(fetches_outstanding) +
-        " fetches unresolved:" + detail);
-  }
-  std::vector<Tensor> results;
-  results.reserve(fetches.size());
-  for (auto& value : fetched) results.push_back(std::move(*value));
-  return results;
-}
-
 }  // namespace internal
 
 Executor::Executor(const FunctionLibrary* library, VariableStore* variables,
@@ -680,23 +71,60 @@ Executor::Executor(const FunctionLibrary* library, VariableStore* variables,
       options_(options) {}
 
 bool Executor::NeedsDynamicExecution(const Graph& graph) {
-  for (const auto& node : graph.nodes()) {
-    if (internal::IsControlFlowOp(node->op())) return true;
-  }
-  return false;
+  return GraphNeedsDynamicExecution(graph);
 }
 
 std::vector<Tensor> Executor::Run(const Graph& graph,
                                   const std::map<std::string, Tensor>& feeds,
                                   std::span<const NodeOutput> fetches) {
-  return Run(graph, feeds, fetches, nullptr);
+  return Run(graph, feeds, fetches,
+             static_cast<RunMetrics*>(nullptr));
 }
 
 std::vector<Tensor> Executor::Run(const Graph& graph,
                                   const std::map<std::string, Tensor>& feeds,
                                   std::span<const NodeOutput> fetches,
                                   std::int64_t* ops_executed) {
+  RunMetrics metrics;
+  std::vector<Tensor> results = Run(graph, feeds, fetches, &metrics);
+  if (ops_executed != nullptr) *ops_executed = metrics.ops_executed;
+  return results;
+}
+
+std::vector<Tensor> Executor::Run(const Graph& graph,
+                                  const std::map<std::string, Tensor>& feeds,
+                                  std::span<const NodeOutput> fetches,
+                                  RunMetrics* metrics) {
   RunContext run;
+  const std::shared_ptr<const ExecutionPlan> plan =
+      GetOrBuildPlan(graph, fetches, &run);
+  std::vector<Tensor> results = RunPlan(*plan, feeds, run);
+  if (metrics != nullptr) {
+    metrics->ops_executed = run.ops_executed.load(std::memory_order_relaxed);
+    metrics->plan_builds = run.plan_builds.load(std::memory_order_relaxed);
+    metrics->plan_cache_hits =
+        run.plan_cache_hits.load(std::memory_order_relaxed);
+  }
+  return results;
+}
+
+std::vector<Tensor> Executor::Run(const ExecutionPlan& plan,
+                                  const std::map<std::string, Tensor>& feeds,
+                                  RunMetrics* metrics) {
+  RunContext run;
+  std::vector<Tensor> results = RunPlan(plan, feeds, run);
+  if (metrics != nullptr) {
+    metrics->ops_executed = run.ops_executed.load(std::memory_order_relaxed);
+    metrics->plan_builds = run.plan_builds.load(std::memory_order_relaxed);
+    metrics->plan_cache_hits =
+        run.plan_cache_hits.load(std::memory_order_relaxed);
+  }
+  return results;
+}
+
+std::vector<Tensor> Executor::RunPlan(
+    const ExecutionPlan& plan, const std::map<std::string, Tensor>& feeds,
+    RunContext& run) {
   run.feeds = &feeds;
   run.variables = variables_;
   run.host_state = host_state_;
@@ -705,16 +133,13 @@ std::vector<Tensor> Executor::Run(const Graph& graph,
   run.pool = options_.parallel ? options_.pool : nullptr;
 
   std::vector<Tensor> results;
-  if (NeedsDynamicExecution(graph)) {
-    results = internal::ExecuteDynamic(run, graph, {}, fetches);
+  if (plan.strategy() == ExecutionPlan::Strategy::kDynamic) {
+    results = internal::ExecuteDynamic(run, plan, {});
   } else {
-    results = internal::ExecuteDag(run, graph, {}, fetches,
+    results = internal::ExecuteDag(run, plan, {},
                                    options_.parallel && options_.pool);
   }
   run.Commit();
-  if (ops_executed != nullptr) {
-    *ops_executed = run.ops_executed.load(std::memory_order_relaxed);
-  }
   return results;
 }
 
@@ -730,17 +155,21 @@ std::vector<Tensor> Executor::RunFunction(RunContext& run,
   for (std::size_t i = 0; i < args.size(); ++i) {
     bindings[fn.parameters[i]] = args[i];
   }
-  if (NeedsDynamicExecution(fn.graph)) {
+  // The function graph's plan is cached on the graph itself (and pre-built
+  // at generation time for engine-compiled graphs), so recursive Invoke and
+  // per-iteration While calls reuse one schedule.
+  const std::shared_ptr<const ExecutionPlan> plan =
+      GetOrBuildPlan(fn.graph, fn.results, &run);
+  if (plan->strategy() == ExecutionPlan::Strategy::kDynamic) {
     try {
-      return internal::ExecuteDynamic(run, fn.graph, bindings, fn.results);
+      return internal::ExecuteDynamic(run, *plan, bindings);
     } catch (const InternalError& e) {
       throw InternalError("in function '" + fn.name + "': " + e.what());
     }
   }
   // Nested runs execute inline on the calling thread (never on the pool) to
   // avoid pool-thread starvation; see header comment.
-  return internal::ExecuteDag(run, fn.graph, bindings, fn.results,
-                              /*parallel=*/false);
+  return internal::ExecuteDag(run, *plan, bindings, /*parallel=*/false);
 }
 
 }  // namespace janus

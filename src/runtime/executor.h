@@ -1,17 +1,21 @@
 // The symbolic graph executor.
 //
-// Two scheduling strategies, picked per graph:
-//  * DAG path: graphs without control-flow primitives execute over a
-//    precomputed dependency count, optionally fanning ready ops out to a
-//    thread pool (the +PARL knob of Fig. 7).
-//  * Dynamic path: graphs containing Switch/Merge/Enter/Exit/NextIteration
-//    execute with tagged tokens carrying (frame, iteration) context and
-//    dead-value propagation, the classic dataflow machinery of TF 1.x that
-//    the paper builds on (§4.2.1).
+// Scheduling is compiled once per graph into an ExecutionPlan
+// (runtime/plan.h); Run dispatches a prebuilt plan with zero per-run
+// schedule construction. Two strategies, picked at plan-build time:
+//  * DAG path (dag_executor.cc): graphs without control-flow primitives
+//    execute over precompiled dependency counts, optionally fanning ready
+//    ops out to a thread pool (the +PARL knob of Fig. 7).
+//  * Dynamic path (dynamic_executor.cc): graphs containing Switch/Merge/
+//    Enter/Exit/NextIteration execute with tagged tokens carrying
+//    (frame, iteration) context and dead-value propagation, the classic
+//    dataflow machinery of TF 1.x that the paper builds on (§4.2.1).
 //
 // Nested executions (InvokeOp function calls, While bodies) run inline on
 // the calling thread and share the caller's RunContext, so staged state and
-// tapes have run-wide scope and thread-pool deadlock is impossible.
+// tapes have run-wide scope and thread-pool deadlock is impossible. Each
+// function body's plan is cached on its own Graph (and pre-built at
+// generation time by CompiledGraph), so nested calls never replan.
 #ifndef JANUS_RUNTIME_EXECUTOR_H_
 #define JANUS_RUNTIME_EXECUTOR_H_
 
@@ -22,6 +26,7 @@
 
 #include "graph/graph.h"
 #include "runtime/kernel.h"
+#include "runtime/plan.h"
 #include "runtime/run_context.h"
 
 namespace janus {
@@ -32,6 +37,13 @@ struct ExecutorOptions {
   ThreadPool* pool = nullptr;
 };
 
+// Per-run observability, filled from the RunContext after a run.
+struct RunMetrics {
+  std::int64_t ops_executed = 0;
+  std::int64_t plan_builds = 0;
+  std::int64_t plan_cache_hits = 0;
+};
+
 class Executor {
  public:
   Executor(const FunctionLibrary* library, VariableStore* variables,
@@ -39,7 +51,8 @@ class Executor {
            ExecutorOptions options = {});
 
   // Runs `graph`, feeding placeholders by name and returning the fetched
-  // values in order. On success commits all staged state; on any exception
+  // values in order. The graph's plan is taken from its plan cache (built on
+  // first use). On success commits all staged state; on any exception
   // (including AssumptionFailed) nothing is committed.
   std::vector<Tensor> Run(const Graph& graph,
                           const std::map<std::string, Tensor>& feeds,
@@ -51,17 +64,34 @@ class Executor {
                           std::span<const NodeOutput> fetches,
                           std::int64_t* ops_executed);
 
+  // As Run, with full metrics (kernel count + plan cache accounting).
+  std::vector<Tensor> Run(const Graph& graph,
+                          const std::map<std::string, Tensor>& feeds,
+                          std::span<const NodeOutput> fetches,
+                          RunMetrics* metrics);
+
+  // Runs a prebuilt plan directly: the pure dispatch hot path. No plan
+  // cache is consulted and no scheduling state is derived.
+  std::vector<Tensor> Run(const ExecutionPlan& plan,
+                          const std::map<std::string, Tensor>& feeds,
+                          RunMetrics* metrics = nullptr);
+
   // Executes a library function with the given arguments inside an ongoing
-  // run. Used by the Invoke and While kernels; never commits.
+  // run, reusing the function graph's cached plan. Used by the Invoke and
+  // While kernels; never commits.
   static std::vector<Tensor> RunFunction(RunContext& run,
                                          const GraphFunction& fn,
                                          std::span<const Tensor> args);
 
   // True if the graph uses any dataflow control-flow primitive and therefore
-  // needs the dynamic (tagged-token) executor.
+  // needs the dynamic (tagged-token) strategy.
   static bool NeedsDynamicExecution(const Graph& graph);
 
  private:
+  std::vector<Tensor> RunPlan(const ExecutionPlan& plan,
+                              const std::map<std::string, Tensor>& feeds,
+                              RunContext& run);
+
   const FunctionLibrary* library_;
   VariableStore* variables_;
   StateInterface* host_state_;
@@ -80,15 +110,20 @@ using Bindings = std::map<const Node*, Tensor>;
 // this to run gradient subgraphs without recomputing the forward pass.
 using Precomputed = std::map<const Node*, std::vector<Tensor>>;
 
-std::vector<Tensor> ExecuteDag(RunContext& run, const Graph& graph,
-                               const Bindings& bindings,
-                               std::span<const NodeOutput> fetches,
-                               bool parallel,
+// Shared by both strategy implementations (defined in executor.cc).
+Tensor ResolveSource(RunContext& run, ExecutionPlan::OpKind kind,
+                     const Node& node, const Bindings& bindings);
+void ExecuteKernel(RunContext& run, const Node& node, const KernelFn& kernel,
+                   std::span<const Tensor> inputs,
+                   std::vector<Tensor>& outputs);
+
+// Strategy implementations. Fetches come from the plan.
+std::vector<Tensor> ExecuteDag(RunContext& run, const ExecutionPlan& plan,
+                               const Bindings& bindings, bool parallel,
                                const Precomputed* precomputed = nullptr);
 
-std::vector<Tensor> ExecuteDynamic(RunContext& run, const Graph& graph,
-                                   const Bindings& bindings,
-                                   std::span<const NodeOutput> fetches);
+std::vector<Tensor> ExecuteDynamic(RunContext& run, const ExecutionPlan& plan,
+                                   const Bindings& bindings);
 
 }  // namespace internal
 }  // namespace janus

@@ -1,0 +1,219 @@
+#include "runtime/plan.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/error.h"
+#include "runtime/run_context.h"
+
+namespace janus {
+namespace {
+
+ExecutionPlan::OpKind ClassifyOp(const std::string& op) {
+  using OpKind = ExecutionPlan::OpKind;
+  if (op == "Const") return OpKind::kConst;
+  if (op == "Placeholder") return OpKind::kPlaceholder;
+  if (op == "Param") return OpKind::kParam;
+  if (op == "Switch") return OpKind::kSwitch;
+  if (op == "Merge") return OpKind::kMerge;
+  if (op == "Enter") return OpKind::kEnter;
+  if (op == "Exit") return OpKind::kExit;
+  if (op == "NextIteration") return OpKind::kNextIteration;
+  return OpKind::kKernel;
+}
+
+bool IsControlFlowKind(ExecutionPlan::OpKind kind) {
+  using OpKind = ExecutionPlan::OpKind;
+  return kind == OpKind::kSwitch || kind == OpKind::kMerge ||
+         kind == OpKind::kEnter || kind == OpKind::kExit ||
+         kind == OpKind::kNextIteration;
+}
+
+bool IsSourceKind(ExecutionPlan::OpKind kind) {
+  using OpKind = ExecutionPlan::OpKind;
+  return kind == OpKind::kConst || kind == OpKind::kPlaceholder ||
+         kind == OpKind::kParam;
+}
+
+}  // namespace
+
+bool GraphNeedsDynamicExecution(const Graph& graph) {
+  for (const auto& node : graph.nodes()) {
+    if (IsControlFlowKind(ClassifyOp(node->op()))) return true;
+  }
+  return false;
+}
+
+std::shared_ptr<const ExecutionPlan> ExecutionPlan::Build(
+    const Graph& graph, std::span<const NodeOutput> fetches) {
+  auto plan = std::shared_ptr<ExecutionPlan>(new ExecutionPlan());
+  plan->fetches_.assign(fetches.begin(), fetches.end());
+  plan->graph_version_ = graph.version();
+  if (GraphNeedsDynamicExecution(graph)) {
+    plan->strategy_ = Strategy::kDynamic;
+    plan->BuildDynamic(graph);
+  } else {
+    plan->strategy_ = Strategy::kDag;
+    plan->BuildDag(graph);
+  }
+  return plan;
+}
+
+void ExecutionPlan::BuildDag(const Graph& graph) {
+  // Restrict execution to the nodes the fetches transitively need (through
+  // data and control edges): side-effecting ops only run when anchored to a
+  // fetch (the update-anchor NoOp convention).
+  std::unordered_set<const Node*> needed;
+  std::vector<const Node*> stack;
+  for (const NodeOutput& fetch : fetches_) stack.push_back(fetch.node);
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    if (!needed.insert(node).second) continue;
+    for (const NodeOutput& input : node->inputs()) stack.push_back(input.node);
+    for (const Node* control : node->control_inputs()) {
+      stack.push_back(control);
+    }
+  }
+
+  dag_nodes_.reserve(needed.size());
+  for (const auto& node : graph.nodes()) {
+    if (needed.find(node.get()) == needed.end()) continue;
+    dag_index_[node.get()] = static_cast<int>(dag_nodes_.size());
+    DagNode entry;
+    entry.node = node.get();
+    entry.kind = ClassifyOp(node->op());
+    if (entry.kind == OpKind::kKernel) {
+      entry.kernel = &KernelRegistry::Global().Lookup(node->op());
+    } else if (entry.kind == OpKind::kConst) {
+      entry.const_value = node->GetTensorAttr("value");
+    }
+    dag_nodes_.push_back(std::move(entry));
+  }
+
+  for (std::size_t i = 0; i < dag_nodes_.size(); ++i) {
+    DagNode& entry = dag_nodes_[i];
+    const Node* node = entry.node;
+    std::unordered_set<int> producers;
+    entry.inputs.reserve(node->inputs().size());
+    for (const NodeOutput& input : node->inputs()) {
+      const int producer = dag_index_.at(input.node);
+      entry.inputs.push_back({producer, input.index});
+      producers.insert(producer);
+    }
+    for (const Node* control : node->control_inputs()) {
+      producers.insert(dag_index_.at(control));
+    }
+    entry.initial_pending = static_cast<int>(producers.size());
+    for (const int producer : producers) {
+      dag_nodes_[static_cast<std::size_t>(producer)].consumers.push_back(
+          static_cast<int>(i));
+    }
+  }
+
+  dag_fetch_slots_.reserve(fetches_.size());
+  for (const NodeOutput& fetch : fetches_) {
+    dag_fetch_slots_.push_back({dag_index_.at(fetch.node), fetch.index});
+  }
+}
+
+void ExecutionPlan::BuildDynamic(const Graph& graph) {
+  // The dynamic strategy covers the whole graph: deadness propagation, not
+  // reachability pruning, decides what executes.
+  std::unordered_map<const Node*, int> index;
+  dyn_nodes_.reserve(graph.num_nodes());
+  for (const auto& node : graph.nodes()) {
+    index[node.get()] = static_cast<int>(dyn_nodes_.size());
+    DynNode entry;
+    entry.node = node.get();
+    entry.kind = ClassifyOp(node->op());
+    if (entry.kind == OpKind::kKernel) {
+      entry.kernel = &KernelRegistry::Global().Lookup(node->op());
+    }
+    if (entry.kind == OpKind::kEnter) {
+      entry.frame = node->GetStringAttr("frame");
+      entry.is_constant_enter = node->HasAttr("is_constant") &&
+                                node->GetBoolAttr("is_constant");
+    }
+    entry.is_root_source =
+        IsSourceKind(entry.kind) ||
+        (entry.kind == OpKind::kKernel && node->num_inputs() == 0 &&
+         node->control_inputs().empty());
+    entry.out_edges.resize(
+        static_cast<std::size_t>(std::max(1, node->num_outputs())));
+    dyn_nodes_.push_back(std::move(entry));
+  }
+  for (std::size_t i = 0; i < dyn_nodes_.size(); ++i) {
+    DynNode& entry = dyn_nodes_[i];
+    const Node* node = entry.node;
+    entry.inputs.reserve(node->inputs().size());
+    for (int slot = 0; slot < node->num_inputs(); ++slot) {
+      const NodeOutput input = node->input(slot);
+      const int producer = index.at(input.node);
+      entry.inputs.push_back({producer, input.index});
+      dyn_nodes_[static_cast<std::size_t>(producer)]
+          .out_edges[static_cast<std::size_t>(input.index)]
+          .push_back({static_cast<int>(i), slot});
+    }
+    entry.control_producers.reserve(node->control_inputs().size());
+    for (const Node* control : node->control_inputs()) {
+      const int producer = index.at(control);
+      entry.control_producers.push_back(producer);
+      dyn_nodes_[static_cast<std::size_t>(producer)].control_edges.push_back(
+          {static_cast<int>(i), -1});
+    }
+  }
+  dyn_fetch_slots_.reserve(fetches_.size());
+  for (const NodeOutput& fetch : fetches_) {
+    dyn_fetch_slots_.push_back({index.at(fetch.node), fetch.index});
+  }
+}
+
+int ExecutionPlan::DagIndexOf(const Node* node) const {
+  const auto it = dag_index_.find(node);
+  return it == dag_index_.end() ? -1 : it->second;
+}
+
+std::shared_ptr<const ExecutionPlan> GetOrBuildPlan(
+    const Graph& graph, std::span<const NodeOutput> fetches,
+    RunContext* run) {
+  auto& cache = graph.exec_cache();
+  {
+    const std::lock_guard<std::mutex> lock(cache.mu);
+    for (const auto& entry : cache.entries) {
+      if (entry.version != graph.version()) continue;
+      if (entry.fetches.size() != fetches.size() ||
+          !std::equal(entry.fetches.begin(), entry.fetches.end(),
+                      fetches.begin())) {
+        continue;
+      }
+      if (run != nullptr) {
+        run->plan_cache_hits.fetch_add(1, std::memory_order_relaxed);
+      }
+      return std::static_pointer_cast<const ExecutionPlan>(entry.plan);
+    }
+  }
+  auto plan = ExecutionPlan::Build(graph, fetches);
+  if (run != nullptr) {
+    run->plan_builds.fetch_add(1, std::memory_order_relaxed);
+  }
+  {
+    const std::lock_guard<std::mutex> lock(cache.mu);
+    // Drop entries invalidated by graph mutation, then bound the cache (one
+    // entry per distinct fetch set; executed graphs have very few).
+    std::erase_if(cache.entries, [&graph](const Graph::ExecCache::Entry& e) {
+      return e.version != graph.version();
+    });
+    constexpr std::size_t kMaxCachedPlans = 8;
+    if (cache.entries.size() >= kMaxCachedPlans) {
+      cache.entries.erase(cache.entries.begin());
+    }
+    cache.entries.push_back(Graph::ExecCache::Entry{
+        graph.version(),
+        {fetches.begin(), fetches.end()},
+        plan});
+  }
+  return plan;
+}
+
+}  // namespace janus

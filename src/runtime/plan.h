@@ -1,0 +1,158 @@
+// Compile-once execution plans.
+//
+// An ExecutionPlan is the immutable, per-graph compiled schedule that moves
+// every piece of per-run scheduling work out of the dispatch hot path:
+// strategy selection (DAG vs tagged-token dynamic), the fetch-reachable node
+// set, dense node indices, initial dependency counts, consumer adjacency,
+// resolved KernelFn pointers, pre-classified op kinds (no string compares at
+// run time), and fetch slots. A plan is built once per (graph, fetches) and
+// reused across every subsequent Executor::Run / nested RunFunction call —
+// the compile-once/run-many split the paper's amortization argument (§3.1,
+// Fig. 2) relies on, mirroring how TensorFlow caches a compiled executor per
+// graph.
+//
+// Plans are cached in the owning Graph's ExecCache (so every Graph,
+// including each GraphFunction body, carries its own plan) and additionally
+// pinned by CompiledGraph, which pre-builds plans for the main graph and
+// every library function at generation time.
+#ifndef JANUS_RUNTIME_PLAN_H_
+#define JANUS_RUNTIME_PLAN_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+#include "runtime/kernel.h"
+
+namespace janus {
+
+class RunContext;
+
+class ExecutionPlan {
+ public:
+  enum class Strategy : std::uint8_t { kDag, kDynamic };
+
+  // Node classification resolved at plan-build time so the run loop never
+  // compares op-name strings or consults the kernel registry.
+  enum class OpKind : std::uint8_t {
+    kConst,
+    kPlaceholder,
+    kParam,
+    kSwitch,
+    kMerge,
+    kEnter,
+    kExit,
+    kNextIteration,
+    kKernel,
+  };
+
+  // ---- DAG schedule (graphs without control-flow primitives) ----
+
+  // An input coordinate in dense plan indices: output `slot` of the node at
+  // dense index `producer`.
+  struct DagInput {
+    int producer = 0;
+    int slot = 0;
+  };
+
+  struct DagNode {
+    const Node* node = nullptr;
+    OpKind kind = OpKind::kKernel;
+    const KernelFn* kernel = nullptr;  // resolved iff kind == kKernel
+    Tensor const_value;                // valid iff kind == kConst
+    int initial_pending = 0;
+    std::vector<DagInput> inputs;  // data inputs, in slot order
+    std::vector<int> consumers;    // dense indices, deduplicated
+  };
+
+  // ---- Dynamic schedule (tagged-token graphs) ----
+
+  // A delivery target: input slot `input_slot` (or -1 for a control edge) of
+  // the node at dense index `consumer`.
+  struct DynEdge {
+    int consumer = 0;
+    int input_slot = -1;
+  };
+
+  struct DynNode {
+    const Node* node = nullptr;
+    OpKind kind = OpKind::kKernel;
+    const KernelFn* kernel = nullptr;  // resolved iff kind == kKernel
+    // Producer coordinate of each input slot, and the dense index of each
+    // control-input producer.
+    std::vector<DagInput> inputs;
+    std::vector<int> control_producers;
+    // Consumers per output slot, and control-edge consumers (fired off
+    // output 0, as in the seed executor).
+    std::vector<std::vector<DynEdge>> out_edges;
+    std::vector<DynEdge> control_edges;
+    // Enter attributes, resolved at build time.
+    std::string frame;
+    bool is_constant_enter = false;
+    // True for nodes evaluated once per run before token flow starts:
+    // sources, plus input-less stateful nodes with no control inputs.
+    bool is_root_source = false;
+  };
+
+  // Builds a plan from scratch, bypassing the cache (exposed for the
+  // plan-build microbenchmark and for tests that compare fresh vs cached
+  // planning). Throws InvalidArgument if a non-control-flow op has no
+  // registered kernel.
+  static std::shared_ptr<const ExecutionPlan> Build(
+      const Graph& graph, std::span<const NodeOutput> fetches);
+
+  Strategy strategy() const { return strategy_; }
+  std::span<const NodeOutput> fetches() const { return fetches_; }
+  std::uint64_t graph_version() const { return graph_version_; }
+
+  // DAG accessors.
+  const std::vector<DagNode>& dag_nodes() const { return dag_nodes_; }
+  const std::vector<DagInput>& dag_fetch_slots() const {
+    return dag_fetch_slots_;
+  }
+  // Dense index of a node, or -1 if the node is not part of the plan. Only
+  // needed by the precomputed-outputs path of the eager tape.
+  int DagIndexOf(const Node* node) const;
+
+  // Dynamic accessors.
+  const std::vector<DynNode>& dyn_nodes() const { return dyn_nodes_; }
+  const std::vector<DagInput>& dyn_fetch_slots() const {
+    return dyn_fetch_slots_;
+  }
+
+ private:
+  ExecutionPlan() = default;
+
+  void BuildDag(const Graph& graph);
+  void BuildDynamic(const Graph& graph);
+
+  Strategy strategy_ = Strategy::kDag;
+  std::vector<NodeOutput> fetches_;
+  std::uint64_t graph_version_ = 0;
+
+  std::vector<DagNode> dag_nodes_;
+  std::vector<DagInput> dag_fetch_slots_;
+  std::unordered_map<const Node*, int> dag_index_;
+
+  std::vector<DynNode> dyn_nodes_;
+  std::vector<DagInput> dyn_fetch_slots_;
+};
+
+// True if the graph uses any dataflow control-flow primitive and therefore
+// needs the dynamic (tagged-token) strategy.
+bool GraphNeedsDynamicExecution(const Graph& graph);
+
+// Returns the plan for (graph, fetches) from the graph's plan cache,
+// building and inserting it on first use. When `run` is non-null, a build
+// bumps run->plan_builds and a hit bumps run->plan_cache_hits. Thread-safe.
+std::shared_ptr<const ExecutionPlan> GetOrBuildPlan(
+    const Graph& graph, std::span<const NodeOutput> fetches,
+    RunContext* run = nullptr);
+
+}  // namespace janus
+
+#endif  // JANUS_RUNTIME_PLAN_H_

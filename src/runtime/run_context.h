@@ -104,6 +104,11 @@ class RunContext {
 
   // ---- metrics ----
   std::atomic<std::int64_t> ops_executed{0};
+  // Plan-cache accounting for this run: builds should happen at most once
+  // per (graph, fetches) over a process lifetime; the steady state is
+  // hits-only (see runtime/plan.h).
+  std::atomic<std::int64_t> plan_builds{0};
+  std::atomic<std::int64_t> plan_cache_hits{0};
 
   // Per-kernel busy-wait (ns) emulating interpreter/framework dispatch cost;
   // only the eager (imperative) executor sets this.

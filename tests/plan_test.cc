@@ -1,0 +1,288 @@
+// Tests for the compile-once ExecutionPlan layer: plan reuse must be
+// bit-identical to fresh planning for DAG, dynamic, and nested While/Invoke
+// graphs, and the plan cache must report builds exactly once per
+// (graph version, fetch set) with every later run a hit.
+#include "runtime/plan.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/rng.h"
+#include "core/engine.h"
+#include "frontend/builtins.h"
+#include "runtime/executor.h"
+#include "tensor/ops.h"
+
+namespace janus {
+namespace {
+
+void ExpectBitIdentical(const Tensor& a, const Tensor& b) {
+  ASSERT_EQ(a.dtype(), b.dtype());
+  ASSERT_EQ(a.shape().dims(), b.shape().dims());
+  const std::size_t bytes =
+      static_cast<std::size_t>(a.num_elements()) * DTypeSize(a.dtype());
+  const void* pa = nullptr;
+  const void* pb = nullptr;
+  switch (a.dtype()) {
+    case DType::kFloat32:
+      pa = a.data<float>().data();
+      pb = b.data<float>().data();
+      break;
+    case DType::kInt64:
+      pa = a.data<std::int64_t>().data();
+      pb = b.data<std::int64_t>().data();
+      break;
+    case DType::kBool:
+      pa = a.data<bool>().data();
+      pb = b.data<bool>().data();
+      break;
+  }
+  EXPECT_EQ(std::memcmp(pa, pb, bytes), 0);
+}
+
+class PlanTest : public ::testing::Test {
+ protected:
+  Executor MakeExecutor() {
+    return Executor(&library_, &variables_, nullptr, &rng_);
+  }
+
+  FunctionLibrary library_;
+  VariableStore variables_;
+  Rng rng_{42};
+};
+
+// i = 0; while (i < n) i = i + 1 — exercises the dynamic (tagged-token)
+// strategy with Enter/Merge/Switch/NextIteration/Exit.
+struct LoopGraph {
+  Graph g;
+  Node* exit;
+};
+
+LoopGraph BuildCountingLoop() {
+  LoopGraph l;
+  const NodeOutput zero = l.g.Constant(Tensor::ScalarInt(0));
+  const NodeOutput n = l.g.Placeholder("n", DType::kInt64);
+  Node* enter_i =
+      l.g.AddNode("Enter", {zero}, {{"frame", std::string("loop")}});
+  Node* enter_n = l.g.AddNode(
+      "Enter", {n}, {{"frame", std::string("loop")}, {"is_constant", true}});
+  Node* merge = l.g.AddNode("Merge", {{enter_i, 0}, {enter_i, 0}}, {}, 2);
+  Node* less = l.g.AddNode("Less", {{merge, 0}, {enter_n, 0}});
+  Node* sw = l.g.AddNode("Switch", {{merge, 0}, {less, 0}}, {}, 2);
+  Node* one = l.g.AddNode("Const", {}, {{"value", Tensor::ScalarInt(1)}});
+  Node* inc = l.g.AddNode("Add", {{sw, 1}, {one, 0}});
+  Node* next = l.g.AddNode("NextIteration", {{inc, 0}});
+  merge->set_input(1, {next, 0});
+  l.exit = l.g.AddNode("Exit", {{sw, 0}});
+  return l;
+}
+
+TEST_F(PlanTest, DagStrategyChosenForAcyclicGraph) {
+  Graph g;
+  const NodeOutput a = g.Constant(Tensor::Scalar(2));
+  Node* sq = g.AddNode("Square", {a});
+  const std::vector<NodeOutput> fetches{{sq, 0}};
+  const auto plan = ExecutionPlan::Build(g, fetches);
+  EXPECT_EQ(plan->strategy(), ExecutionPlan::Strategy::kDag);
+  EXPECT_EQ(plan->graph_version(), g.version());
+}
+
+TEST_F(PlanTest, DynamicStrategyChosenForControlFlowGraph) {
+  LoopGraph l = BuildCountingLoop();
+  const auto plan = ExecutionPlan::Build(l.g, std::vector<NodeOutput>{{l.exit, 0}});
+  EXPECT_EQ(plan->strategy(), ExecutionPlan::Strategy::kDynamic);
+}
+
+TEST_F(PlanTest, ReusedDagPlanMatchesFreshPlan) {
+  Graph g;
+  const NodeOutput x = g.Placeholder("x", DType::kFloat32);
+  Node* left = g.AddNode("Square", {x});
+  Node* right = g.AddNode("Neg", {x});
+  Node* join = g.AddNode("Add", {{left, 0}, {right, 0}});
+  const std::vector<NodeOutput> fetches{{join, 0}};
+  const std::map<std::string, Tensor> feeds{
+      {"x", Tensor::FromVector({1.5f, -2.25f}, Shape{2})}};
+
+  Executor executor = MakeExecutor();
+  const auto cached = GetOrBuildPlan(g, fetches);
+  // Same shared plan dispatched many times vs. a from-scratch plan each run.
+  for (int i = 0; i < 3; ++i) {
+    const auto fresh = ExecutionPlan::Build(g, fetches);
+    const auto a = executor.Run(*cached, feeds);
+    const auto b = executor.Run(*fresh, feeds);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t j = 0; j < a.size(); ++j) ExpectBitIdentical(a[j], b[j]);
+  }
+}
+
+TEST_F(PlanTest, ReusedDynamicPlanMatchesFreshPlan) {
+  LoopGraph l = BuildCountingLoop();
+  const std::vector<NodeOutput> fetches{{l.exit, 0}};
+  Executor executor = MakeExecutor();
+  const auto cached = GetOrBuildPlan(l.g, fetches);
+  for (const std::int64_t n : {0, 1, 7, 200}) {
+    const std::map<std::string, Tensor> feeds{{"n", Tensor::ScalarInt(n)}};
+    const auto fresh = ExecutionPlan::Build(l.g, fetches);
+    const auto a = executor.Run(*cached, feeds);
+    const auto b = executor.Run(*fresh, feeds);
+    ASSERT_EQ(a.size(), 1u);
+    EXPECT_EQ(a[0].ScalarIntValue(), n);
+    ExpectBitIdentical(a[0], b[0]);
+  }
+}
+
+TEST_F(PlanTest, NestedWhileAndInvokeReusePerFunctionPlans) {
+  // carried: (i, acc); captures: (n); body doubles acc via a nested Invoke.
+  auto dbl = std::make_unique<GraphFunction>();
+  dbl->name = "dbl";
+  {
+    Node* p = dbl->graph.AddNode("Param", {}, {{"index", std::int64_t{0}}});
+    Node* d = dbl->graph.AddNode("Add", {{p, 0}, {p, 0}});
+    dbl->parameters = {p};
+    dbl->results = {{d, 0}};
+  }
+  library_.Register(std::move(dbl));
+
+  auto cond = std::make_unique<GraphFunction>();
+  cond->name = "w_cond";
+  {
+    Graph& cg = cond->graph;
+    Node* i = cg.AddNode("Param", {}, {{"index", std::int64_t{0}}});
+    Node* acc = cg.AddNode("Param", {}, {{"index", std::int64_t{1}}});
+    Node* n = cg.AddNode("Param", {}, {{"index", std::int64_t{2}}});
+    (void)acc;
+    Node* lt = cg.AddNode("Less", {{i, 0}, {n, 0}});
+    cond->parameters = {i, acc, n};
+    cond->results = {{lt, 0}};
+  }
+  library_.Register(std::move(cond));
+
+  auto body = std::make_unique<GraphFunction>();
+  body->name = "w_body";
+  {
+    Graph& bg = body->graph;
+    Node* i = bg.AddNode("Param", {}, {{"index", std::int64_t{0}}});
+    Node* acc = bg.AddNode("Param", {}, {{"index", std::int64_t{1}}});
+    Node* n = bg.AddNode("Param", {}, {{"index", std::int64_t{2}}});
+    (void)n;
+    Node* one = bg.AddNode("Const", {}, {{"value", Tensor::ScalarInt(1)}});
+    Node* ip1 = bg.AddNode("Add", {{i, 0}, {one, 0}});
+    Node* acc2 = bg.AddNode("Invoke", {{acc, 0}},
+                            {{"function", std::string("dbl")}});
+    body->parameters = {i, acc, n};
+    body->results = {{ip1, 0}, {acc2, 0}};
+  }
+  library_.Register(std::move(body));
+
+  Graph g;
+  const NodeOutput i0 = g.Constant(Tensor::ScalarInt(0));
+  const NodeOutput acc0 = g.Constant(Tensor::Scalar(1));
+  const NodeOutput n = g.Placeholder("n", DType::kInt64);
+  Node* loop = g.AddNode("While", {i0, acc0, n},
+                         {{"cond_fn", std::string("w_cond")},
+                          {"body_fn", std::string("w_body")},
+                          {"num_carried", std::int64_t{2}}},
+                         2);
+  const std::vector<NodeOutput> fetches{{loop, 1}};
+  const std::map<std::string, Tensor> feeds{{"n", Tensor::ScalarInt(10)}};
+
+  Executor executor = MakeExecutor();
+  const auto cached = GetOrBuildPlan(g, fetches);
+
+  // First run populates each function graph's plan cache; later runs must
+  // hit those cached plans without building anything new.
+  RunMetrics first;
+  const auto a = executor.Run(*cached, feeds, &first);
+  EXPECT_FLOAT_EQ(a[0].ScalarValue(), 1024.0f);
+  EXPECT_GT(first.plan_builds, 0);  // cond/body/dbl planned once, lazily
+
+  RunMetrics second;
+  const auto b = executor.Run(*cached, feeds, &second);
+  EXPECT_EQ(second.plan_builds, 0);
+  EXPECT_GT(second.plan_cache_hits, 0);
+  ExpectBitIdentical(a[0], b[0]);
+
+  const auto fresh = ExecutionPlan::Build(g, fetches);
+  const auto c = executor.Run(*fresh, feeds);
+  ExpectBitIdentical(a[0], c[0]);
+}
+
+TEST_F(PlanTest, RunMetricsCountBuildsOnceThenHits) {
+  Graph g;
+  const NodeOutput a = g.Constant(Tensor::Scalar(3));
+  Node* sq = g.AddNode("Square", {a});
+  const std::vector<NodeOutput> fetches{{sq, 0}};
+  const std::map<std::string, Tensor> no_feeds;
+
+  Executor executor = MakeExecutor();
+  RunMetrics first;
+  (void)executor.Run(g, no_feeds, fetches, &first);
+  EXPECT_EQ(first.plan_builds, 1);
+  EXPECT_EQ(first.plan_cache_hits, 0);
+
+  for (int i = 0; i < 3; ++i) {
+    RunMetrics again;
+    (void)executor.Run(g, no_feeds, fetches, &again);
+    EXPECT_EQ(again.plan_builds, 0);
+    EXPECT_EQ(again.plan_cache_hits, 1);
+  }
+}
+
+TEST_F(PlanTest, GraphMutationInvalidatesCachedPlan) {
+  Graph g;
+  const NodeOutput a = g.Constant(Tensor::Scalar(2));
+  Node* sq = g.AddNode("Square", {a});
+  const std::vector<NodeOutput> fetches{{sq, 0}};
+  const std::map<std::string, Tensor> no_feeds;
+
+  Executor executor = MakeExecutor();
+  RunMetrics before;
+  const auto out1 = executor.Run(g, no_feeds, fetches, &before);
+  EXPECT_FLOAT_EQ(out1[0].ScalarValue(), 4.0f);
+  EXPECT_EQ(before.plan_builds, 1);
+
+  // Structural change bumps the graph version: the stale plan must not be
+  // reused (it predates the new node).
+  Node* neg = g.AddNode("Neg", {{sq, 0}});
+  RunMetrics after;
+  const auto out2 =
+      executor.Run(g, no_feeds, std::vector<NodeOutput>{{neg, 0}}, &after);
+  EXPECT_FLOAT_EQ(out2[0].ScalarValue(), -4.0f);
+  EXPECT_EQ(after.plan_builds, 1);
+  EXPECT_EQ(after.plan_cache_hits, 0);
+}
+
+TEST_F(PlanTest, EngineRunsPlanBuiltAtGenerationTime) {
+  // End-to-end: after the engine generates a graph, its plan is prebuilt;
+  // every subsequent cached-graph execution is hits-only.
+  VariableStore variables;
+  Rng rng(1);
+  minipy::Interpreter interp(&variables, &rng);
+  minipy::InstallBuiltins(interp);
+  JanusEngine engine(&interp, EngineOptions{});
+  engine.Attach();
+  interp.Run(R"(
+w = variable('w', constant([[0.5]]))
+x = constant([[1.0], [2.0]])
+def fn():
+    return reduce_mean(matmul(x, w))
+for i in range(6):
+    optimize(fn, 0.01)
+)");
+  ASSERT_GT(engine.stats().graph_generations, 0);
+  const std::int64_t builds_after_generation = engine.stats().plan_builds;
+  const std::int64_t hits_before = engine.stats().plan_cache_hits;
+  const std::int64_t graph_runs_before = engine.stats().graph_executions;
+  EXPECT_GT(builds_after_generation, 0);
+
+  for (int i = 0; i < 5; ++i) interp.Run("optimize(fn, 0.01)\n");
+
+  EXPECT_EQ(engine.stats().graph_executions, graph_runs_before + 5);
+  // The compile-once guarantee: zero plan construction on the hot path.
+  EXPECT_EQ(engine.stats().plan_builds, builds_after_generation);
+  EXPECT_GE(engine.stats().plan_cache_hits, hits_before + 5);
+}
+
+}  // namespace
+}  // namespace janus
