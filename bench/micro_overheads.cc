@@ -9,6 +9,7 @@
 #include "opt/passes.h"
 #include "runtime/executor.h"
 #include "runtime/plan.h"
+#include "tensor/buffer_pool.h"
 #include "tensor/ops.h"
 
 namespace janus {
@@ -39,7 +40,9 @@ BENCHMARK(BM_EagerOpDispatch);
 
 void BM_GraphExecutionPerOp(benchmark::State& state) {
   // A chain of N adds executed through the DAG executor (plan cached after
-  // the first run, so this measures the cached-graph hot path).
+  // the first run, so this measures the cached-graph hot path). Allocator
+  // counters report the memory-planner effect: allocs/op should be near
+  // zero (in-place reuse) and the pool hit rate near 1 after warmup.
   const int n = static_cast<int>(state.range(0));
   Graph g;
   const NodeOutput v = BuildAddChain(g, n);
@@ -48,12 +51,42 @@ void BM_GraphExecutionPerOp(benchmark::State& state) {
   Rng rng(1);
   Executor executor(&library, &variables, nullptr, &rng);
   const std::vector<NodeOutput> fetches{v};
+  const BufferPool::Stats before = BufferPool::Global().Snapshot();
   for (auto _ : state) {
     benchmark::DoNotOptimize(executor.Run(g, {}, fetches));
   }
   state.SetItemsProcessed(state.iterations() * n);
+  const BufferPool::Stats after = BufferPool::Global().Snapshot();
+  const double ops =
+      static_cast<double>(state.iterations()) * static_cast<double>(n);
+  const double freshes =
+      static_cast<double>(after.pool_hits - before.pool_hits +
+                          after.pool_misses - before.pool_misses);
+  state.counters["allocs_per_op"] =
+      ops > 0 ? static_cast<double>(after.allocations - before.allocations) /
+                    ops
+              : 0;
+  state.counters["in_place_per_op"] =
+      ops > 0 ? static_cast<double>(after.in_place_reuses -
+                                    before.in_place_reuses) /
+                    ops
+              : 0;
+  state.counters["pool_hit_rate"] =
+      freshes > 0
+          ? static_cast<double>(after.pool_hits - before.pool_hits) / freshes
+          : 1.0;
 }
 BENCHMARK(BM_GraphExecutionPerOp)->Arg(16)->Arg(128);
+
+void BM_BufferPoolAllocRelease(benchmark::State& state) {
+  // Raw pooled alloc/release round trip at a typical kernel-output size;
+  // steady state is a thread-cache pop + push with no system allocator.
+  const Shape shape{8, 8};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Tensor::Uninitialized(DType::kFloat32, shape));
+  }
+}
+BENCHMARK(BM_BufferPoolAllocRelease);
 
 void BM_PlanBuild(benchmark::State& state) {
   // Cost of compiling an ExecutionPlan from scratch: the one-time price the

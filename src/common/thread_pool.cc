@@ -1,8 +1,39 @@
 #include "common/thread_pool.h"
 
+#include <cstdlib>
+#include <mutex>
+#include <string>
+
 #include "common/error.h"
+#include "common/logging.h"
 
 namespace janus {
+
+std::size_t ResolveThreadPoolSize(int requested) {
+  std::size_t resolved = 4;
+  const char* source = "default";
+  if (requested > 0) {
+    resolved = static_cast<std::size_t>(requested);
+    source = "EngineOptions::pool_threads";
+  } else if (const char* env = std::getenv("JANUS_NUM_THREADS");
+             env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && parsed >= 1) {
+      resolved = static_cast<std::size_t>(parsed > 256 ? 256 : parsed);
+      source = "JANUS_NUM_THREADS";
+    } else {
+      JANUS_LOG(kWarning) << "ignoring invalid JANUS_NUM_THREADS='" << env
+                          << "'";
+    }
+  }
+  static std::once_flag logged;
+  std::call_once(logged, [resolved, source] {
+    JANUS_LOG(kInfo) << "executor thread pool size: " << resolved << " (from "
+                     << source << ")";
+  });
+  return resolved;
+}
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   JANUS_EXPECTS(num_threads >= 1);

@@ -36,6 +36,12 @@ class ThreadPool {
   std::vector<std::thread> workers_;
 };
 
+// Resolves the executor pool size from configuration: a positive `requested`
+// wins; otherwise the JANUS_NUM_THREADS environment variable (clamped to
+// [1, 256]); otherwise a default of 4. Logs the chosen value (and its
+// source) once per process.
+std::size_t ResolveThreadPoolSize(int requested);
+
 }  // namespace janus
 
 #endif  // JANUS_COMMON_THREAD_POOL_H_

@@ -45,7 +45,7 @@ JanusEngine::JanusEngine(minipy::Interpreter* interp, EngineOptions options)
       host_state_(interp) {
   if (options_.enabled && options_.parallel_execution) {
     pool_ = std::make_unique<ThreadPool>(
-        static_cast<std::size_t>(options_.pool_threads));
+        ResolveThreadPoolSize(options_.pool_threads));
   }
 }
 
@@ -362,6 +362,10 @@ minipy::Value JanusEngine::ExecuteCompiled(CacheEntry& entry,
       executor.Run(*entry.compiled->plan, feeds, &metrics);
   stats_.graph_ops_executed += metrics.ops_executed;
   stats_.plan_builds += metrics.plan_builds;
+  stats_.bytes_allocated += metrics.bytes_allocated;
+  stats_.pool_hits += metrics.pool_hits;
+  stats_.pool_misses += metrics.pool_misses;
+  stats_.in_place_reuses += metrics.in_place_reuses;
   // The prebuilt main-graph plan counts as a hit, as do nested
   // Invoke/While dispatches through each function's plan cache.
   stats_.plan_cache_hits += 1 + metrics.plan_cache_hits;

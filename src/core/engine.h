@@ -40,7 +40,9 @@ struct EngineOptions {
   bool enabled = true;
   GeneratorOptions generator;
   bool parallel_execution = true;  // +PARL
-  int pool_threads = 4;
+  // Executor pool size; <= 0 means auto (JANUS_NUM_THREADS env var, else 4).
+  // See ResolveThreadPoolSize in common/thread_pool.h.
+  int pool_threads = 0;
   int profile_threshold = 3;  // §3.1 footnote 3
   bool validate_entry_checks = true;
   int max_cached_graphs_per_unit = 8;
@@ -70,6 +72,13 @@ struct EngineStats {
   // split the paper's amortization argument relies on.
   std::int64_t plan_builds = 0;
   std::int64_t plan_cache_hits = 0;
+  // Tensor-allocator accounting across all graph executions (tensor/
+  // buffer_pool.h): bytes requested, pool freelist hits/misses, and kernel
+  // outputs written in place over a dead input's buffer.
+  std::int64_t bytes_allocated = 0;
+  std::int64_t pool_hits = 0;
+  std::int64_t pool_misses = 0;
+  std::int64_t in_place_reuses = 0;
 };
 
 class JanusEngine : public minipy::CallInterceptor {

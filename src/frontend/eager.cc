@@ -75,7 +75,11 @@ EagerContext::~EagerContext() = default;
 
 Tensor EagerContext::Execute(const std::string& op,
                              std::vector<Tensor> inputs, AttrMap attrs) {
-  // Execute the kernel immediately (per-op dispatch, as in TF Eager).
+  // Execute the kernel immediately (per-op dispatch, as in TF Eager). No
+  // InPlaceScope is opened here: eager inputs are caller-visible values (and
+  // may be retained by the tape), so kernel outputs must always be freshly
+  // allocated — only the graph executors, which prove deadness through the
+  // memory plan, may reuse input buffers in place.
   RunContext run;
   run.variables = variables_;
   run.rng = rng_;

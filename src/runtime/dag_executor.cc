@@ -2,6 +2,14 @@
 // countdown, sequentially or fanned out to a thread pool. All scheduling
 // data (dense indices, pending counts, consumer lists, resolved kernels)
 // comes from the plan; the only per-run state is the countdown/output array.
+//
+// Buffer liveness follows the plan's MemoryPlan: every data read of a
+// producer's outputs counts its `reads_remaining` down, and the read that
+// reaches zero clears the producer's output slots (unless fetch-protected).
+// That both returns dead intermediate buffers to the BufferPool mid-run and
+// makes the consuming kernel's `inputs` vector the sole holder of a dying
+// buffer, enabling in-place output reuse for plan-marked elementwise nodes.
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <exception>
@@ -17,6 +25,7 @@ namespace {
 
 struct DagNodeState {
   int pending = 0;
+  std::atomic<int> reads_remaining{0};
   std::vector<Tensor> outputs;
 };
 
@@ -26,18 +35,33 @@ std::vector<Tensor> ExecuteDag(RunContext& run, const ExecutionPlan& plan,
                                const Bindings& bindings, bool parallel,
                                const Precomputed* precomputed) {
   const std::vector<ExecutionPlan::DagNode>& nodes = plan.dag_nodes();
+  const MemoryPlan& memory = plan.memory();
   std::vector<DagNodeState> states(nodes.size());
   for (std::size_t i = 0; i < nodes.size(); ++i) {
     states[i].pending = nodes[i].initial_pending;
+    states[i].reads_remaining.store(memory.dag[i].output_reads,
+                                    std::memory_order_relaxed);
   }
+
+  const auto release_outputs = [&](DagNodeState& state) {
+    run.buffers_released.fetch_add(
+        static_cast<std::int64_t>(state.outputs.size()),
+        std::memory_order_relaxed);
+    state.outputs.clear();
+  };
 
   const auto run_node = [&](int index) {
     const ExecutionPlan::DagNode& entry =
         nodes[static_cast<std::size_t>(index)];
+    const MemoryPlan::DagNodeInfo& minfo =
+        memory.dag[static_cast<std::size_t>(index)];
     auto& state = states[static_cast<std::size_t>(index)];
     if (precomputed != nullptr) {
       const auto it = precomputed->find(entry.node);
       if (it != precomputed->end()) {
+        // Precomputed nodes skip reading their inputs, so their producers'
+        // read countdowns never reach zero: liveness release degrades to
+        // end-of-run teardown for that subgraph, never to a premature drop.
         state.outputs = it->second;
         return;
       }
@@ -61,7 +85,28 @@ std::vector<Tensor> ExecuteDag(RunContext& run, const ExecutionPlan& plan,
       inputs.push_back(
           producer.outputs.at(static_cast<std::size_t>(input.slot)));
     }
-    ExecuteKernel(run, *entry.node, *entry.kernel, inputs, state.outputs);
+    // This node's reads are done (copied above): count them off each
+    // producer and drop producer-held references when the last counted read
+    // completes. The acq_rel countdown orders every consumer's copy before
+    // the clearing thread's release, so this is safe under the parallel
+    // scheduler too.
+    for (const ExecutionPlan::DagInput& input : entry.inputs) {
+      auto& producer = states[static_cast<std::size_t>(input.producer)];
+      if (producer.reads_remaining.fetch_sub(1, std::memory_order_acq_rel) ==
+              1 &&
+          !memory.dag[static_cast<std::size_t>(input.producer)]
+               .fetch_protected) {
+        release_outputs(producer);
+      }
+    }
+    ExecuteKernel(run, *entry.node, *entry.kernel, inputs, state.outputs,
+                  /*allow_in_place=*/minfo.in_place_capable);
+    // Outputs nothing reads (control-edge-anchored side effects) die at
+    // birth.
+    if (minfo.output_reads == 0 && !minfo.fetch_protected &&
+        !state.outputs.empty()) {
+      release_outputs(state);
+    }
   };
 
   if (!parallel) {

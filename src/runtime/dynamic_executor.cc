@@ -262,12 +262,16 @@ std::vector<Tensor> ExecuteDynamic(RunContext& run, const ExecutionPlan& plan,
     const Node& node = *info.node;
     const std::string& tag = key.tag;
 
-    // Collect input tokens (absent cells are only legal for Merge).
+    // Collect input tokens (absent cells are only legal for Merge). Tokens
+    // are MOVED out of the dead pending-node state so a single-consumer
+    // token's buffer reaches refcount 1 in `tokens`, making it eligible for
+    // in-place reuse below. A moved-from optional still has_value(), which
+    // the Merge liveness checks below rely on.
     std::vector<Token> tokens(state.inputs.size());
     bool any_dead = state.any_control_dead;
     for (std::size_t i = 0; i < state.inputs.size(); ++i) {
       if (state.inputs[i].has_value()) {
-        tokens[i] = *state.inputs[i];
+        tokens[i] = std::move(*state.inputs[i]);
         if (tokens[i].dead) any_dead = true;
       } else if (info.kind != OpKind::kMerge) {
         throw InternalError("missing token for " + node.name());
@@ -339,9 +343,11 @@ std::vector<Tensor> ExecuteDynamic(RunContext& run, const ExecutionPlan& plan,
     }
     std::vector<Tensor> inputs;
     inputs.reserve(tokens.size());
-    for (const Token& token : tokens) inputs.push_back(token.value);
+    for (Token& token : tokens) inputs.push_back(std::move(token.value));
     std::vector<Tensor> outputs;
-    ExecuteKernel(run, node, *info.kernel, inputs, outputs);
+    ExecuteKernel(run, node, *info.kernel, inputs, outputs,
+                  /*allow_in_place=*/plan.memory().dyn_in_place[
+                      static_cast<std::size_t>(key.node)] != 0);
     for (int i = 0; i < node.num_outputs(); ++i) {
       deliver_output(key.node, i, tag,
                      Token{outputs.at(static_cast<std::size_t>(i)), false});

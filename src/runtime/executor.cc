@@ -7,6 +7,7 @@
 #include <chrono>
 
 #include "common/logging.h"
+#include "tensor/buffer_pool.h"
 
 namespace janus {
 namespace internal {
@@ -33,7 +34,7 @@ Tensor ResolveSource(RunContext& run, ExecutionPlan::OpKind kind,
 
 void ExecuteKernel(RunContext& run, const Node& node, const KernelFn& kernel,
                    std::span<const Tensor> inputs,
-                   std::vector<Tensor>& outputs) {
+                   std::vector<Tensor>& outputs, bool allow_in_place) {
   if (run.dispatch_penalty_ns > 0) {
     // Calibrated stand-in for CPython + framework dispatch cost on the
     // imperative executor (see DESIGN.md: interpreter substitution).
@@ -48,6 +49,10 @@ void ExecuteKernel(RunContext& run, const Node& node, const KernelFn& kernel,
   ctx.outputs.resize(static_cast<std::size_t>(node.num_outputs()));
   ctx.run = &run;
   try {
+    // Opens the in-place window only for nodes the memory plan marked
+    // capable AND whose executor guarantees the inputs vector is the sole
+    // holder of dead input buffers (see runtime/memory_plan.h).
+    const InPlaceScope scope(allow_in_place);
     kernel(ctx);
   } catch (const AssumptionFailed&) {
     throw;  // expected speculative abort; no annotation needed
@@ -60,6 +65,33 @@ void ExecuteKernel(RunContext& run, const Node& node, const KernelFn& kernel,
 }
 
 }  // namespace internal
+
+namespace {
+
+// Fills `metrics` from the run's counters plus the delta of the
+// process-wide BufferPool statistics across the run. Deltas are approximate
+// under concurrent runs (the pool is shared), exact otherwise.
+void FillMetrics(const RunContext& run, const BufferPool::Stats& before,
+                 RunMetrics* metrics) {
+  if (metrics == nullptr) return;
+  const BufferPool::Stats after = BufferPool::Global().Snapshot();
+  metrics->ops_executed = run.ops_executed.load(std::memory_order_relaxed);
+  metrics->plan_builds = run.plan_builds.load(std::memory_order_relaxed);
+  metrics->plan_cache_hits =
+      run.plan_cache_hits.load(std::memory_order_relaxed);
+  metrics->buffers_released =
+      run.buffers_released.load(std::memory_order_relaxed);
+  metrics->bytes_allocated =
+      static_cast<std::int64_t>(after.bytes_allocated - before.bytes_allocated);
+  metrics->pool_hits =
+      static_cast<std::int64_t>(after.pool_hits - before.pool_hits);
+  metrics->pool_misses =
+      static_cast<std::int64_t>(after.pool_misses - before.pool_misses);
+  metrics->in_place_reuses =
+      static_cast<std::int64_t>(after.in_place_reuses - before.in_place_reuses);
+}
+
+}  // namespace
 
 Executor::Executor(const FunctionLibrary* library, VariableStore* variables,
                    StateInterface* host_state, Rng* rng,
@@ -96,15 +128,11 @@ std::vector<Tensor> Executor::Run(const Graph& graph,
                                   std::span<const NodeOutput> fetches,
                                   RunMetrics* metrics) {
   RunContext run;
+  const BufferPool::Stats before = BufferPool::Global().Snapshot();
   const std::shared_ptr<const ExecutionPlan> plan =
       GetOrBuildPlan(graph, fetches, &run);
   std::vector<Tensor> results = RunPlan(*plan, feeds, run);
-  if (metrics != nullptr) {
-    metrics->ops_executed = run.ops_executed.load(std::memory_order_relaxed);
-    metrics->plan_builds = run.plan_builds.load(std::memory_order_relaxed);
-    metrics->plan_cache_hits =
-        run.plan_cache_hits.load(std::memory_order_relaxed);
-  }
+  FillMetrics(run, before, metrics);
   return results;
 }
 
@@ -112,13 +140,9 @@ std::vector<Tensor> Executor::Run(const ExecutionPlan& plan,
                                   const std::map<std::string, Tensor>& feeds,
                                   RunMetrics* metrics) {
   RunContext run;
+  const BufferPool::Stats before = BufferPool::Global().Snapshot();
   std::vector<Tensor> results = RunPlan(plan, feeds, run);
-  if (metrics != nullptr) {
-    metrics->ops_executed = run.ops_executed.load(std::memory_order_relaxed);
-    metrics->plan_builds = run.plan_builds.load(std::memory_order_relaxed);
-    metrics->plan_cache_hits =
-        run.plan_cache_hits.load(std::memory_order_relaxed);
-  }
+  FillMetrics(run, before, metrics);
   return results;
 }
 

@@ -37,11 +37,18 @@ struct ExecutorOptions {
   ThreadPool* pool = nullptr;
 };
 
-// Per-run observability, filled from the RunContext after a run.
+// Per-run observability, filled from the RunContext after a run. The
+// allocator counters are deltas of the process-wide BufferPool statistics
+// over the run, attributing pool traffic to the run that caused it.
 struct RunMetrics {
   std::int64_t ops_executed = 0;
   std::int64_t plan_builds = 0;
   std::int64_t plan_cache_hits = 0;
+  std::int64_t bytes_allocated = 0;
+  std::int64_t pool_hits = 0;
+  std::int64_t pool_misses = 0;
+  std::int64_t in_place_reuses = 0;
+  std::int64_t buffers_released = 0;  // dead intermediates dropped mid-run
 };
 
 class Executor {
@@ -115,7 +122,7 @@ Tensor ResolveSource(RunContext& run, ExecutionPlan::OpKind kind,
                      const Node& node, const Bindings& bindings);
 void ExecuteKernel(RunContext& run, const Node& node, const KernelFn& kernel,
                    std::span<const Tensor> inputs,
-                   std::vector<Tensor>& outputs);
+                   std::vector<Tensor>& outputs, bool allow_in_place = false);
 
 // Strategy implementations. Fetches come from the plan.
 std::vector<Tensor> ExecuteDag(RunContext& run, const ExecutionPlan& plan,

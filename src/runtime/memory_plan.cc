@@ -1,0 +1,58 @@
+#include "runtime/memory_plan.h"
+
+#include <unordered_set>
+
+#include "runtime/plan.h"
+
+namespace janus {
+
+bool OpSupportsInPlace(std::string_view op) {
+  // Same-index elementwise ops only. Binary entries are still gated at run
+  // time: the executor's InPlaceScope plus OutputBuffer's byte-size and
+  // uniqueness checks reject broadcast operands (different byte size) and
+  // shared buffers, and kernels themselves fall back to fresh allocation on
+  // shape mismatch.
+  static const std::unordered_set<std::string_view> kInPlaceOps = {
+      "Add",        "Sub",       "Mul",        "Div",      "FloorDiv",
+      "Mod",        "Pow",       "Maximum",    "Minimum",  "Neg",
+      "Abs",        "Sign",      "Exp",        "Log",      "Sqrt",
+      "Square",     "Tanh",      "Sigmoid",    "Relu",     "ReluGrad",
+      "LogicalAnd", "LogicalOr", "LogicalNot", "Equal",    "NotEqual",
+      "Less",       "LessEqual", "Greater",    "GreaterEqual",
+  };
+  return kInPlaceOps.find(op) != kInPlaceOps.end();
+}
+
+MemoryPlan BuildMemoryPlan(const ExecutionPlan& plan) {
+  MemoryPlan mem;
+  if (plan.strategy() == ExecutionPlan::Strategy::kDag) {
+    const auto& nodes = plan.dag_nodes();
+    mem.dag.resize(nodes.size());
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      const ExecutionPlan::DagNode& node = nodes[i];
+      mem.dag[i].in_place_capable =
+          node.kind == ExecutionPlan::OpKind::kKernel &&
+          OpSupportsInPlace(node.node->op());
+      for (const ExecutionPlan::DagInput& input : node.inputs) {
+        ++mem.dag[static_cast<std::size_t>(input.producer)].output_reads;
+      }
+    }
+    for (const ExecutionPlan::DagInput& slot : plan.dag_fetch_slots()) {
+      mem.dag[static_cast<std::size_t>(slot.producer)].fetch_protected = true;
+    }
+  } else {
+    const auto& nodes = plan.dyn_nodes();
+    mem.dyn_in_place.resize(nodes.size(), 0);
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      const ExecutionPlan::DynNode& node = nodes[i];
+      mem.dyn_in_place[i] =
+          node.kind == ExecutionPlan::OpKind::kKernel &&
+                  OpSupportsInPlace(node.node->op())
+              ? 1
+              : 0;
+    }
+  }
+  return mem;
+}
+
+}  // namespace janus

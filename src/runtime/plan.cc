@@ -56,6 +56,7 @@ std::shared_ptr<const ExecutionPlan> ExecutionPlan::Build(
     plan->strategy_ = Strategy::kDag;
     plan->BuildDag(graph);
   }
+  plan->memory_ = BuildMemoryPlan(*plan);
   return plan;
 }
 

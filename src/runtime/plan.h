@@ -27,6 +27,7 @@
 
 #include "graph/graph.h"
 #include "runtime/kernel.h"
+#include "runtime/memory_plan.h"
 
 namespace janus {
 
@@ -124,6 +125,9 @@ class ExecutionPlan {
     return dyn_fetch_slots_;
   }
 
+  // Liveness + in-place analysis, computed once at plan-build time.
+  const MemoryPlan& memory() const { return memory_; }
+
  private:
   ExecutionPlan() = default;
 
@@ -140,6 +144,8 @@ class ExecutionPlan {
 
   std::vector<DynNode> dyn_nodes_;
   std::vector<DagInput> dyn_fetch_slots_;
+
+  MemoryPlan memory_;
 };
 
 // True if the graph uses any dataflow control-flow primitive and therefore

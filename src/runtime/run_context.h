@@ -109,6 +109,9 @@ class RunContext {
   // hits-only (see runtime/plan.h).
   std::atomic<std::int64_t> plan_builds{0};
   std::atomic<std::int64_t> plan_cache_hits{0};
+  // Dead intermediate output tensors dropped mid-run by the liveness plan
+  // (their buffers return to the BufferPool for reuse within the same run).
+  std::atomic<std::int64_t> buffers_released{0};
 
   // Per-kernel busy-wait (ns) emulating interpreter/framework dispatch cost;
   // only the eager (imperative) executor sets this.

@@ -1,0 +1,21 @@
+#include "tensor/buffer.h"
+
+#include "tensor/buffer_pool.h"
+
+namespace janus {
+
+Buffer Buffer::Allocate(std::size_t bytes) {
+  internal::BufferControl* ctrl = BufferPool::Global().Allocate(bytes);
+  ctrl->bytes = bytes;
+  return Buffer(ctrl);
+}
+
+void Buffer::Release() {
+  if (ctrl_ != nullptr &&
+      ctrl_->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    BufferPool::Global().Release(ctrl_);
+  }
+  ctrl_ = nullptr;
+}
+
+}  // namespace janus

@@ -1,0 +1,94 @@
+// Refcounted raw tensor storage.
+//
+// A Buffer is a lightweight handle to a heap block managed by the
+// BufferPool (buffer_pool.h): copying a Buffer bumps an atomic refcount;
+// destroying the last handle returns the block to the pool's freelists
+// instead of the system allocator. Unlike the shared_ptr<vector<byte>> it
+// replaces, allocation never value-initializes the payload — callers that
+// need zeroed memory must ask for it (Tensor::Zeros), so fully-written
+// kernel outputs pay no redundant memset on the hot path.
+#ifndef JANUS_TENSOR_BUFFER_H_
+#define JANUS_TENSOR_BUFFER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+
+namespace janus {
+
+namespace internal {
+
+// Header preceding every payload, both pooled and oversize. alignas keeps
+// sizeof a multiple of 16 so the payload (which starts immediately after
+// the header) is as aligned as the operator-new block itself.
+struct alignas(16) BufferControl {
+  std::atomic<std::size_t> refs{1};
+  std::size_t bytes = 0;     // requested payload size of the live tensor
+  std::size_t capacity = 0;  // size-class payload capacity (>= bytes)
+  int size_class = -1;       // -1: oversize, never enters a freelist
+
+  std::byte* payload() { return reinterpret_cast<std::byte*>(this + 1); }
+  const std::byte* payload() const {
+    return reinterpret_cast<const std::byte*>(this + 1);
+  }
+};
+
+}  // namespace internal
+
+class Buffer {
+ public:
+  Buffer() = default;
+
+  // Allocates `bytes` of uninitialized storage through BufferPool::Global().
+  static Buffer Allocate(std::size_t bytes);
+
+  Buffer(const Buffer& other) : ctrl_(other.ctrl_) { Retain(); }
+  Buffer(Buffer&& other) noexcept : ctrl_(std::exchange(other.ctrl_, nullptr)) {}
+  Buffer& operator=(const Buffer& other) {
+    if (ctrl_ != other.ctrl_) {
+      Release();
+      ctrl_ = other.ctrl_;
+      Retain();
+    }
+    return *this;
+  }
+  Buffer& operator=(Buffer&& other) noexcept {
+    if (this != &other) {
+      Release();
+      ctrl_ = std::exchange(other.ctrl_, nullptr);
+    }
+    return *this;
+  }
+  ~Buffer() { Release(); }
+
+  std::byte* data() const { return ctrl_ == nullptr ? nullptr : ctrl_->payload(); }
+  std::size_t size() const { return ctrl_ == nullptr ? 0 : ctrl_->bytes; }
+
+  // True when this handle is the only reference, i.e. the payload may be
+  // written without being observable through any other Tensor.
+  bool unique() const {
+    return ctrl_ != nullptr && ctrl_->refs.load(std::memory_order_acquire) == 1;
+  }
+
+  explicit operator bool() const { return ctrl_ != nullptr; }
+
+  // Stable identity of the underlying block while any handle lives (used by
+  // the eager tape to associate produced tensors with graph nodes).
+  const void* id() const { return ctrl_; }
+
+ private:
+  explicit Buffer(internal::BufferControl* ctrl) : ctrl_(ctrl) {}
+
+  void Retain() {
+    if (ctrl_ != nullptr) {
+      ctrl_->refs.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  void Release();
+
+  internal::BufferControl* ctrl_ = nullptr;
+};
+
+}  // namespace janus
+
+#endif  // JANUS_TENSOR_BUFFER_H_

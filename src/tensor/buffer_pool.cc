@@ -1,0 +1,178 @@
+#include "tensor/buffer_pool.h"
+
+#include <array>
+#include <bit>
+#include <new>
+
+#include "common/error.h"
+
+namespace janus {
+
+namespace {
+
+internal::BufferControl* AllocateRaw(std::size_t capacity, int size_class) {
+  void* raw = ::operator new(sizeof(internal::BufferControl) + capacity);
+  auto* ctrl = new (raw) internal::BufferControl();
+  ctrl->capacity = capacity;
+  ctrl->size_class = size_class;
+  return ctrl;
+}
+
+void FreeRaw(internal::BufferControl* ctrl) {
+  ctrl->~BufferControl();
+  ::operator delete(static_cast<void*>(ctrl));
+}
+
+}  // namespace
+
+// A small LIFO stack of free blocks per class, owned by one thread. Spills
+// to / refills from the central freelist; flushes everything on thread exit.
+struct BufferPool::ThreadCache {
+  std::array<std::vector<internal::BufferControl*>, kNumClasses> free_blocks;
+
+  ~ThreadCache() {
+    BufferPool& pool = BufferPool::Global();
+    for (int c = 0; c < kNumClasses; ++c) {
+      if (!free_blocks[static_cast<std::size_t>(c)].empty()) {
+        pool.CentralPush(c, free_blocks[static_cast<std::size_t>(c)]);
+      }
+    }
+  }
+};
+
+BufferPool& BufferPool::Global() {
+  // Leaked deliberately: ThreadCache destructors (thread_local, possibly
+  // after main returns) must always find the pool alive.
+  static BufferPool* pool = new BufferPool();
+  return *pool;
+}
+
+BufferPool::ThreadCache& BufferPool::LocalCache() {
+  thread_local ThreadCache cache;
+  return cache;
+}
+
+int BufferPool::SizeClassFor(std::size_t bytes) {
+  if (bytes <= kMinClassBytes) return 0;
+  const int size_class =
+      std::bit_width(bytes - 1) - std::bit_width(kMinClassBytes - 1);
+  return size_class >= kNumClasses ? kNumClasses : size_class;
+}
+
+std::size_t BufferPool::ClassBytes(int size_class) {
+  JANUS_EXPECTS(size_class >= 0 && size_class < kNumClasses);
+  return kMinClassBytes << size_class;
+}
+
+internal::BufferControl* BufferPool::NewBlock(int size_class,
+                                              std::size_t capacity) {
+  pool_misses_.fetch_add(1, std::memory_order_relaxed);
+  bytes_allocated_.fetch_add(static_cast<std::int64_t>(capacity),
+                             std::memory_order_relaxed);
+  return AllocateRaw(capacity, size_class);
+}
+
+internal::BufferControl* BufferPool::Allocate(std::size_t bytes) {
+  allocations_.fetch_add(1, std::memory_order_relaxed);
+  const int size_class = SizeClassFor(bytes);
+  if (size_class >= kNumClasses) {
+    return NewBlock(/*size_class=*/-1, bytes);  // oversize: unpooled
+  }
+  const std::size_t capacity = ClassBytes(size_class);
+  auto& cached = LocalCache().free_blocks[static_cast<std::size_t>(size_class)];
+  internal::BufferControl* ctrl = nullptr;
+  if (!cached.empty()) {
+    ctrl = cached.back();
+    cached.pop_back();
+  } else {
+    ctrl = CentralPop(size_class);
+  }
+  if (ctrl == nullptr) return NewBlock(size_class, capacity);
+  pool_hits_.fetch_add(1, std::memory_order_relaxed);
+  retained_bytes_.fetch_sub(static_cast<std::int64_t>(capacity),
+                            std::memory_order_relaxed);
+  ctrl->refs.store(1, std::memory_order_relaxed);
+  return ctrl;
+}
+
+void BufferPool::Release(internal::BufferControl* ctrl) {
+  const int size_class = ctrl->size_class;
+  if (size_class < 0) {
+    FreeRaw(ctrl);
+    return;
+  }
+  retained_bytes_.fetch_add(static_cast<std::int64_t>(ctrl->capacity),
+                            std::memory_order_relaxed);
+  auto& cached = LocalCache().free_blocks[static_cast<std::size_t>(size_class)];
+  cached.push_back(ctrl);
+  if (cached.size() > kThreadCacheBlocks) {
+    CentralPush(size_class, cached);
+  }
+}
+
+internal::BufferControl* BufferPool::CentralPop(int size_class) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& list = central_[size_class];
+  if (list.empty()) return nullptr;
+  internal::BufferControl* ctrl = list.back();
+  list.pop_back();
+  return ctrl;
+}
+
+void BufferPool::CentralPush(int size_class,
+                             std::vector<internal::BufferControl*>& blocks) {
+  std::vector<internal::BufferControl*> overflow;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (internal::BufferControl* ctrl : blocks) {
+      if (retained_bytes_.load(std::memory_order_relaxed) >
+          static_cast<std::int64_t>(kMaxRetainedBytes)) {
+        overflow.push_back(ctrl);
+      } else {
+        central_[size_class].push_back(ctrl);
+      }
+    }
+  }
+  blocks.clear();
+  for (internal::BufferControl* ctrl : overflow) {
+    retained_bytes_.fetch_sub(static_cast<std::int64_t>(ctrl->capacity),
+                              std::memory_order_relaxed);
+    FreeRaw(ctrl);
+  }
+}
+
+void BufferPool::Trim() {
+  trims_.fetch_add(1, std::memory_order_relaxed);
+  ThreadCache& cache = LocalCache();
+  for (int c = 0; c < kNumClasses; ++c) {
+    auto& cached = cache.free_blocks[static_cast<std::size_t>(c)];
+    if (!cached.empty()) CentralPush(c, cached);
+  }
+  std::vector<internal::BufferControl*> reclaimed;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (auto& list : central_) {
+      reclaimed.insert(reclaimed.end(), list.begin(), list.end());
+      list.clear();
+    }
+  }
+  for (internal::BufferControl* ctrl : reclaimed) {
+    retained_bytes_.fetch_sub(static_cast<std::int64_t>(ctrl->capacity),
+                              std::memory_order_relaxed);
+    FreeRaw(ctrl);
+  }
+}
+
+BufferPool::Stats BufferPool::Snapshot() const {
+  Stats stats;
+  stats.allocations = allocations_.load(std::memory_order_relaxed);
+  stats.pool_hits = pool_hits_.load(std::memory_order_relaxed);
+  stats.pool_misses = pool_misses_.load(std::memory_order_relaxed);
+  stats.bytes_allocated = bytes_allocated_.load(std::memory_order_relaxed);
+  stats.in_place_reuses = in_place_reuses_.load(std::memory_order_relaxed);
+  stats.retained_bytes = retained_bytes_.load(std::memory_order_relaxed);
+  stats.trims = trims_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace janus

@@ -1,0 +1,107 @@
+// Thread-safe pooled allocator behind Buffer (buffer.h).
+//
+// Kernel outputs are overwhelmingly short-lived and a handful of distinct
+// sizes per graph, so a power-of-two size-class freelist turns the per-op
+// make_shared + zero-init of the seed allocator into a pointer pop. Two
+// levels, the classic malloc structure (tcmalloc-style):
+//  * a lock-free per-thread cache holding up to kThreadCacheBlocks free
+//    blocks per class (covers the single-threaded executor and each pool
+//    worker without any shared state), and
+//  * a mutex-guarded central freelist per class that thread caches spill
+//    into and refill from, bounded by kMaxRetainedBytes — blocks beyond the
+//    bound go back to the system allocator.
+// Allocations larger than the biggest size class bypass the pool entirely.
+//
+// Counters feed RunMetrics/EngineStats: Snapshot() is cheap (relaxed atomic
+// loads), so executors diff it around a run to report per-run allocation
+// behaviour.
+#ifndef JANUS_TENSOR_BUFFER_POOL_H_
+#define JANUS_TENSOR_BUFFER_POOL_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "tensor/buffer.h"
+
+namespace janus {
+
+class BufferPool {
+ public:
+  // Smallest class is 64 B; classes double up to 64 << (kNumClasses-1)
+  // (2 MiB). Larger requests are unpooled.
+  static constexpr int kNumClasses = 16;
+  static constexpr std::size_t kMinClassBytes = 64;
+  // Per-class block cap of a thread cache; overflow spills to the central
+  // freelist in one batch.
+  static constexpr std::size_t kThreadCacheBlocks = 8;
+  // Bound on bytes parked in the central freelists. Beyond it, released
+  // blocks are freed to the system allocator instead of retained.
+  static constexpr std::size_t kMaxRetainedBytes = std::size_t{64} << 20;
+
+  struct Stats {
+    std::int64_t allocations = 0;      // Allocate() calls
+    std::int64_t pool_hits = 0;        // served from a freelist
+    std::int64_t pool_misses = 0;      // fresh system allocation
+    std::int64_t bytes_allocated = 0;  // cumulative fresh bytes
+    std::int64_t in_place_reuses = 0;  // Tensor::OutputBuffer buffer steals
+    std::int64_t retained_bytes = 0;   // currently parked (central + caches)
+    std::int64_t trims = 0;
+  };
+
+  // The process-wide pool. Intentionally leaked so thread-cache destructors
+  // running at thread exit can always flush into it.
+  static BufferPool& Global();
+
+  // Returns a block with capacity >= bytes and refs == 1. Payload contents
+  // are unspecified (possibly a recycled buffer's old data).
+  internal::BufferControl* Allocate(std::size_t bytes);
+
+  // Takes back a block whose refcount reached zero.
+  void Release(internal::BufferControl* ctrl);
+
+  // Flushes the calling thread's cache into the central freelists, then
+  // frees every centrally retained block. Caches of other live threads are
+  // unaffected (they drain on thread exit).
+  void Trim();
+
+  Stats Snapshot() const;
+
+  void RecordInPlaceReuse() {
+    in_place_reuses_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Size-class geometry, exposed for tests: the class index serving
+  // `bytes` (kNumClasses for oversize) and a class's payload capacity.
+  static int SizeClassFor(std::size_t bytes);
+  static std::size_t ClassBytes(int size_class);
+
+ private:
+  friend class BufferPoolTestPeer;
+  struct ThreadCache;
+
+  BufferPool() = default;
+
+  ThreadCache& LocalCache();
+  internal::BufferControl* NewBlock(int size_class, std::size_t capacity);
+  // Central-freelist operations (batch, one lock each).
+  internal::BufferControl* CentralPop(int size_class);
+  void CentralPush(int size_class, std::vector<internal::BufferControl*>& blocks);
+
+  std::mutex mu_;  // guards central_
+  std::vector<internal::BufferControl*> central_[kNumClasses];
+
+  std::atomic<std::int64_t> allocations_{0};
+  std::atomic<std::int64_t> pool_hits_{0};
+  std::atomic<std::int64_t> pool_misses_{0};
+  std::atomic<std::int64_t> bytes_allocated_{0};
+  std::atomic<std::int64_t> in_place_reuses_{0};
+  std::atomic<std::int64_t> retained_bytes_{0};
+  std::atomic<std::int64_t> trims_{0};
+};
+
+}  // namespace janus
+
+#endif  // JANUS_TENSOR_BUFFER_POOL_H_

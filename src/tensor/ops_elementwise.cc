@@ -61,12 +61,18 @@ void CheckSameDType(const Tensor& a, const Tensor& b, const char* op) {
 template <typename T, typename F>
 Tensor BinaryImpl(const Tensor& a, const Tensor& b, DType out_dtype, F fn) {
   const Shape out_shape = BroadcastShapes(a.shape(), b.shape());
-  Tensor out(out_dtype, out_shape);
+  // With identical operand shapes every write to output element i reads only
+  // operand element i, so (under an active InPlaceScope) the output may
+  // overwrite a dying operand's buffer. Broadcast outputs must not alias an
+  // operand: stride-0 dims re-read elements after earlier writes.
+  const bool same_shape = a.shape() == b.shape();
+  Tensor out = same_shape ? Tensor::OutputBuffer({&a, &b}, out_dtype, out_shape)
+                          : Tensor::Uninitialized(out_dtype, out_shape);
   const auto av = a.data<T>();
   const auto bv = b.data<T>();
   const std::int64_t n = out_shape.num_elements();
   // Fast path: identical shapes — no index mapping needed.
-  if (a.shape() == b.shape()) {
+  if (same_shape) {
     if constexpr (std::is_same_v<T, float>) {
       if (out_dtype == DType::kFloat32) {
         auto ov = out.mutable_data<float>();
@@ -143,7 +149,7 @@ Tensor UnaryFloat(const char* name, const Tensor& a, F fn) {
   if (a.dtype() != DType::kFloat32) {
     throw InvalidArgument(std::string(name) + ": requires float32 operand");
   }
-  Tensor out(DType::kFloat32, a.shape());
+  Tensor out = Tensor::OutputBuffer({&a}, DType::kFloat32, a.shape());
   const auto av = a.data<float>();
   auto ov = out.mutable_data<float>();
   for (std::size_t i = 0; i < av.size(); ++i) ov[i] = fn(av[i]);
@@ -265,7 +271,7 @@ Tensor LogicalNot(const Tensor& a) {
   if (a.dtype() != DType::kBool) {
     throw InvalidArgument("LogicalNot: requires bool operand");
   }
-  Tensor out(DType::kBool, a.shape());
+  Tensor out = Tensor::OutputBuffer({&a}, DType::kBool, a.shape());
   const auto av = a.data<std::uint8_t>();
   auto ov = out.mutable_data<std::uint8_t>();
   for (std::size_t i = 0; i < av.size(); ++i) ov[i] = av[i] != 0 ? 0 : 1;
@@ -274,7 +280,7 @@ Tensor LogicalNot(const Tensor& a) {
 
 Tensor Neg(const Tensor& a) {
   if (a.dtype() == DType::kInt64) {
-    Tensor out(DType::kInt64, a.shape());
+    Tensor out = Tensor::OutputBuffer({&a}, DType::kInt64, a.shape());
     const auto av = a.data<std::int64_t>();
     auto ov = out.mutable_data<std::int64_t>();
     for (std::size_t i = 0; i < av.size(); ++i) ov[i] = -av[i];
@@ -285,7 +291,7 @@ Tensor Neg(const Tensor& a) {
 
 Tensor Abs(const Tensor& a) {
   if (a.dtype() == DType::kInt64) {
-    Tensor out(DType::kInt64, a.shape());
+    Tensor out = Tensor::OutputBuffer({&a}, DType::kInt64, a.shape());
     const auto av = a.data<std::int64_t>();
     auto ov = out.mutable_data<std::int64_t>();
     for (std::size_t i = 0; i < av.size(); ++i)
@@ -328,7 +334,7 @@ Tensor ReluGrad(const Tensor& grad, const Tensor& x) {
   if (grad.shape() != x.shape()) {
     throw InvalidArgument("ReluGrad: shape mismatch");
   }
-  Tensor out(DType::kFloat32, x.shape());
+  Tensor out = Tensor::OutputBuffer({&grad, &x}, DType::kFloat32, x.shape());
   const auto gv = grad.data<float>();
   const auto xv = x.data<float>();
   auto ov = out.mutable_data<float>();

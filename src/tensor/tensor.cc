@@ -3,7 +3,21 @@
 #include <cstring>
 #include <sstream>
 
+#include "tensor/buffer_pool.h"
+
 namespace janus {
+
+namespace {
+thread_local bool g_in_place_scope_active = false;
+}  // namespace
+
+InPlaceScope::InPlaceScope(bool enabled) : saved_(g_in_place_scope_active) {
+  g_in_place_scope_active = enabled;
+}
+
+InPlaceScope::~InPlaceScope() { g_in_place_scope_active = saved_; }
+
+bool InPlaceScope::Active() { return g_in_place_scope_active; }
 
 const char* DTypeName(DType dtype) {
   switch (dtype) {
@@ -14,7 +28,11 @@ const char* DTypeName(DType dtype) {
     case DType::kBool:
       return "bool";
   }
-  return "unknown";
+  // A dtype added without updating this switch must fail loudly: a silent
+  // placeholder here would pair with a 0-byte buffer from a DTypeSize-style
+  // fallback downstream.
+  JANUS_EXPECTS(!"unhandled DType in DTypeName");
+  return nullptr;
 }
 
 std::size_t DTypeSize(DType dtype) {
@@ -26,23 +44,60 @@ std::size_t DTypeSize(DType dtype) {
     case DType::kBool:
       return sizeof(std::uint8_t);
   }
+  JANUS_EXPECTS(!"unhandled DType in DTypeSize");
   return 0;
 }
 
-Tensor::Tensor() : Tensor(DType::kFloat32, Shape{}) {
-  mutable_data<float>()[0] = 0.0f;
+Tensor::Tensor() : dtype_(DType::kFloat32), shape_(Shape{}) {
+  // All default-constructed tensors share one immutable zero-scalar buffer:
+  // executors default-construct placeholder tensors in bulk (kernel output
+  // slots, dead dataflow tokens) and immediately overwrite them wholesale,
+  // so giving each its own allocation is pure hot-path waste. The shared
+  // buffer's refcount never drops to one, so it can never be stolen for
+  // in-place reuse. Its elements must never be written (see tensor.h).
+  static const Tensor zero = [] {
+    Tensor t(DType::kFloat32, Shape{});
+    t.mutable_data<float>()[0] = 0.0f;
+    return t;
+  }();
+  buffer_ = zero.buffer_;
 }
 
 Tensor::Tensor(DType dtype, Shape shape)
     : dtype_(dtype),
       shape_(std::move(shape)),
-      buffer_(std::make_shared<std::vector<std::byte>>(
-          static_cast<std::size_t>(shape_.num_elements()) * DTypeSize(dtype))) {}
+      buffer_(Buffer::Allocate(static_cast<std::size_t>(shape_.num_elements()) *
+                               DTypeSize(dtype))) {}
+
+Tensor Tensor::Uninitialized(DType dtype, const Shape& shape) {
+  return Tensor(dtype, shape);
+}
 
 Tensor Tensor::Zeros(DType dtype, const Shape& shape) {
-  Tensor t(dtype, shape);
-  std::memset(t.raw(), 0, t.buffer_->size());
+  // The single zeroing path: pooled allocation hands back recycled payloads,
+  // so this memset is what establishes the zeros.
+  Tensor t = Uninitialized(dtype, shape);
+  std::memset(t.raw(), 0, t.byte_size());
   return t;
+}
+
+Tensor Tensor::OutputBuffer(
+    std::initializer_list<const Tensor*> reuse_candidates, DType dtype,
+    const Shape& shape) {
+  if (InPlaceScope::Active()) {
+    const std::size_t bytes =
+        static_cast<std::size_t>(shape.num_elements()) * DTypeSize(dtype);
+    for (const Tensor* candidate : reuse_candidates) {
+      if (candidate->buffer_.unique() && candidate->byte_size() == bytes) {
+        Tensor t = *candidate;
+        t.dtype_ = dtype;
+        t.shape_ = shape;
+        BufferPool::Global().RecordInPlaceReuse();
+        return t;
+      }
+    }
+  }
+  return Uninitialized(dtype, shape);
 }
 
 Tensor Tensor::Full(const Shape& shape, float value) {
@@ -127,7 +182,7 @@ Tensor Tensor::Reshaped(Shape new_shape) const {
 
 bool Tensor::ElementsEqual(const Tensor& other) const {
   if (dtype_ != other.dtype_ || shape_ != other.shape_) return false;
-  return std::memcmp(raw(), other.raw(), buffer_->size()) == 0;
+  return std::memcmp(raw(), other.raw(), byte_size()) == 0;
 }
 
 std::string Tensor::ToString(std::int64_t max_elements) const {

@@ -94,6 +94,81 @@ TEST(TensorTest, DTypeMismatchThrows) {
   EXPECT_THROW(t.data<float>(), InternalError);
 }
 
+TEST(TensorTest, DefaultTensorsShareOneZeroBuffer) {
+  const Tensor a;
+  const Tensor b;
+  EXPECT_EQ(a.ScalarValue(), 0.0f);
+  EXPECT_TRUE(a.SharesBufferWith(b));
+  // The shared placeholder is always multiply-referenced, so it can never
+  // be stolen for in-place writes.
+  EXPECT_FALSE(a.BufferUnique());
+}
+
+TEST(TensorTest, ZerosAreZeroAndUninitializedIsDistinct) {
+  const Tensor z = Tensor::Zeros(DType::kFloat32, Shape{3, 3});
+  for (const float v : z.data<float>()) EXPECT_EQ(v, 0.0f);
+  const Tensor u = Tensor::Uninitialized(DType::kInt64, Shape{2});
+  EXPECT_EQ(u.byte_size(), 16u);
+}
+
+TEST(InPlaceReuseTest, NoReuseWithoutActiveScope) {
+  // Outside an InPlaceScope, kernels always allocate fresh outputs — even
+  // when an operand's buffer is uniquely referenced.
+  const Tensor t = Vec({-1, 2, -3});
+  EXPECT_TRUE(t.BufferUnique());
+  const Tensor r = ops::Relu(t);
+  EXPECT_FALSE(r.SharesBufferWith(t));
+  ExpectNear(t, {-1, 2, -3});
+}
+
+TEST(InPlaceReuseTest, SharedBufferIsNeverMutatedInsideScope) {
+  // Copy-on-write under in-place reuse: a second live reference must force
+  // a fresh allocation even when the executor has opened the scope.
+  Tensor x = Vec({-1, -2, -3});
+  const Tensor alias = x;
+  const InPlaceScope scope(true);
+  const Tensor r = ops::Relu(x);
+  EXPECT_FALSE(r.SharesBufferWith(x));
+  ExpectNear(r, {0, 0, 0});
+  ExpectNear(x, {-1, -2, -3});
+  ExpectNear(alias, {-1, -2, -3});
+}
+
+TEST(InPlaceReuseTest, UniqueDeadInputIsReusedInsideScope) {
+  // With the scope open (as the executor does for plan-marked nodes) and a
+  // uniquely-referenced operand, the kernel writes over the dead buffer.
+  Tensor t = Vec({-1, 2, -3});
+  const void* buffer = t.data_id();
+  const InPlaceScope scope(true);
+  const Tensor r = ops::Relu(t);
+  EXPECT_EQ(r.data_id(), buffer);
+  ExpectNear(r, {0, 2, 0});
+}
+
+TEST(InPlaceReuseTest, ByteSizeMismatchForcesFreshAllocation) {
+  // Comparisons produce bool (1 byte/elem) from float operands (4): the
+  // byte-size gate must reject the steal despite matching element counts.
+  Tensor a = Vec({1, 2, 3});
+  Tensor b = Vec({2, 2, 2});
+  const InPlaceScope scope(true);
+  const Tensor r = ops::Less(a, b);
+  EXPECT_FALSE(r.SharesBufferWith(a));
+  EXPECT_FALSE(r.SharesBufferWith(b));
+  EXPECT_EQ(r.dtype(), DType::kBool);
+}
+
+TEST(InPlaceReuseTest, BroadcastOperandsAreNeverReused) {
+  // Broadcast Add takes the indexer path (output index != input index), so
+  // neither operand's buffer may be stolen even inside the scope.
+  Tensor m = Tensor::Full(Shape{2, 3}, 1.0f);
+  Tensor row = Vec({10, 20, 30});
+  const InPlaceScope scope(true);
+  const Tensor r = ops::Add(m, row);
+  EXPECT_FALSE(r.SharesBufferWith(m));
+  EXPECT_FALSE(r.SharesBufferWith(row));
+  ExpectNear(r, {11, 21, 31, 11, 21, 31});
+}
+
 TEST(ElementwiseTest, AddSameShape) {
   ExpectNear(ops::Add(Vec({1, 2, 3}), Vec({10, 20, 30})), {11, 22, 33});
 }
