@@ -57,6 +57,11 @@ print('final loss', float(loss))
               static_cast<long long>(stats.assumption_failures),
               static_cast<long long>(stats.fallbacks));
 
+  // Full report: decision-loop counters, per-phase latency histograms,
+  // sampled kernel timers, buffer-pool traffic. For a timeline view, run
+  // with JANUS_TRACE=trace.json and open the file in chrome://tracing.
+  std::printf("\n%s", engine.StatsReport().c_str());
+
   const float learned_w0 = variables.Read("w").data<float>()[0];
   std::printf("\nlearned w[0] = %.3f (expect ~1.0)\n", learned_w0);
   return stats.graph_executions > 0 && learned_w0 > 0.8f ? 0 : 1;

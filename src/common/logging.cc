@@ -42,8 +42,16 @@ LogMessage::LogMessage(LogLevel level, std::string_view file, int line)
 
 LogMessage::~LogMessage() {
   if (enabled_) {
+    // The full line — prefix, payload, and newline — is assembled in the
+    // message's own buffer and handed to cerr as one write under the log
+    // mutex, so concurrent executor threads can never interleave
+    // fragments of their lines.
+    stream_.put('\n');
+    const std::string line = std::move(stream_).str();
     const std::lock_guard<std::mutex> lock(LogMutex());
-    std::cerr << stream_.str() << '\n';
+    std::cerr.write(line.data(),
+                    static_cast<std::streamsize>(line.size()));
+    std::cerr.flush();
   }
 }
 

@@ -1,7 +1,11 @@
 #include "core/engine.h"
 
+#include <cstdio>
+
 #include "common/logging.h"
 #include "frontend/builtins.h"
+#include "obs/trace.h"
+#include "tensor/buffer_pool.h"
 #include "tensor/ops.h"
 
 namespace janus {
@@ -47,6 +51,27 @@ JanusEngine::JanusEngine(minipy::Interpreter* interp, EngineOptions options)
     pool_ = std::make_unique<ThreadPool>(
         ResolveThreadPoolSize(options_.pool_threads));
   }
+  counters_.graph_executions = &metrics_.GetCounter("engine.graph_executions");
+  counters_.imperative_executions =
+      &metrics_.GetCounter("engine.imperative_executions");
+  counters_.graph_generations =
+      &metrics_.GetCounter("engine.graph_generations");
+  counters_.cache_misses = &metrics_.GetCounter("engine.cache_misses");
+  counters_.assumption_failures =
+      &metrics_.GetCounter("engine.assumption_failures");
+  counters_.fallbacks = &metrics_.GetCounter("engine.fallbacks");
+  counters_.not_convertible = &metrics_.GetCounter("engine.not_convertible");
+  counters_.graph_ops_executed =
+      &metrics_.GetCounter("engine.graph_ops_executed");
+  counters_.plan_builds = &metrics_.GetCounter("engine.plan_builds");
+  counters_.plan_cache_hits = &metrics_.GetCounter("engine.plan_cache_hits");
+  counters_.bytes_allocated = &metrics_.GetCounter("engine.bytes_allocated");
+  counters_.pool_hits = &metrics_.GetCounter("engine.pool_hits");
+  counters_.pool_misses = &metrics_.GetCounter("engine.pool_misses");
+  counters_.in_place_reuses = &metrics_.GetCounter("engine.in_place_reuses");
+  imperative_ns_ = &metrics_.GetHistogram("engine.imperative_ns");
+  graph_execution_ns_ = &metrics_.GetHistogram("engine.graph_execution_ns");
+  generation_ns_ = &metrics_.GetHistogram("engine.generation_ns");
 }
 
 JanusEngine::~JanusEngine() {
@@ -56,6 +81,11 @@ JanusEngine::~JanusEngine() {
 void JanusEngine::Attach() {
   JANUS_EXPECTS(!attached_);
   attached_ = true;
+  if (!options_.trace_path.empty()) {
+    trace_was_enabled_ = obs::Trace::Enabled();
+    obs::Trace::Enable();
+  }
+  if (options_.kernel_timing) obs::SetKernelTimingEnabled(true);
   interp_->set_observer(&profiler_);
   interp_->set_interceptor(this);
   interp_->eager().set_dispatch_penalty_ns(options_.eager_dispatch_penalty_ns);
@@ -103,6 +133,10 @@ void JanusEngine::Detach() {
   attached_ = false;
   interp_->set_observer(nullptr);
   interp_->set_interceptor(nullptr);
+  if (!options_.trace_path.empty()) {
+    obs::Trace::WriteChromeTrace(options_.trace_path);
+    if (!trace_was_enabled_) obs::Trace::Disable();
+  }
 }
 
 const void* JanusEngine::UnitKey(const FunctionValue& fn) {
@@ -142,7 +176,8 @@ minipy::Value JanusEngine::Run(const std::shared_ptr<FunctionValue>& fn,
                                std::vector<Value> args, bool training,
                                double lr) {
   if (!options_.enabled) {
-    return RunImperative(fn, std::move(args), training, lr);
+    return RunImperativePhase("imperative", fn, std::move(args), training,
+                              lr);
   }
   const void* key = UnitKey(*fn);
   auto& unit = units_[key];
@@ -150,8 +185,9 @@ minipy::Value JanusEngine::Run(const std::shared_ptr<FunctionValue>& fn,
   ++unit->calls;
 
   if (unit->imperative_only) {
-    ++stats_.imperative_executions;
-    return RunImperative(fn, std::move(args), training, lr);
+    counters_.imperative_executions->Increment();
+    return RunImperativePhase("imperative", fn, std::move(args), training,
+                              lr, unit->refusal_reason);
   }
 
   // (D) Try cached graphs whose entry assumptions hold (Fig. 2 ①).
@@ -162,34 +198,38 @@ minipy::Value JanusEngine::Run(const std::shared_ptr<FunctionValue>& fn,
     if (!EntryValid(entry, fn, args)) continue;
     try {
       Value result = ExecuteCompiled(entry, args);
-      ++stats_.graph_executions;
+      counters_.graph_executions->Increment();
       return result;
     } catch (const AssumptionFailed& failure) {
       // (E) Runtime assumption failure: nothing was committed; mark the
       // assumption so regeneration relaxes it, drop this graph, and fall
       // back to the imperative executor (§3.2).
-      ++stats_.assumption_failures;
-      ++stats_.fallbacks;
+      counters_.assumption_failures->Increment();
+      counters_.fallbacks->Increment();
+      obs::Trace::RecordInstant("assumption_failure", "engine",
+                                failure.assumption_id());
       profiler_.MarkAssumptionFailed(failure.assumption_id());
       unit->candidates.erase(unit->candidates.begin() +
                              static_cast<std::ptrdiff_t>(i));
-      ++stats_.imperative_executions;
-      return RunImperative(fn, std::move(args), training, lr);
+      counters_.imperative_executions->Increment();
+      return RunImperativePhase("fallback", fn, std::move(args), training,
+                                lr, failure.assumption_id());
     } catch (const Error& error) {
       // A kernel crashed on data that violates an assumption before the
       // guarding AssertOp ran (assertions execute in parallel with the
       // network, §6.3.1). The run committed nothing, so dropping the graph
       // and falling back is safe; re-profiling relaxes the assumption.
-      ++stats_.fallbacks;
+      counters_.fallbacks->Increment();
       JANUS_LOG(kInfo) << "speculative graph failed (" << error.what()
                        << "); falling back";
       unit->candidates.erase(unit->candidates.begin() +
                              static_cast<std::ptrdiff_t>(i));
-      ++stats_.imperative_executions;
-      return RunImperative(fn, std::move(args), training, lr);
+      counters_.imperative_executions->Increment();
+      return RunImperativePhase("fallback", fn, std::move(args), training,
+                                lr, error.what());
     }
   }
-  if (!unit->candidates.empty()) ++stats_.cache_misses;
+  if (!unit->candidates.empty()) counters_.cache_misses->Increment();
 
   // (B) Generate once enough profile information exists (§3.1). After a
   // refusal, retry with exponential backoff — later profiles may relax the
@@ -197,12 +237,19 @@ minipy::Value JanusEngine::Run(const std::shared_ptr<FunctionValue>& fn,
   if (unit->calls > options_.profile_threshold &&
       unit->calls >= unit->next_generation_attempt) {
     try {
-      auto compiled = generator_.Compile(fn, args, training, lr);
-      ++stats_.graph_generations;
-      // Pay the scheduling cost once, here, with the rest of the conversion
-      // cost: compile execution plans for the graph and every library
-      // function so no ExecuteCompiled ever plans on the hot path.
-      stats_.plan_builds += compiled->BuildPlans();
+      std::unique_ptr<CompiledGraph> compiled;
+      {
+        const obs::TraceScope span("graph_generation", "engine");
+        const std::int64_t start_ns = obs::Trace::NowNs();
+        compiled = generator_.Compile(fn, args, training, lr);
+        // Pay the scheduling cost once, here, with the rest of the
+        // conversion cost: compile execution plans for the graph and every
+        // library function so no ExecuteCompiled ever plans on the hot
+        // path.
+        counters_.plan_builds->Add(compiled->BuildPlans());
+        generation_ns_->Record(obs::Trace::NowNs() - start_ns);
+      }
+      counters_.graph_generations->Increment();
       CacheEntry entry{std::move(compiled), fn->closure};
       if (static_cast<int>(unit->candidates.size()) >=
           options_.max_cached_graphs_per_unit) {
@@ -213,15 +260,17 @@ minipy::Value JanusEngine::Run(const std::shared_ptr<FunctionValue>& fn,
       if (EntryValid(fresh, fn, args)) {
         try {
           Value result = ExecuteCompiled(fresh, args);
-          ++stats_.graph_executions;
+          counters_.graph_executions->Increment();
           return result;
         } catch (const AssumptionFailed& failure) {
-          ++stats_.assumption_failures;
-          ++stats_.fallbacks;
+          counters_.assumption_failures->Increment();
+          counters_.fallbacks->Increment();
+          obs::Trace::RecordInstant("assumption_failure", "engine",
+                                    failure.assumption_id());
           profiler_.MarkAssumptionFailed(failure.assumption_id());
           unit->candidates.pop_back();
         } catch (const Error& error) {
-          ++stats_.fallbacks;
+          counters_.fallbacks->Increment();
           JANUS_LOG(kInfo) << "fresh speculative graph failed ("
                            << error.what() << "); falling back";
           unit->candidates.pop_back();
@@ -230,7 +279,8 @@ minipy::Value JanusEngine::Run(const std::shared_ptr<FunctionValue>& fn,
     } catch (const NotConvertible& refusal) {
       // (C) Outside the convertible subset (§4.3). Pin to the imperative
       // executor after repeated refusals.
-      ++stats_.not_convertible;
+      counters_.not_convertible->Increment();
+      obs::Trace::RecordInstant("not_convertible", "engine", refusal.what());
       ++unit->failed_generations;
       unit->refusal_reason = refusal.what();
       unit->next_generation_attempt = unit->calls * 2;
@@ -238,8 +288,20 @@ minipy::Value JanusEngine::Run(const std::shared_ptr<FunctionValue>& fn,
       JANUS_LOG(kInfo) << "not convertible: " << refusal.what();
     }
   }
-  ++stats_.imperative_executions;
-  return RunImperative(fn, std::move(args), training, lr);
+  counters_.imperative_executions->Increment();
+  // Pre-conversion runs are the profiling phase of Fig. 2 (A).
+  return RunImperativePhase("profile", fn, std::move(args), training, lr);
+}
+
+minipy::Value JanusEngine::RunImperativePhase(
+    const char* phase, const std::shared_ptr<FunctionValue>& fn,
+    std::vector<Value> args, bool training, double lr, std::string detail) {
+  obs::TraceScope span(phase, "engine");
+  span.set_detail(std::move(detail));
+  const std::int64_t start_ns = obs::Trace::NowNs();
+  Value result = RunImperative(fn, std::move(args), training, lr);
+  imperative_ns_->Record(obs::Trace::NowNs() - start_ns);
+  return result;
 }
 
 minipy::Value JanusEngine::RunImperative(
@@ -342,6 +404,8 @@ bool JanusEngine::EntryValid(const CacheEntry& entry,
 
 minipy::Value JanusEngine::ExecuteCompiled(CacheEntry& entry,
                                            std::span<const Value> args) {
+  obs::TraceScope span("graph_execution", "engine");
+  const std::int64_t start_ns = obs::Trace::NowNs();
   std::map<std::string, Tensor> feeds;
   for (const CaptureSpec& capture : entry.compiled->captures) {
     feeds[capture.placeholder_name] =
@@ -355,21 +419,76 @@ minipy::Value JanusEngine::ExecuteCompiled(CacheEntry& entry,
   if (entry.compiled->plan == nullptr) {
     // Defensive: graphs injected into the cache without going through the
     // generator (tests) still get a one-time plan build.
-    stats_.plan_builds += entry.compiled->BuildPlans();
+    counters_.plan_builds->Add(entry.compiled->BuildPlans());
   }
   RunMetrics metrics;
   std::vector<Tensor> results =
       executor.Run(*entry.compiled->plan, feeds, &metrics);
-  stats_.graph_ops_executed += metrics.ops_executed;
-  stats_.plan_builds += metrics.plan_builds;
-  stats_.bytes_allocated += metrics.bytes_allocated;
-  stats_.pool_hits += metrics.pool_hits;
-  stats_.pool_misses += metrics.pool_misses;
-  stats_.in_place_reuses += metrics.in_place_reuses;
+  counters_.graph_ops_executed->Add(metrics.ops_executed);
+  counters_.plan_builds->Add(metrics.plan_builds);
+  counters_.bytes_allocated->Add(metrics.bytes_allocated);
+  counters_.pool_hits->Add(metrics.pool_hits);
+  counters_.pool_misses->Add(metrics.pool_misses);
+  counters_.in_place_reuses->Add(metrics.in_place_reuses);
   // The prebuilt main-graph plan counts as a hit, as do nested
   // Invoke/While dispatches through each function's plan cache.
-  stats_.plan_cache_hits += 1 + metrics.plan_cache_hits;
+  counters_.plan_cache_hits->Add(1 + metrics.plan_cache_hits);
+  span.set_arg("ops", metrics.ops_executed);
+  graph_execution_ns_->Record(obs::Trace::NowNs() - start_ns);
   return results.at(0);
+}
+
+EngineStats JanusEngine::stats() const {
+  EngineStats s;
+  s.graph_executions = counters_.graph_executions->Value();
+  s.imperative_executions = counters_.imperative_executions->Value();
+  s.graph_generations = counters_.graph_generations->Value();
+  s.cache_misses = counters_.cache_misses->Value();
+  s.assumption_failures = counters_.assumption_failures->Value();
+  s.fallbacks = counters_.fallbacks->Value();
+  s.not_convertible = counters_.not_convertible->Value();
+  s.graph_ops_executed = counters_.graph_ops_executed->Value();
+  s.plan_builds = counters_.plan_builds->Value();
+  s.plan_cache_hits = counters_.plan_cache_hits->Value();
+  s.bytes_allocated = counters_.bytes_allocated->Value();
+  s.pool_hits = counters_.pool_hits->Value();
+  s.pool_misses = counters_.pool_misses->Value();
+  s.in_place_reuses = counters_.in_place_reuses->Value();
+  return s;
+}
+
+std::string JanusEngine::StatsReport() const {
+  std::string out = "=== JANUS engine observability report ===\n";
+  out += metrics_.TextReport();
+  // Sampled kernel timers accumulate in the process-wide registry (they
+  // are recorded by the executors, which have no engine reference).
+  std::string kernels;
+  obs::MetricsRegistry& global = obs::MetricsRegistry::Global();
+  for (const std::string& name : global.HistogramNames()) {
+    if (name.rfind("kernel.", 0) != 0) continue;
+    const obs::Histogram* histogram = global.FindHistogram(name);
+    if (histogram != nullptr) {
+      obs::AppendHistogramLine(kernels, name, *histogram);
+    }
+  }
+  if (!kernels.empty()) {
+    out += "--- sampled kernel timers (ns) ---\n";
+    out += kernels;
+  }
+  const BufferPool::Stats pool = BufferPool::Global().Snapshot();
+  out += "--- buffer pool (process-wide) ---\n";
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "allocations=%lld hits=%lld misses=%lld bytes=%lld "
+                "retained=%lld in_place=%lld\n",
+                static_cast<long long>(pool.allocations),
+                static_cast<long long>(pool.pool_hits),
+                static_cast<long long>(pool.pool_misses),
+                static_cast<long long>(pool.bytes_allocated),
+                static_cast<long long>(pool.retained_bytes),
+                static_cast<long long>(pool.in_place_reuses));
+  out += line;
+  return out;
 }
 
 }  // namespace janus

@@ -28,10 +28,12 @@
 
 #include <map>
 #include <memory>
+#include <string>
 
 #include "common/thread_pool.h"
 #include "core/generator.h"
 #include "core/host_state.h"
+#include "obs/metrics.h"
 #include "runtime/executor.h"
 
 namespace janus {
@@ -52,11 +54,23 @@ struct EngineOptions {
   // benchmarks set this to reproduce the paper's framework-overhead
   // ratios). Applied at Attach().
   std::int64_t eager_dispatch_penalty_ns = 0;
+  // Observability (src/obs): when non-empty, Attach() enables the global
+  // span tracer and Detach() writes a chrome://tracing-compatible JSON
+  // file to this path. The JANUS_TRACE=<path> environment variable
+  // provides the same process-wide without engine involvement.
+  std::string trace_path;
+  // Sampled per-op kernel timers (histograms "kernel.<op>" in the global
+  // metrics registry) even when the tracer is off.
+  bool kernel_timing = false;
 
   static EngineOptions ImperativePreset();
   static EngineOptions TracingPreset();
 };
 
+// Snapshot of the engine's decision-loop counters. The live counters are
+// obs::Counter cells in the engine's metrics registry (atomic, safe
+// against pool worker threads); stats() materializes this plain struct
+// from them.
 struct EngineStats {
   std::int64_t graph_executions = 0;
   std::int64_t imperative_executions = 0;
@@ -103,13 +117,43 @@ class JanusEngine : public minipy::CallInterceptor {
                       std::span<minipy::Value> args,
                       minipy::Value* result) override;
 
-  const EngineStats& stats() const { return stats_; }
+  EngineStats stats() const;
   Profiler& profiler() { return profiler_; }
   const EngineOptions& options() const { return options_; }
+
+  // The engine's own registry: the Fig. 2 decision-loop counters
+  // ("engine.*") plus per-phase latency histograms ("engine.*_ns").
+  // Sampled kernel timers live in obs::MetricsRegistry::Global().
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+
+  // Human-readable observability summary: decision-loop counters, phase
+  // latency histograms (p50/p95/p99), sampled per-op kernel timers, and
+  // buffer-pool traffic.
+  std::string StatsReport() const;
 
  private:
   struct CacheEntry;
   struct UnitState;
+
+  // Live accumulation cells behind the EngineStats snapshot. Registry
+  // counters so the one registry absorbs engine, executor (RunMetrics),
+  // and allocator reporting.
+  struct Counters {
+    obs::Counter* graph_executions = nullptr;
+    obs::Counter* imperative_executions = nullptr;
+    obs::Counter* graph_generations = nullptr;
+    obs::Counter* cache_misses = nullptr;
+    obs::Counter* assumption_failures = nullptr;
+    obs::Counter* fallbacks = nullptr;
+    obs::Counter* not_convertible = nullptr;
+    obs::Counter* graph_ops_executed = nullptr;
+    obs::Counter* plan_builds = nullptr;
+    obs::Counter* plan_cache_hits = nullptr;
+    obs::Counter* bytes_allocated = nullptr;
+    obs::Counter* pool_hits = nullptr;
+    obs::Counter* pool_misses = nullptr;
+    obs::Counter* in_place_reuses = nullptr;
+  };
 
   // Identity of a conversion unit: its def or lambda AST node.
   static const void* UnitKey(const minipy::FunctionValue& fn);
@@ -120,6 +164,12 @@ class JanusEngine : public minipy::CallInterceptor {
   minipy::Value RunImperative(const std::shared_ptr<minipy::FunctionValue>& fn,
                               std::vector<minipy::Value> args, bool training,
                               double lr);
+  // RunImperative wrapped in a trace span named `phase` ("profile",
+  // "imperative", "fallback") and the engine.imperative_ns histogram.
+  minipy::Value RunImperativePhase(
+      const char* phase, const std::shared_ptr<minipy::FunctionValue>& fn,
+      std::vector<minipy::Value> args, bool training, double lr,
+      std::string detail = {});
   bool EntryValid(const CacheEntry& entry,
                   const std::shared_ptr<minipy::FunctionValue>& fn,
                   std::span<const minipy::Value> args);
@@ -132,11 +182,16 @@ class JanusEngine : public minipy::CallInterceptor {
   GraphGenerator generator_;
   InterpreterHostState host_state_;
   std::unique_ptr<ThreadPool> pool_;
-  EngineStats stats_;
+  obs::MetricsRegistry metrics_;
+  Counters counters_;
+  obs::Histogram* imperative_ns_ = nullptr;
+  obs::Histogram* graph_execution_ns_ = nullptr;
+  obs::Histogram* generation_ns_ = nullptr;
   std::map<const void*, std::unique_ptr<UnitState>> units_;
   std::map<const void*, bool> roots_;
   bool attached_ = false;
   bool in_imperative_run_ = false;
+  bool trace_was_enabled_ = false;  // tracer state to restore at Detach()
 };
 
 }  // namespace janus

@@ -3,6 +3,7 @@
 #include <unordered_map>
 
 #include "autodiff/gradients.h"
+#include "obs/trace.h"
 #include "runtime/executor.h"
 #include "runtime/kernel.h"
 #include "runtime/plan.h"
@@ -91,7 +92,15 @@ Tensor EagerContext::Execute(const std::string& op,
   ctx.inputs = inputs;
   ctx.outputs.resize(1);
   ctx.run = &run;
+  // Same sampled per-op timing as the graph executors, so traces compare
+  // eager dispatch against graph kernels under one clock.
+  const bool sampled = obs::ShouldSampleKernel();
+  const std::int64_t start_ns = sampled ? obs::Trace::NowNs() : 0;
   KernelRegistry::Global().Lookup(op)(ctx);
+  if (sampled) {
+    obs::RecordKernelSample(op, "eager", start_ns,
+                            obs::Trace::NowNs() - start_ns);
+  }
   ++ops_executed_;
   Tensor output = std::move(ctx.outputs[0]);
   if (tape_ != nullptr) {

@@ -1,10 +1,60 @@
 #include "graph/dot.h"
 
+#include <algorithm>
+#include <cstdio>
+#include <map>
 #include <set>
 #include <sstream>
 
+#include "obs/metrics.h"
+
 namespace janus {
 namespace {
+
+// Per-op mean latencies from the sampled kernel timers, plus the hottest
+// mean for heat scaling. Empty when no timers have been recorded.
+struct TimingIndex {
+  std::map<std::string, double> mean_ns;  // op -> mean sampled latency
+  double max_mean_ns = 0.0;
+};
+
+TimingIndex BuildTimingIndex(const Graph& graph) {
+  TimingIndex index;
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  for (const auto& node : graph.nodes()) {
+    const std::string& op = node->op();
+    if (index.mean_ns.count(op) != 0u) continue;
+    const obs::Histogram* histogram =
+        registry.FindHistogram("kernel." + op);
+    if (histogram == nullptr || histogram->Count() == 0) continue;
+    const double mean = histogram->Mean();
+    index.mean_ns[op] = mean;
+    index.max_mean_ns = std::max(index.max_mean_ns, mean);
+  }
+  return index;
+}
+
+// Buckets a node's mean latency relative to the graph's hottest op into a
+// white-to-red heat ramp.
+const char* HeatColor(double mean_ns, double max_mean_ns) {
+  const double ratio = max_mean_ns > 0.0 ? mean_ns / max_mean_ns : 0.0;
+  if (ratio >= 0.75) return "\"#e34a33\"";
+  if (ratio >= 0.40) return "\"#fc8d59\"";
+  if (ratio >= 0.15) return "\"#fdcc8a\"";
+  return "\"#fef0d9\"";
+}
+
+std::string FormatMeanNs(double mean_ns) {
+  char text[48];
+  if (mean_ns >= 1e6) {
+    std::snprintf(text, sizeof(text), "~%.1fms", mean_ns / 1e6);
+  } else if (mean_ns >= 1e3) {
+    std::snprintf(text, sizeof(text), "~%.1fus", mean_ns / 1e3);
+  } else {
+    std::snprintf(text, sizeof(text), "~%.0fns", mean_ns);
+  }
+  return text;
+}
 
 bool IsControlFlow(const std::string& op) {
   return op == "Switch" || op == "Merge" || op == "Enter" || op == "Exit" ||
@@ -21,10 +71,11 @@ bool IsSource(const std::string& op) {
   return op == "Const" || op == "Placeholder" || op == "Param";
 }
 
-void EmitNode(std::ostringstream& oss, const Node& node) {
+void EmitNode(std::ostringstream& oss, const Node& node,
+              const TimingIndex* timing = nullptr) {
   const std::string& op = node.op();
   const char* shape = "box";
-  const char* color = "white";
+  std::string color = "white";
   if (IsControlFlow(op)) {
     shape = "diamond";
     color = "lightblue";
@@ -37,8 +88,16 @@ void EmitNode(std::ostringstream& oss, const Node& node) {
     shape = "ellipse";
     color = "lightgrey";
   }
+  std::string timing_label;
+  if (timing != nullptr) {
+    const auto it = timing->mean_ns.find(op);
+    if (it != timing->mean_ns.end()) {
+      timing_label = "\\n" + FormatMeanNs(it->second);
+      color = HeatColor(it->second, timing->max_mean_ns);
+    }
+  }
   oss << "  n" << node.id() << " [label=\"" << node.name()
-      << "\\n" << op << "\", shape=" << shape
+      << "\\n" << op << timing_label << "\", shape=" << shape
       << ", style=filled, fillcolor=" << color << "];\n";
 }
 
@@ -60,10 +119,18 @@ void EmitEdges(std::ostringstream& oss, const Node& node) {
 }  // namespace
 
 std::string ToDot(const Graph& graph, const std::string& title) {
+  return ToDot(graph, title, DotOptions{});
+}
+
+std::string ToDot(const Graph& graph, const std::string& title,
+                  const DotOptions& options) {
+  TimingIndex timing;
+  if (options.annotate_timing) timing = BuildTimingIndex(graph);
+  const TimingIndex* timing_ptr = options.annotate_timing ? &timing : nullptr;
   std::ostringstream oss;
   oss << "digraph \"" << title << "\" {\n";
   oss << "  rankdir=TB;\n  node [fontsize=10];\n";
-  for (const auto& node : graph.nodes()) EmitNode(oss, *node);
+  for (const auto& node : graph.nodes()) EmitNode(oss, *node, timing_ptr);
   for (const auto& node : graph.nodes()) EmitEdges(oss, *node);
   oss << "}\n";
   return oss.str();

@@ -10,9 +10,20 @@
 
 namespace janus {
 
+struct DotOptions {
+  // Annotate each node whose op has a sampled kernel timer (histogram
+  // "kernel.<op>" in obs::MetricsRegistry::Global()) with its mean latency
+  // and a heat color scaled to the hottest op in the graph, so ToDot()
+  // doubles as a visual profile. Run with tracing / kernel timing enabled
+  // first to populate the timers.
+  bool annotate_timing = false;
+};
+
 // Renders the graph in DOT syntax. Control-flow ops are diamonds, state and
 // assertion ops are highlighted, control edges are dashed.
 std::string ToDot(const Graph& graph, const std::string& title = "graph");
+std::string ToDot(const Graph& graph, const std::string& title,
+                  const DotOptions& options);
 
 // Renders a library function (parameters marked).
 std::string ToDot(const GraphFunction& fn);

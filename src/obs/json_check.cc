@@ -1,0 +1,309 @@
+#include "obs/json_check.h"
+
+#include <cctype>
+#include <cstdio>
+#include <map>
+#include <optional>
+
+namespace janus {
+namespace obs {
+namespace {
+
+// Recursive-descent JSON parser. Values are discarded except for strings,
+// which are returned so object walkers can read the fields they care
+// about. Throws ParseError (internal) on malformed input.
+class Parser {
+ public:
+  struct ParseError {
+    std::size_t position;
+    std::string message;
+  };
+
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  // Parses one complete JSON value and requires end-of-input after it.
+  void ParseDocument(ChromeTraceSummary* summary) {
+    SkipWhitespace();
+    ParseTopLevel(summary);
+    SkipWhitespace();
+    if (pos_ != text_.size()) Fail("trailing content after JSON document");
+  }
+
+ private:
+  [[noreturn]] void Fail(const std::string& message) const {
+    throw ParseError{pos_, message};
+  }
+
+  char Peek() const {
+    if (pos_ >= text_.size()) Fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  char Next() {
+    const char c = Peek();
+    ++pos_;
+    return c;
+  }
+
+  void Expect(char c) {
+    if (Next() != c) {
+      --pos_;
+      Fail(std::string("expected '") + c + "'");
+    }
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  std::string ParseString() {
+    Expect('"');
+    std::string out;
+    while (true) {
+      const char c = Next();
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        Fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      const char escape = Next();
+      switch (escape) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = Next();
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code += static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code += static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code += static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              Fail("bad \\u escape");
+            }
+          }
+          // Validation only: non-ASCII code points are replaced, not
+          // round-tripped.
+          out.push_back(code < 0x80 ? static_cast<char>(code) : '?');
+          break;
+        }
+        default:
+          Fail("bad escape character");
+      }
+    }
+  }
+
+  void ParseNumber() {
+    if (Peek() == '-') ++pos_;
+    if (std::isdigit(static_cast<unsigned char>(Peek())) == 0) {
+      Fail("bad number");
+    }
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (std::isdigit(static_cast<unsigned char>(Peek())) == 0) {
+        Fail("bad number: no digits after decimal point");
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (std::isdigit(static_cast<unsigned char>(Peek())) == 0) {
+        Fail("bad number: no exponent digits");
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0) {
+        ++pos_;
+      }
+    }
+  }
+
+  void ParseLiteral(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) {
+      Fail("bad literal");
+    }
+    pos_ += literal.size();
+  }
+
+  // Generic value: validated and discarded.
+  void ParseValue() {
+    SkipWhitespace();
+    switch (Peek()) {
+      case '{': ParseObject(nullptr); break;
+      case '[': ParseArray(); break;
+      case '"': ParseString(); break;
+      case 't': ParseLiteral("true"); break;
+      case 'f': ParseLiteral("false"); break;
+      case 'n': ParseLiteral("null"); break;
+      default: ParseNumber();
+    }
+  }
+
+  void ParseArray() {
+    Expect('[');
+    SkipWhitespace();
+    if (Peek() == ']') {
+      ++pos_;
+      return;
+    }
+    while (true) {
+      ParseValue();
+      SkipWhitespace();
+      const char c = Next();
+      if (c == ']') return;
+      if (c != ',') {
+        --pos_;
+        Fail("expected ',' or ']' in array");
+      }
+    }
+  }
+
+  // Parses an object; when `strings` is non-null, string-valued fields are
+  // collected into it.
+  void ParseObject(std::map<std::string, std::string>* strings) {
+    Expect('{');
+    SkipWhitespace();
+    if (Peek() == '}') {
+      ++pos_;
+      return;
+    }
+    while (true) {
+      SkipWhitespace();
+      const std::string key = ParseString();
+      SkipWhitespace();
+      Expect(':');
+      SkipWhitespace();
+      if (strings != nullptr && Peek() == '"') {
+        (*strings)[key] = ParseString();
+      } else {
+        ParseValue();
+      }
+      SkipWhitespace();
+      const char c = Next();
+      if (c == '}') return;
+      if (c != ',') {
+        --pos_;
+        Fail("expected ',' or '}' in object");
+      }
+    }
+  }
+
+  // Top level: an object that must contain a "traceEvents" array whose
+  // elements each carry string name/cat/ph fields.
+  void ParseTopLevel(ChromeTraceSummary* summary) {
+    Expect('{');
+    bool saw_trace_events = false;
+    SkipWhitespace();
+    if (Peek() == '}') {
+      ++pos_;
+      Fail("missing \"traceEvents\" array");
+    }
+    while (true) {
+      SkipWhitespace();
+      const std::string key = ParseString();
+      SkipWhitespace();
+      Expect(':');
+      SkipWhitespace();
+      if (key == "traceEvents") {
+        saw_trace_events = true;
+        ParseEventArray(summary);
+      } else {
+        ParseValue();
+      }
+      SkipWhitespace();
+      const char c = Next();
+      if (c == '}') break;
+      if (c != ',') {
+        --pos_;
+        Fail("expected ',' or '}' in object");
+      }
+    }
+    if (!saw_trace_events) Fail("missing \"traceEvents\" array");
+  }
+
+  void ParseEventArray(ChromeTraceSummary* summary) {
+    SkipWhitespace();
+    Expect('[');
+    SkipWhitespace();
+    if (Peek() == ']') {
+      ++pos_;
+      return;
+    }
+    while (true) {
+      SkipWhitespace();
+      if (Peek() != '{') Fail("trace event is not an object");
+      std::map<std::string, std::string> fields;
+      ParseObject(&fields);
+      for (const char* required : {"name", "cat", "ph"}) {
+        if (fields.find(required) == fields.end()) {
+          Fail(std::string("trace event missing string field \"") +
+               required + "\"");
+        }
+      }
+      if (summary != nullptr) {
+        ++summary->num_events;
+        summary->names.insert(fields["name"]);
+        summary->categories.insert(fields["cat"]);
+        summary->phases.insert(fields["ph"]);
+      }
+      SkipWhitespace();
+      const char c = Next();
+      if (c == ']') return;
+      if (c != ',') {
+        --pos_;
+        Fail("expected ',' or ']' in traceEvents");
+      }
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool ValidateChromeTrace(std::string_view json, std::string* error,
+                         ChromeTraceSummary* summary) {
+  ChromeTraceSummary local;
+  try {
+    Parser(json).ParseDocument(&local);
+  } catch (const Parser::ParseError& parse_error) {
+    if (error != nullptr) {
+      char prefix[64];
+      std::snprintf(prefix, sizeof(prefix), "at byte %zu: ",
+                    parse_error.position);
+      *error = prefix + parse_error.message;
+    }
+    return false;
+  }
+  if (summary != nullptr) *summary = local;
+  if (error != nullptr) error->clear();
+  return true;
+}
+
+}  // namespace obs
+}  // namespace janus

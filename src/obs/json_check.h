@@ -1,0 +1,35 @@
+// Minimal JSON parser used to validate emitted Chrome-trace files.
+//
+// This is deliberately not a general JSON library: it fully validates
+// syntax (objects, arrays, strings with escapes, numbers, literals) and
+// extracts only what trace validation needs — per-event name / cat / ph
+// and the event count. Tests and the `trace_validate` CI tool both parse
+// exporter output back through this to guard the JSON schema.
+#ifndef JANUS_OBS_JSON_CHECK_H_
+#define JANUS_OBS_JSON_CHECK_H_
+
+#include <set>
+#include <string>
+#include <string_view>
+
+namespace janus {
+namespace obs {
+
+struct ChromeTraceSummary {
+  int num_events = 0;
+  std::set<std::string> names;
+  std::set<std::string> categories;
+  std::set<std::string> phases;
+};
+
+// Parses `json` as a Chrome trace ({"traceEvents": [...]}). Returns false
+// (with a position-annotated message in *error) on any syntax error, a
+// missing "traceEvents" array, or an event missing name/cat/ph string
+// fields. On success fills *summary when non-null.
+bool ValidateChromeTrace(std::string_view json, std::string* error,
+                         ChromeTraceSummary* summary = nullptr);
+
+}  // namespace obs
+}  // namespace janus
+
+#endif  // JANUS_OBS_JSON_CHECK_H_

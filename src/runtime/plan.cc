@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "common/error.h"
+#include "obs/trace.h"
 #include "runtime/run_context.h"
 
 namespace janus {
@@ -46,6 +47,9 @@ bool GraphNeedsDynamicExecution(const Graph& graph) {
 
 std::shared_ptr<const ExecutionPlan> ExecutionPlan::Build(
     const Graph& graph, std::span<const NodeOutput> fetches) {
+  obs::TraceScope span("plan_build", "runtime");
+  span.set_arg("graph_nodes",
+               static_cast<std::int64_t>(graph.nodes().size()));
   auto plan = std::shared_ptr<ExecutionPlan>(new ExecutionPlan());
   plan->fetches_.assign(fetches.begin(), fetches.end());
   plan->graph_version_ = graph.version();

@@ -1,0 +1,55 @@
+// Validates a Chrome-trace JSON file emitted via JANUS_TRACE /
+// Trace::WriteChromeTrace: full JSON syntax check plus per-event schema
+// (string name/cat/ph). Optional extra arguments are event names that must
+// appear in the trace; CI uses this to assert the decision-loop phases
+// were captured.
+//
+//   trace_validate <trace.json> [required-event-name...]
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/json_check.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: trace_validate <trace.json> [required-event...]\n");
+    return 2;
+  }
+  std::ifstream file(argv[1]);
+  if (!file) {
+    std::fprintf(stderr, "trace_validate: cannot open '%s'\n", argv[1]);
+    return 2;
+  }
+  std::ostringstream content;
+  content << file.rdbuf();
+
+  std::string error;
+  janus::obs::ChromeTraceSummary summary;
+  if (!janus::obs::ValidateChromeTrace(content.str(), &error, &summary)) {
+    std::fprintf(stderr, "trace_validate: %s: invalid trace: %s\n", argv[1],
+                 error.c_str());
+    return 1;
+  }
+  std::printf("%s: %d events, %zu distinct names, %zu categories\n", argv[1],
+              summary.num_events, summary.names.size(),
+              summary.categories.size());
+  if (summary.num_events == 0) {
+    std::fprintf(stderr, "trace_validate: trace contains no events\n");
+    return 1;
+  }
+  int missing = 0;
+  for (int i = 2; i < argc; ++i) {
+    if (summary.names.count(argv[i]) == 0u) {
+      std::fprintf(stderr,
+                   "trace_validate: required event '%s' not present\n",
+                   argv[i]);
+      ++missing;
+    } else {
+      std::printf("  found required event '%s'\n", argv[i]);
+    }
+  }
+  return missing == 0 ? 0 : 1;
+}
