@@ -1,0 +1,84 @@
+#include "cache/plan_cache.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "obs/metrics.h"
+
+namespace janus {
+namespace cache {
+namespace {
+
+struct PlanCacheCounters {
+  obs::Counter* hits;
+  obs::Counter* misses;
+  obs::Counter* evictions;
+
+  PlanCacheCounters() {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    hits = &registry.GetCounter("cache.plan_hits");
+    misses = &registry.GetCounter("cache.plan_misses");
+    evictions = &registry.GetCounter("cache.plan_evictions");
+  }
+};
+
+PlanCacheCounters& Counters() {
+  static PlanCacheCounters counters;
+  return counters;
+}
+
+}  // namespace
+
+PlanCache::PlanCache() = default;
+
+std::size_t PlanCache::MaxEntries() {
+  static const std::size_t bound = [] {
+    if (const char* env = std::getenv("JANUS_PLAN_CACHE_ENTRIES");
+        env != nullptr) {
+      const long parsed = std::strtol(env, nullptr, 10);
+      if (parsed > 0) return static_cast<std::size_t>(parsed);
+    }
+    return static_cast<std::size_t>(8);
+  }();
+  return bound;
+}
+
+std::shared_ptr<const void> PlanCache::Find(
+    std::uint64_t version, std::span<const FetchId> fetches) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const Entry& entry : entries_) {
+    if (entry.version != version) continue;
+    if (entry.fetches.size() != fetches.size() ||
+        !std::equal(entry.fetches.begin(), entry.fetches.end(),
+                    fetches.begin())) {
+      continue;
+    }
+    Counters().hits->Increment();
+    return entry.plan;
+  }
+  Counters().misses->Increment();
+  return nullptr;
+}
+
+void PlanCache::Insert(std::uint64_t version,
+                       std::span<const FetchId> fetches,
+                       std::shared_ptr<const void> plan) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  // Entries for stale structural versions can never hit again.
+  std::erase_if(entries_,
+                [version](const Entry& e) { return e.version != version; });
+  if (entries_.size() >= MaxEntries()) {
+    entries_.erase(entries_.begin());
+    Counters().evictions->Increment();
+  }
+  entries_.push_back(
+      Entry{version, {fetches.begin(), fetches.end()}, std::move(plan)});
+}
+
+std::size_t PlanCache::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace cache
+}  // namespace janus

@@ -1,0 +1,69 @@
+// Bounded per-graph cache of compiled execution plans.
+//
+// Extracted from the former Graph::ExecCache so every cache the runtime
+// keeps lives under src/cache with an explicit policy and shared metrics.
+// The cache is type-erased (plans are stored as shared_ptr<const void>,
+// fetch endpoints as opaque pointers) so it depends on nothing above
+// src/obs: the Graph can own one without a layering cycle, and the runtime
+// casts plans back on lookup (runtime/plan.cc is the only producer and
+// consumer).
+//
+// Policy: entries are keyed by (structural graph version, fetch set);
+// entries for stale versions are dropped on insert, and the entry count is
+// bounded (JANUS_PLAN_CACHE_ENTRIES, default 8) with FIFO eviction —
+// executed graphs have very few distinct fetch sets, so recency tracking
+// would be overhead without benefit. Hits/misses/evictions accumulate in
+// the process-wide metrics registry as cache.plan_{hits,misses,evictions}.
+#ifndef JANUS_CACHE_PLAN_CACHE_H_
+#define JANUS_CACHE_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+namespace janus {
+namespace cache {
+
+class PlanCache {
+ public:
+  // One fetch endpoint: an opaque node pointer plus an output slot.
+  struct FetchId {
+    const void* node = nullptr;
+    int index = 0;
+    bool operator==(const FetchId& other) const = default;
+  };
+
+  PlanCache();
+
+  // Returns the cached plan for (version, fetches), or nullptr on miss.
+  std::shared_ptr<const void> Find(std::uint64_t version,
+                                   std::span<const FetchId> fetches);
+
+  // Inserts a plan, dropping stale-version entries and evicting the oldest
+  // entry when the bound is reached. Racing inserts for the same key are
+  // harmless (last one wins; both plans are valid).
+  void Insert(std::uint64_t version, std::span<const FetchId> fetches,
+              std::shared_ptr<const void> plan);
+
+  std::size_t size() const;
+
+  // Entry bound: JANUS_PLAN_CACHE_ENTRIES when set, else 8.
+  static std::size_t MaxEntries();
+
+ private:
+  struct Entry {
+    std::uint64_t version = 0;
+    std::vector<FetchId> fetches;
+    std::shared_ptr<const void> plan;
+  };
+
+  mutable std::mutex mu_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace cache
+}  // namespace janus
+
+#endif  // JANUS_CACHE_PLAN_CACHE_H_

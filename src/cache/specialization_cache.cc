@@ -1,0 +1,356 @@
+#include "cache/specialization_cache.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstdio>
+#include <utility>
+
+#include "obs/trace.h"
+
+namespace janus {
+namespace cache {
+namespace {
+
+std::int64_t EnvInt64(const char* name, std::int64_t fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(env, &end, 10);
+  if (end == env) return fallback;
+  return static_cast<std::int64_t>(parsed);
+}
+
+}  // namespace
+
+CacheOptions CacheOptions::FromEnv() {
+  CacheOptions options;
+  options.max_bytes = EnvInt64("JANUS_CACHE_BYTES", options.max_bytes);
+  options.max_entries = EnvInt64("JANUS_CACHE_ENTRIES", options.max_entries);
+  return options;
+}
+
+SpecializationCache::SpecializationCache(CacheOptions options,
+                                         obs::MetricsRegistry* registry)
+    : options_(options), registry_(registry) {
+  counters_.lookups = &registry_->GetCounter("cache.lookups");
+  counters_.hits = &registry_->GetCounter("cache.hits");
+  counters_.misses = &registry_->GetCounter("cache.misses");
+  counters_.insertions = &registry_->GetCounter("cache.insertions");
+  counters_.evictions = &registry_->GetCounter("cache.evictions");
+  counters_.bytes_evicted = &registry_->GetCounter("cache.bytes_evicted");
+  counters_.assumption_failures =
+      &registry_->GetCounter("cache.assumption_failures");
+  counters_.churn_events = &registry_->GetCounter("cache.churn_events");
+  counters_.despecializations =
+      &registry_->GetCounter("cache.despecializations");
+  counters_.promotions = &registry_->GetCounter("cache.promotions");
+  counters_.demotions = &registry_->GetCounter("cache.demotions");
+  counters_.audits = &registry_->GetCounter("cache.audits");
+  counters_.audit_failures = &registry_->GetCounter("cache.audit_failures");
+  counters_.validation_skips =
+      &registry_->GetCounter("cache.validation_skips");
+  counters_.purged = &registry_->GetCounter("cache.purged");
+  counters_.epoch_bumps = &registry_->GetCounter("cache.epoch_bumps");
+  lookup_ns_ = &registry_->GetHistogram("cache.lookup_ns");
+  entry_bytes_ = &registry_->GetHistogram("cache.entry_bytes");
+  entry_cost_ns_ = &registry_->GetHistogram("cache.entry_cost_ns");
+}
+
+SpecializationCache& SpecializationCache::Global() {
+  // Leaked: engines may report stats from atexit paths.
+  static SpecializationCache* cache = new SpecializationCache();
+  return *cache;
+}
+
+std::vector<SpecializationCache::EntryRef> SpecializationCache::Lookup(
+    const Key& key) {
+  const std::int64_t start_ns = obs::Trace::NowNs();
+  std::vector<EntryRef> candidates;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    counters_.lookups->Increment();
+    if (KeyRecord* record = FindRecordLocked(key); record != nullptr) {
+      candidates = record->entries;
+    }
+  }
+  lookup_ns_->Record(obs::Trace::NowNs() - start_ns);
+  return candidates;
+}
+
+SpecializationCache::EntryRef SpecializationCache::Insert(
+    const Key& key, Payload payload, std::int64_t bytes,
+    std::int64_t cost_ns) {
+  auto entry = std::make_shared<Entry>();
+  entry->payload = std::move(payload);
+  entry->bytes = std::max<std::int64_t>(bytes, 1);
+  entry->cost_ns = std::max<std::int64_t>(cost_ns, 1);
+  entry->key = key;
+
+  const std::lock_guard<std::mutex> lock(mu_);
+  counters_.insertions->Increment();
+  entry_bytes_->Record(entry->bytes);
+  entry_cost_ns_->Record(entry->cost_ns);
+
+  KeyRecord& record = keys_[key];
+  record.stats.insertions += 1;
+  if (record.stats.evicted_since_insert) {
+    // Evict-then-regenerate cycle: the budget threw this key's work away
+    // and the producer rebuilt it. Exactly the churn the ladder damps.
+    record.stats.evicted_since_insert = false;
+    AddChurnLocked(record);
+  }
+
+  // Per-key candidate cap: drop the key's own LRU candidate first.
+  while (static_cast<int>(record.entries.size()) >=
+         std::max(options_.max_entries_per_key, 1)) {
+    EvictEntryLocked(record.entries.back());
+  }
+
+  entry->resident = true;
+  entry->priority = ComputePriorityLocked(*entry);
+  record.entries.insert(record.entries.begin(), entry);
+  by_priority_.emplace(entry->priority, entry);
+  bytes_in_use_ += entry->bytes;
+  resident_entries_ += 1;
+
+  // Global budgets. Never evict the entry being inserted unless it alone
+  // busts the byte budget — then it leaves non-resident and the returned
+  // ref is the caller's only handle (usable for the current run).
+  while (options_.max_entries > 0 && resident_entries_ > options_.max_entries &&
+         resident_entries_ > 1) {
+    EvictLowestPriorityLocked();
+  }
+  while (options_.max_bytes > 0 && bytes_in_use_ > options_.max_bytes &&
+         resident_entries_ > 1) {
+    EvictLowestPriorityLocked();
+  }
+  if (options_.max_bytes > 0 && bytes_in_use_ > options_.max_bytes &&
+      entry->resident) {
+    EvictEntryLocked(entry);
+  }
+  return entry;
+}
+
+ValidationDecision SpecializationCache::BeginUse(const EntryRef& entry) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  entry->uses += 1;
+  if (entry->resident) TouchLocked(entry);
+  if (!options_.enable_promotion || !entry->promoted) {
+    return ValidationDecision::kValidate;
+  }
+  if (entry->promoted_epoch != epoch_.load(std::memory_order_relaxed)) {
+    // The world changed since promotion (some guard failed somewhere):
+    // demote and recheck from scratch.
+    entry->promoted = false;
+    entry->runs_since_failure = 0;
+    counters_.demotions->Increment();
+    return ValidationDecision::kValidate;
+  }
+  entry->uses_since_audit += 1;
+  if (options_.audit_interval > 0 &&
+      entry->uses_since_audit >= options_.audit_interval) {
+    entry->uses_since_audit = 0;
+    counters_.audits->Increment();
+    return ValidationDecision::kAudit;
+  }
+  counters_.validation_skips->Increment();
+  return ValidationDecision::kSkip;
+}
+
+void SpecializationCache::OnRunSuccess(const Key& key, const EntryRef& entry) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  counters_.hits->Increment();
+  if (KeyRecord* record = FindRecordLocked(key); record != nullptr) {
+    record->stats.hits += 1;
+  }
+  entry->runs_since_failure += 1;
+  if (options_.enable_promotion && !entry->promoted &&
+      options_.promotion_runs > 0 &&
+      entry->runs_since_failure >= options_.promotion_runs) {
+    entry->promoted = true;
+    entry->promoted_epoch = epoch_.load(std::memory_order_relaxed);
+    entry->uses_since_audit = 0;
+    counters_.promotions->Increment();
+  }
+}
+
+void SpecializationCache::OnAuditMismatch(const Key& key,
+                                          const EntryRef& entry) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  counters_.audit_failures->Increment();
+  entry->promoted = false;
+  entry->runs_since_failure = 0;
+  counters_.demotions->Increment();
+  if (KeyRecord* record = FindRecordLocked(key); record != nullptr) {
+    AddChurnLocked(*record);
+  }
+  BumpEpochLocked();
+}
+
+void SpecializationCache::OnEntryFailure(const Key& key,
+                                         const EntryRef& entry) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  counters_.assumption_failures->Increment();
+  if (KeyRecord* record = FindRecordLocked(key); record != nullptr) {
+    record->stats.failures += 1;
+    AddChurnLocked(*record);
+    std::erase(record->entries, entry);
+  }
+  if (entry->resident) {
+    RemoveFromIndexLocked(entry);
+    bytes_in_use_ -= entry->bytes;
+    resident_entries_ -= 1;
+    entry->resident = false;
+  }
+  if (entry->promoted) {
+    entry->promoted = false;
+    counters_.demotions->Increment();
+  }
+  BumpEpochLocked();
+}
+
+void SpecializationCache::OnMiss(const Key& key) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  counters_.misses->Increment();
+  keys_[key].stats.misses += 1;
+}
+
+int SpecializationCache::DespecializationLevel(const Key& key) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = keys_.find(key);
+  return it != keys_.end() ? it->second.stats.ladder_level : 0;
+}
+
+KeyStats SpecializationCache::Stats(const Key& key) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = keys_.find(key);
+  return it != keys_.end() ? it->second.stats : KeyStats{};
+}
+
+void SpecializationCache::PurgeOwner(const void* owner) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = keys_.lower_bound(Key{owner, nullptr, 0});
+       it != keys_.end() && it->first.owner == owner;) {
+    for (const EntryRef& entry : it->second.entries) {
+      if (!entry->resident) continue;
+      RemoveFromIndexLocked(entry);
+      bytes_in_use_ -= entry->bytes;
+      resident_entries_ -= 1;
+      entry->resident = false;
+      counters_.purged->Increment();
+    }
+    it = keys_.erase(it);
+  }
+}
+
+SpecializationCache::Snapshot SpecializationCache::TakeSnapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snapshot;
+  snapshot.bytes_in_use = bytes_in_use_;
+  snapshot.entries = resident_entries_;
+  snapshot.keys = static_cast<std::int64_t>(keys_.size());
+  snapshot.epoch = epoch_.load(std::memory_order_relaxed);
+  return snapshot;
+}
+
+std::string SpecializationCache::TextReport() const {
+  const Snapshot snapshot = TakeSnapshot();
+  char line[256];
+  std::string out;
+  std::snprintf(line, sizeof(line),
+                "cache: %lld bytes in %lld entries over %lld keys "
+                "(budget %lld bytes / %lld entries), epoch %llu\n",
+                static_cast<long long>(snapshot.bytes_in_use),
+                static_cast<long long>(snapshot.entries),
+                static_cast<long long>(snapshot.keys),
+                static_cast<long long>(options_.max_bytes),
+                static_cast<long long>(options_.max_entries),
+                static_cast<unsigned long long>(snapshot.epoch));
+  out += line;
+  out += registry_->TextReportForPrefix("cache.");
+  return out;
+}
+
+void SpecializationCache::EvictEntryLocked(const EntryRef& entry) {
+  if (!entry->resident) return;
+  RemoveFromIndexLocked(entry);
+  bytes_in_use_ -= entry->bytes;
+  resident_entries_ -= 1;
+  entry->resident = false;
+  // GreedyDual aging: the clock rises to the evicted priority, so every
+  // future (re)insert and touch outbids long-idle survivors.
+  clock_ = std::max(clock_, entry->priority);
+  counters_.evictions->Increment();
+  counters_.bytes_evicted->Add(entry->bytes);
+  if (entry->promoted) {
+    entry->promoted = false;
+    counters_.demotions->Increment();
+  }
+  if (KeyRecord* record = FindRecordLocked(entry->key); record != nullptr) {
+    record->stats.evictions += 1;
+    record->stats.evicted_since_insert = true;
+    std::erase(record->entries, entry);
+  }
+}
+
+void SpecializationCache::EvictLowestPriorityLocked() {
+  if (by_priority_.empty()) return;
+  EvictEntryLocked(by_priority_.begin()->second);
+}
+
+void SpecializationCache::TouchLocked(const EntryRef& entry) {
+  RemoveFromIndexLocked(entry);
+  entry->priority = ComputePriorityLocked(*entry);
+  by_priority_.emplace(entry->priority, entry);
+  if (KeyRecord* record = FindRecordLocked(entry->key); record != nullptr) {
+    auto it = std::find(record->entries.begin(), record->entries.end(), entry);
+    if (it != record->entries.end() && it != record->entries.begin()) {
+      std::rotate(record->entries.begin(), it, it + 1);
+    }
+  }
+}
+
+void SpecializationCache::AddChurnLocked(KeyRecord& record) {
+  record.stats.churn_events += 1;
+  counters_.churn_events->Increment();
+  const int level = std::min(
+      options_.max_ladder_level,
+      static_cast<int>(record.stats.churn_events /
+                       std::max(options_.churn_per_level, 1)));
+  if (level > record.stats.ladder_level) {
+    record.stats.ladder_level = level;
+    counters_.despecializations->Increment();
+  }
+}
+
+void SpecializationCache::BumpEpochLocked() {
+  epoch_.fetch_add(1, std::memory_order_relaxed);
+  counters_.epoch_bumps->Increment();
+}
+
+void SpecializationCache::RemoveFromIndexLocked(const EntryRef& entry) {
+  for (auto [it, end] = by_priority_.equal_range(entry->priority); it != end;
+       ++it) {
+    if (it->second == entry) {
+      by_priority_.erase(it);
+      return;
+    }
+  }
+}
+
+double SpecializationCache::ComputePriorityLocked(const Entry& entry) const {
+  // GDSF: clock + uses * cost / size. Hot, expensive-to-rebuild, compact
+  // entries sort last in eviction order.
+  const double frequency = static_cast<double>(entry.uses + 1);
+  return clock_ + frequency * static_cast<double>(entry.cost_ns) /
+                      static_cast<double>(entry.bytes);
+}
+
+SpecializationCache::KeyRecord* SpecializationCache::FindRecordLocked(
+    const Key& key) {
+  const auto it = keys_.find(key);
+  return it != keys_.end() ? &it->second : nullptr;
+}
+
+}  // namespace cache
+}  // namespace janus

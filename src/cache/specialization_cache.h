@@ -1,0 +1,262 @@
+// Process-wide budgeted cache of specialized artifacts (compiled graphs),
+// with cost-aware eviction, per-key churn accounting, a despecialization
+// ladder, and guard promotion.
+//
+// JANUS's compile-once/run-many model only pays off if the population of
+// specialized graphs is managed: at fleet scale, the space of
+// (function, assumption set, shape) keys is effectively unbounded, and the
+// seed's per-unit, per-Graph, unbounded caches would thrash. This cache is
+// the single owner of that population:
+//
+//  * Budgets. A byte budget (JANUS_CACHE_BYTES) and an entry budget
+//    (JANUS_CACHE_ENTRIES) bound the resident set, plus a per-key candidate
+//    cap that replaces the old EngineOptions::max_cached_graphs_per_unit.
+//  * Cost-aware eviction (GDSF). Each entry carries the build cost the
+//    producer measured (generation + plan-build time) and a byte estimate;
+//    eviction removes the entry with the lowest
+//    clock + uses * cost / bytes priority, so cheap-to-rebuild bulky
+//    entries go first and hot expensive entries are protected. The clock
+//    inflates to each evicted priority (GreedyDual aging), so long-idle
+//    entries eventually lose to fresh ones regardless of cost.
+//  * Churn accounting + despecialization ladder (paper Fig. 4). Each key
+//    counts churn events: runtime assumption failures, audit mismatches,
+//    and evict-then-reinsert cycles. Every `churn_per_level` events raise
+//    the key's ladder level; the producer consults the level when it
+//    regenerates, relaxing shape -> rank -> value assumptions instead of
+//    re-specializing exact graphs forever.
+//  * Guard promotion. Entry guards (shape/type/constant validation) that
+//    have not failed for `promotion_runs` consecutive runs are promoted:
+//    lookups skip validation behind a global despecialization-epoch check
+//    (one relaxed atomic compare). Any runtime assumption failure or audit
+//    mismatch anywhere bumps the epoch, demoting every promoted entry at
+//    its next use; promoted entries also fully revalidate every
+//    `audit_interval`-th use, bounding how long an unchecked guard can
+//    drift.
+//
+// The payload is type-erased (shared_ptr<void>) so this layer depends only
+// on src/obs and is shared by engines, tests, and the future serving
+// layer. All statistics land in a MetricsRegistry as cache.* counters and
+// histograms. Every method is thread-safe.
+#ifndef JANUS_CACHE_SPECIALIZATION_CACHE_H_
+#define JANUS_CACHE_SPECIALIZATION_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace janus {
+namespace cache {
+
+struct CacheOptions {
+  // Resident-set budgets. <= 0 disables the corresponding bound.
+  std::int64_t max_bytes = 256LL << 20;
+  std::int64_t max_entries = 4096;
+  // Candidate graphs kept per key. Replaces the removed
+  // EngineOptions::max_cached_graphs_per_unit knob.
+  int max_entries_per_key = 8;
+  // Guard promotion: consecutive failure-free runs before an entry's
+  // validation is skipped, and how often a promoted entry still fully
+  // revalidates (the audit). enable_promotion = false keeps every lookup
+  // checked (the A/B baseline for the stress benchmark).
+  std::int64_t promotion_runs = 64;
+  std::int64_t audit_interval = 16;
+  bool enable_promotion = true;
+  // Despecialization ladder: churn events per level step, and the deepest
+  // level (see GraphGenerator::CompileHints for the level semantics).
+  int churn_per_level = 3;
+  int max_ladder_level = 3;
+
+  // Defaults with JANUS_CACHE_BYTES / JANUS_CACHE_ENTRIES applied.
+  static CacheOptions FromEnv();
+};
+
+// What the caller must do before executing a cached entry.
+enum class ValidationDecision {
+  kValidate,  // run the full entry-guard validation
+  kAudit,     // promoted entry, scheduled revalidation: validate fully
+  kSkip,      // promoted entry, epoch current: execute unchecked
+};
+
+// Per-key statistics, exposed for tests and reports.
+struct KeyStats {
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;
+  std::int64_t insertions = 0;
+  std::int64_t evictions = 0;
+  std::int64_t failures = 0;       // runtime assumption failures
+  std::int64_t churn_events = 0;
+  int ladder_level = 0;
+  bool evicted_since_insert = false;
+};
+
+class SpecializationCache {
+ public:
+  using Payload = std::shared_ptr<void>;
+
+  // Cache key: the owner (typically the engine, so owners can purge their
+  // keys on teardown and pointer reuse across sessions cannot alias), the
+  // conversion-unit identity, and a variant discriminator (training mode,
+  // learning rate, ...).
+  struct Key {
+    const void* owner = nullptr;
+    const void* unit = nullptr;
+    std::uint64_t variant = 0;
+    auto operator<=>(const Key&) const = default;
+  };
+
+  // One resident artifact. Mutable state is guarded by the cache mutex;
+  // callers treat Entry as opaque outside the accessors below.
+  struct Entry {
+    Payload payload;
+    std::int64_t bytes = 0;
+    std::int64_t cost_ns = 0;
+
+    // Guarded by the owning cache's mutex.
+    Key key;
+    bool resident = false;
+    std::int64_t uses = 0;
+    std::int64_t runs_since_failure = 0;
+    std::int64_t uses_since_audit = 0;
+    bool promoted = false;
+    std::uint64_t promoted_epoch = 0;
+    double priority = 0.0;
+  };
+  using EntryRef = std::shared_ptr<Entry>;
+
+  explicit SpecializationCache(
+      CacheOptions options = CacheOptions::FromEnv(),
+      obs::MetricsRegistry* registry = &obs::MetricsRegistry::Global());
+
+  // The process-wide instance (budgets from the environment). Engines share
+  // it by default so multi-tenant sessions compete for one budget.
+  static SpecializationCache& Global();
+
+  // Snapshot of the key's candidates, most-recently-used first. Records
+  // cache.lookup_ns.
+  std::vector<EntryRef> Lookup(const Key& key);
+
+  // Registers a freshly built artifact. Evicts per-key and global-budget
+  // overflow (never the entry being inserted; if the entry alone exceeds
+  // the byte budget it is inserted non-resident, i.e. immediately evicted,
+  // and the returned ref is the caller's only handle). An insert for a key
+  // with an eviction since its last insert counts one churn event — the
+  // evict/regenerate cycle the ladder exists to stop.
+  EntryRef Insert(const Key& key, Payload payload, std::int64_t bytes,
+                  std::int64_t cost_ns);
+
+  // Per-use protocol, in order:
+  //   decision = BeginUse(entry)      -- promotion/audit decision, LRU touch
+  //   [validate if decision != kSkip] -- caller-owned guard check
+  //   OnRunSuccess | OnAuditMismatch | OnEntryFailure | (plain miss: keep
+  //   iterating; call OnMiss once when no candidate was usable)
+  ValidationDecision BeginUse(const EntryRef& entry);
+
+  // Successful execution through this entry: counts the hit and advances
+  // promotion.
+  void OnRunSuccess(const Key& key, const EntryRef& entry);
+
+  // A promoted entry failed its scheduled audit: its inputs drifted while
+  // unchecked. Demotes the entry, bumps the global epoch (demoting every
+  // other promoted entry at next use), and counts churn.
+  void OnAuditMismatch(const Key& key, const EntryRef& entry);
+
+  // Runtime assumption failure (AssertOp) or kernel error while executing
+  // the entry: removes it, bumps the epoch, and counts churn.
+  void OnEntryFailure(const Key& key, const EntryRef& entry);
+
+  // No candidate matched the live context (the engine will regenerate once
+  // profiling allows).
+  void OnMiss(const Key& key);
+
+  // Ladder level the producer should regenerate this key at.
+  int DespecializationLevel(const Key& key) const;
+
+  KeyStats Stats(const Key& key) const;
+
+  // Removes every entry and key record owned by `owner`. Engines call this
+  // on teardown; without it, a later allocation reusing a freed AST/engine
+  // address could alias a dead unit's graphs.
+  void PurgeOwner(const void* owner);
+
+  // Global despecialization epoch (relaxed read; exposed for tests).
+  std::uint64_t epoch() const {
+    return epoch_.load(std::memory_order_relaxed);
+  }
+
+  struct Snapshot {
+    std::int64_t bytes_in_use = 0;
+    std::int64_t entries = 0;
+    std::int64_t keys = 0;
+    std::uint64_t epoch = 0;
+  };
+  Snapshot TakeSnapshot() const;
+
+  const CacheOptions& options() const { return options_; }
+
+  // Human-readable section for Engine::StatsReport(): budgets, residency,
+  // epoch, and every cache.* counter/histogram in this cache's registry.
+  std::string TextReport() const;
+
+ private:
+  struct KeyRecord {
+    std::vector<EntryRef> entries;  // MRU first
+    KeyStats stats;
+  };
+
+  // All private helpers require mu_ held.
+  void EvictEntryLocked(const EntryRef& entry);
+  void EvictLowestPriorityLocked();
+  void TouchLocked(const EntryRef& entry);
+  void AddChurnLocked(KeyRecord& record);
+  void BumpEpochLocked();
+  void RemoveFromIndexLocked(const EntryRef& entry);
+  double ComputePriorityLocked(const Entry& entry) const;
+  KeyRecord* FindRecordLocked(const Key& key);
+
+  CacheOptions options_;
+  obs::MetricsRegistry* registry_;
+
+  mutable std::mutex mu_;
+  std::map<Key, KeyRecord> keys_;
+  // Eviction index: priority -> entry. Entries keep no iterator back-ref;
+  // removal erases the matching (priority, entry) pair.
+  std::multimap<double, EntryRef> by_priority_;
+  std::int64_t bytes_in_use_ = 0;
+  std::int64_t resident_entries_ = 0;
+  double clock_ = 0.0;  // GreedyDual aging floor
+
+  std::atomic<std::uint64_t> epoch_{0};
+
+  struct Counters {
+    obs::Counter* lookups;
+    obs::Counter* hits;
+    obs::Counter* misses;
+    obs::Counter* insertions;
+    obs::Counter* evictions;
+    obs::Counter* bytes_evicted;
+    obs::Counter* assumption_failures;
+    obs::Counter* churn_events;
+    obs::Counter* despecializations;
+    obs::Counter* promotions;
+    obs::Counter* demotions;
+    obs::Counter* audits;
+    obs::Counter* audit_failures;
+    obs::Counter* validation_skips;
+    obs::Counter* purged;
+    obs::Counter* epoch_bumps;
+  } counters_{};
+  obs::Histogram* lookup_ns_ = nullptr;
+  obs::Histogram* entry_bytes_ = nullptr;
+  obs::Histogram* entry_cost_ns_ = nullptr;
+};
+
+}  // namespace cache
+}  // namespace janus
+
+#endif  // JANUS_CACHE_SPECIALIZATION_CACHE_H_

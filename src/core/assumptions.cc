@@ -13,6 +13,13 @@ ShapeAssumption ShapeAssumption::Exact(const Shape& shape) {
   return a;
 }
 
+ShapeAssumption ShapeAssumption::AnyOfRank(int rank) {
+  JANUS_EXPECTS(rank >= 0);
+  ShapeAssumption a;
+  a.dims_.assign(static_cast<std::size_t>(rank), std::nullopt);
+  return a;
+}
+
 ShapeAssumption ShapeAssumption::Unknown() {
   ShapeAssumption a;
   a.unknown_ = true;
@@ -41,6 +48,11 @@ ShapeAssumption ShapeAssumption::Relaxed(const Shape& observed) const {
     }
   }
   return relaxed;
+}
+
+ShapeAssumption ShapeAssumption::RelaxedToRank() const {
+  if (unknown_) return *this;
+  return AnyOfRank(static_cast<int>(dims_.size()));
 }
 
 bool ShapeAssumption::IsExact() const {

@@ -25,6 +25,9 @@ class ShapeAssumption {
  public:
   // Exact shape (all dimensions pinned).
   static ShapeAssumption Exact(const Shape& shape);
+  // Rank pinned, every dimension wildcard — the middle rung of Fig. 4 the
+  // despecialization ladder regenerates at before giving up on shapes.
+  static ShapeAssumption AnyOfRank(int rank);
   // Unknown: matches anything.
   static ShapeAssumption Unknown();
 
@@ -35,7 +38,15 @@ class ShapeAssumption {
   // Unknown on rank mismatch. This is the relaxation step of Fig. 4.
   ShapeAssumption Relaxed(const Shape& observed) const;
 
+  // This assumption dropped to its rank-only form (AnyOfRank); Unknown
+  // stays Unknown. Used when despecializing a churning key.
+  ShapeAssumption RelaxedToRank() const;
+
   bool is_unknown() const { return unknown_; }
+  // Pinned rank; -1 when unknown.
+  int rank() const {
+    return unknown_ ? -1 : static_cast<int>(dims_.size());
+  }
   // Pinned dims (nullopt = wildcard). Empty + !unknown = scalar.
   const std::vector<std::optional<std::int64_t>>& dims() const {
     return dims_;

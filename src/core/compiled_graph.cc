@@ -87,6 +87,23 @@ int CompiledGraph::BuildPlans() {
   return built;
 }
 
+std::int64_t CompiledGraph::EstimateBytes() const {
+  // Flat per-structure constants, sized from typical node/spec footprints.
+  constexpr std::int64_t kPerNode = 256;
+  constexpr std::int64_t kPerCapture = 192;
+  constexpr std::int64_t kPerCheck = 128;
+  constexpr std::int64_t kPerPlanNode = 96;
+  std::int64_t nodes = static_cast<std::int64_t>(graph.num_nodes());
+  if (library != nullptr) {
+    for (const std::string& name : library->FunctionNames()) {
+      nodes += static_cast<std::int64_t>(library->Lookup(name).graph.num_nodes());
+    }
+  }
+  return nodes * (kPerNode + kPerPlanNode) +
+         static_cast<std::int64_t>(captures.size()) * kPerCapture +
+         static_cast<std::int64_t>(entry_checks.size()) * kPerCheck;
+}
+
 bool EntryValueMatches(const Value& actual, const Value& expected) {
   // Heap values and callables compare by identity; tensors are never entry
   // expectations (they become captures); scalars compare by value.

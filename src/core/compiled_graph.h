@@ -71,6 +71,9 @@ struct CompiledGraph {
   bool training = false;
   double learning_rate = 0.0;
   int num_assert_ops = 0;
+  // Ladder level (GraphGenerator::CompileHints) this graph was generated
+  // at; 0 = fully specialized.
+  int despecialization_level = 0;
 
   // Compile-once execution plans: `plan` is the main graph's schedule for
   // `fetches`; `function_plans` pin one plan per FunctionLibrary function so
@@ -83,6 +86,11 @@ struct CompiledGraph {
   // Builds `plan` and `function_plans` (idempotent). Returns the number of
   // plans built by this call, for EngineStats::plan_builds accounting.
   int BuildPlans();
+
+  // Rough resident size in bytes (nodes, captures, checks, plans), used as
+  // the SpecializationCache eviction weight. An estimate is fine: eviction
+  // only needs relative order, not allocator truth.
+  std::int64_t EstimateBytes() const;
 };
 
 // Compares a resolved context value against an expectation: identity for

@@ -1,5 +1,6 @@
 #include "core/engine.h"
 
+#include <bit>
 #include <cstdio>
 
 #include "common/logging.h"
@@ -28,7 +29,11 @@ EngineOptions EngineOptions::TracingPreset() {
   return options;
 }
 
-struct JanusEngine::CacheEntry {
+// The SpecializationCache payload: the compiled artifact plus the closure
+// it was generated against. The closure identity check is mandatory on
+// every use — even for promoted entries — because a different closure is a
+// different program, not a drifted assumption.
+struct JanusEngine::CachedUnit {
   std::unique_ptr<CompiledGraph> compiled;
   std::shared_ptr<minipy::Environment> closure;
 };
@@ -39,7 +44,6 @@ struct JanusEngine::UnitState {
   int failed_generations = 0;
   std::int64_t next_generation_attempt = 0;
   std::string refusal_reason;
-  std::vector<CacheEntry> candidates;
 };
 
 JanusEngine::JanusEngine(minipy::Interpreter* interp, EngineOptions options)
@@ -72,10 +76,21 @@ JanusEngine::JanusEngine(minipy::Interpreter* interp, EngineOptions options)
   imperative_ns_ = &metrics_.GetHistogram("engine.imperative_ns");
   graph_execution_ns_ = &metrics_.GetHistogram("engine.graph_execution_ns");
   generation_ns_ = &metrics_.GetHistogram("engine.generation_ns");
+  validation_ns_ = &metrics_.GetHistogram("engine.validation_ns");
+  if (options_.private_cache) {
+    owned_cache_ = std::make_unique<cache::SpecializationCache>(
+        options_.cache, &metrics_);
+    cache_ = owned_cache_.get();
+  } else {
+    cache_ = &cache::SpecializationCache::Global();
+  }
 }
 
 JanusEngine::~JanusEngine() {
   if (attached_) Detach();
+  // Without the purge, a later allocation reusing this engine's (or a dead
+  // AST's) address could alias our keys in the shared global cache.
+  cache_->PurgeOwner(this);
 }
 
 void JanusEngine::Attach() {
@@ -144,6 +159,14 @@ const void* JanusEngine::UnitKey(const FunctionValue& fn) {
                            : static_cast<const void*>(fn.lambda);
 }
 
+std::uint64_t JanusEngine::VariantKey(bool training, double lr) {
+  // Inference is variant 0; training variants fold the learning-rate bits
+  // in (shifted past the sign bit, which is always 0 for a real lr) and
+  // set bit 0 so training-with-lr-0 cannot collide with inference.
+  if (!training) return 0;
+  return (std::bit_cast<std::uint64_t>(lr) << 1) | 1u;
+}
+
 void JanusEngine::MarkRoot(const std::shared_ptr<FunctionValue>& fn) {
   roots_[UnitKey(*fn)] = true;
 }
@@ -190,15 +213,36 @@ minipy::Value JanusEngine::Run(const std::shared_ptr<FunctionValue>& fn,
                               lr, unit->refusal_reason);
   }
 
-  // (D) Try cached graphs whose entry assumptions hold (Fig. 2 ①).
-  for (std::size_t i = 0; i < unit->candidates.size(); ++i) {
-    CacheEntry& entry = unit->candidates[i];
-    if (entry.compiled->training != training) continue;
-    if (training && entry.compiled->learning_rate != lr) continue;
-    if (!EntryValid(entry, fn, args)) continue;
+  // (D) Try cached graphs whose entry assumptions hold (Fig. 2 ①). The
+  // SpecializationCache owns the candidate population (budgets, eviction,
+  // churn accounting); the engine owns validation and execution.
+  const cache::SpecializationCache::Key cache_key{this, key,
+                                                  VariantKey(training, lr)};
+  const auto candidates = cache_->Lookup(cache_key);
+  for (const auto& entry_ref : candidates) {
+    auto& entry = *static_cast<CachedUnit*>(entry_ref->payload.get());
+    // The closure check is never skipped: a different closure is a
+    // different program, not a guard that can be promoted away.
+    if (entry.closure != fn->closure) continue;
+    const cache::ValidationDecision decision = cache_->BeginUse(entry_ref);
+    bool valid = true;
+    if (decision != cache::ValidationDecision::kSkip) {
+      const std::int64_t check_start_ns = obs::Trace::NowNs();
+      valid = EntryValid(entry, fn, args);
+      validation_ns_->Record(obs::Trace::NowNs() - check_start_ns);
+    }
+    if (!valid) {
+      if (decision == cache::ValidationDecision::kAudit) {
+        // The entry's inputs drifted while its guards ran unchecked:
+        // demote it (and, via the epoch, every other promoted entry).
+        cache_->OnAuditMismatch(cache_key, entry_ref);
+      }
+      continue;
+    }
     try {
       Value result = ExecuteCompiled(entry, args);
       counters_.graph_executions->Increment();
+      cache_->OnRunSuccess(cache_key, entry_ref);
       return result;
     } catch (const AssumptionFailed& failure) {
       // (E) Runtime assumption failure: nothing was committed; mark the
@@ -209,8 +253,7 @@ minipy::Value JanusEngine::Run(const std::shared_ptr<FunctionValue>& fn,
       obs::Trace::RecordInstant("assumption_failure", "engine",
                                 failure.assumption_id());
       profiler_.MarkAssumptionFailed(failure.assumption_id());
-      unit->candidates.erase(unit->candidates.begin() +
-                             static_cast<std::ptrdiff_t>(i));
+      cache_->OnEntryFailure(cache_key, entry_ref);
       counters_.imperative_executions->Increment();
       return RunImperativePhase("fallback", fn, std::move(args), training,
                                 lr, failure.assumption_id());
@@ -222,14 +265,16 @@ minipy::Value JanusEngine::Run(const std::shared_ptr<FunctionValue>& fn,
       counters_.fallbacks->Increment();
       JANUS_LOG(kInfo) << "speculative graph failed (" << error.what()
                        << "); falling back";
-      unit->candidates.erase(unit->candidates.begin() +
-                             static_cast<std::ptrdiff_t>(i));
+      cache_->OnEntryFailure(cache_key, entry_ref);
       counters_.imperative_executions->Increment();
       return RunImperativePhase("fallback", fn, std::move(args), training,
                                 lr, error.what());
     }
   }
-  if (!unit->candidates.empty()) counters_.cache_misses->Increment();
+  if (!candidates.empty()) {
+    counters_.cache_misses->Increment();
+    cache_->OnMiss(cache_key);
+  }
 
   // (B) Generate once enough profile information exists (§3.1). After a
   // refusal, retry with exponential backoff — later profiles may relax the
@@ -237,30 +282,41 @@ minipy::Value JanusEngine::Run(const std::shared_ptr<FunctionValue>& fn,
   if (unit->calls > options_.profile_threshold &&
       unit->calls >= unit->next_generation_attempt) {
     try {
+      // The cache's churn ladder decides how specialized this regeneration
+      // may be: a key that keeps failing or being evicted-and-rebuilt
+      // descends the Fig. 4 lattice instead of thrashing at full
+      // specialization.
+      GraphGenerator::CompileHints hints;
+      hints.despecialization_level = cache_->DespecializationLevel(cache_key);
       std::unique_ptr<CompiledGraph> compiled;
+      std::int64_t build_cost_ns = 0;
       {
         const obs::TraceScope span("graph_generation", "engine");
         const std::int64_t start_ns = obs::Trace::NowNs();
-        compiled = generator_.Compile(fn, args, training, lr);
+        compiled = generator_.Compile(fn, args, training, lr, hints);
         // Pay the scheduling cost once, here, with the rest of the
         // conversion cost: compile execution plans for the graph and every
         // library function so no ExecuteCompiled ever plans on the hot
         // path.
         counters_.plan_builds->Add(compiled->BuildPlans());
-        generation_ns_->Record(obs::Trace::NowNs() - start_ns);
+        build_cost_ns = obs::Trace::NowNs() - start_ns;
+        generation_ns_->Record(build_cost_ns);
       }
       counters_.graph_generations->Increment();
-      CacheEntry entry{std::move(compiled), fn->closure};
-      if (static_cast<int>(unit->candidates.size()) >=
-          options_.max_cached_graphs_per_unit) {
-        unit->candidates.erase(unit->candidates.begin());
-      }
-      unit->candidates.push_back(std::move(entry));
-      CacheEntry& fresh = unit->candidates.back();
+      auto cached = std::make_shared<CachedUnit>();
+      cached->compiled = std::move(compiled);
+      cached->closure = fn->closure;
+      const std::int64_t bytes = cached->compiled->EstimateBytes();
+      // Eviction weight: what this artifact cost to build (generation +
+      // plan compilation) against what it occupies.
+      const auto entry_ref =
+          cache_->Insert(cache_key, cached, bytes, build_cost_ns);
+      CachedUnit& fresh = *cached;
       if (EntryValid(fresh, fn, args)) {
         try {
           Value result = ExecuteCompiled(fresh, args);
           counters_.graph_executions->Increment();
+          cache_->OnRunSuccess(cache_key, entry_ref);
           return result;
         } catch (const AssumptionFailed& failure) {
           counters_.assumption_failures->Increment();
@@ -268,12 +324,12 @@ minipy::Value JanusEngine::Run(const std::shared_ptr<FunctionValue>& fn,
           obs::Trace::RecordInstant("assumption_failure", "engine",
                                     failure.assumption_id());
           profiler_.MarkAssumptionFailed(failure.assumption_id());
-          unit->candidates.pop_back();
+          cache_->OnEntryFailure(cache_key, entry_ref);
         } catch (const Error& error) {
           counters_.fallbacks->Increment();
           JANUS_LOG(kInfo) << "fresh speculative graph failed ("
                            << error.what() << "); falling back";
-          unit->candidates.pop_back();
+          cache_->OnEntryFailure(cache_key, entry_ref);
         }
       }
     } catch (const NotConvertible& refusal) {
@@ -340,7 +396,7 @@ minipy::Value JanusEngine::RunImperative(
   return loss;
 }
 
-bool JanusEngine::EntryValid(const CacheEntry& entry,
+bool JanusEngine::EntryValid(const CachedUnit& entry,
                              const std::shared_ptr<FunctionValue>& fn,
                              std::span<const Value> args) {
   if (entry.closure != fn->closure) return false;
@@ -402,7 +458,7 @@ bool JanusEngine::EntryValid(const CacheEntry& entry,
   return true;
 }
 
-minipy::Value JanusEngine::ExecuteCompiled(CacheEntry& entry,
+minipy::Value JanusEngine::ExecuteCompiled(CachedUnit& entry,
                                            std::span<const Value> args) {
   obs::TraceScope span("graph_execution", "engine");
   const std::int64_t start_ns = obs::Trace::NowNs();
@@ -475,6 +531,8 @@ std::string JanusEngine::StatsReport() const {
     out += "--- sampled kernel timers (ns) ---\n";
     out += kernels;
   }
+  out += "--- specialization cache ---\n";
+  out += cache_->TextReport();
   const BufferPool::Stats pool = BufferPool::Global().Snapshot();
   out += "--- buffer pool (process-wide) ---\n";
   char line[256];

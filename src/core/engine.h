@@ -30,6 +30,7 @@
 #include <memory>
 #include <string>
 
+#include "cache/specialization_cache.h"
 #include "common/thread_pool.h"
 #include "core/generator.h"
 #include "core/host_state.h"
@@ -47,7 +48,14 @@ struct EngineOptions {
   int pool_threads = 0;
   int profile_threshold = 3;  // §3.1 footnote 3
   bool validate_entry_checks = true;
-  int max_cached_graphs_per_unit = 8;
+  // Compiled-graph cache configuration (src/cache). Engines share the
+  // process-wide SpecializationCache::Global() by default, so concurrent
+  // sessions compete for one byte/entry budget; `private_cache` gives this
+  // engine its own instance built from `cache` that reports into the
+  // engine's registry (tests, A/B benchmarks). The former
+  // max_cached_graphs_per_unit knob is cache.max_entries_per_key.
+  cache::CacheOptions cache = cache::CacheOptions::FromEnv();
+  bool private_cache = false;
   // Calibrated per-op cost (ns) of the imperative executor's dispatch,
   // standing in for CPython + TF Eager overhead (the MiniPy interpreter is
   // a compiled tree-walker, orders of magnitude faster than CPython; the
@@ -131,8 +139,12 @@ class JanusEngine : public minipy::CallInterceptor {
   // buffer-pool traffic.
   std::string StatsReport() const;
 
+  // The graph cache this engine stores its specializations in (global by
+  // default; see EngineOptions::private_cache).
+  cache::SpecializationCache& graph_cache() { return *cache_; }
+
  private:
-  struct CacheEntry;
+  struct CachedUnit;
   struct UnitState;
 
   // Live accumulation cells behind the EngineStats snapshot. Registry
@@ -157,6 +169,8 @@ class JanusEngine : public minipy::CallInterceptor {
 
   // Identity of a conversion unit: its def or lambda AST node.
   static const void* UnitKey(const minipy::FunctionValue& fn);
+  // Variant discriminator within a unit (training mode + learning rate).
+  static std::uint64_t VariantKey(bool training, double lr);
 
   minipy::Value Run(const std::shared_ptr<minipy::FunctionValue>& fn,
                     std::vector<minipy::Value> args, bool training,
@@ -170,10 +184,10 @@ class JanusEngine : public minipy::CallInterceptor {
       const char* phase, const std::shared_ptr<minipy::FunctionValue>& fn,
       std::vector<minipy::Value> args, bool training, double lr,
       std::string detail = {});
-  bool EntryValid(const CacheEntry& entry,
+  bool EntryValid(const CachedUnit& entry,
                   const std::shared_ptr<minipy::FunctionValue>& fn,
                   std::span<const minipy::Value> args);
-  minipy::Value ExecuteCompiled(CacheEntry& entry,
+  minipy::Value ExecuteCompiled(CachedUnit& entry,
                                 std::span<const minipy::Value> args);
 
   minipy::Interpreter* interp_;
@@ -187,6 +201,9 @@ class JanusEngine : public minipy::CallInterceptor {
   obs::Histogram* imperative_ns_ = nullptr;
   obs::Histogram* graph_execution_ns_ = nullptr;
   obs::Histogram* generation_ns_ = nullptr;
+  obs::Histogram* validation_ns_ = nullptr;
+  std::unique_ptr<cache::SpecializationCache> owned_cache_;
+  cache::SpecializationCache* cache_ = nullptr;
   std::map<const void*, std::unique_ptr<UnitState>> units_;
   std::map<const void*, bool> roots_;
   bool attached_ = false;

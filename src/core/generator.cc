@@ -233,6 +233,7 @@ struct GraphGenerator::Impl {
   minipy::Interpreter* interp;
   Profiler* prof;
   GeneratorOptions opt;
+  GraphGenerator::CompileHints hints;  // per-compilation ladder hints
 
   CompiledGraph* out = nullptr;
   Frame* root = nullptr;
@@ -432,9 +433,11 @@ struct GraphGenerator::Impl {
       spec.kind = ObservedKind::kTensor;
       spec.dtype = t->dtype();
       const std::string id = "shape:" + ref.ToString();
-      if (opt.specialize && profile != nullptr &&
+      if (opt.specialize && !hints.DropShapes() && profile != nullptr &&
           profile->kind == ObservedKind::kTensor && AssumptionUsable(id)) {
-        spec.shape = profile->shape;
+        spec.shape = hints.RelaxShapesToRank()
+                         ? profile->shape.RelaxedToRank()
+                         : profile->shape;
       } else {
         spec.shape = ShapeAssumption::Unknown();
       }
@@ -491,8 +494,8 @@ struct GraphGenerator::Impl {
                          const ValueProfile* profile, DType dtype,
                          double /*numeric*/) {
     const std::string id = "const:" + ref.ToString();
-    if (opt.specialize && profile != nullptr && profile->value_stable &&
-        AssumptionUsable(id)) {
+    if (opt.specialize && !hints.NoConstantBaking() && profile != nullptr &&
+        profile->value_stable && AssumptionUsable(id)) {
       // Profiled-constant scalar: bake as Const, checked at entry (§4.2.2).
       AddEntryCheck(ref, current);
       return SymValue::Static(current, ref);
@@ -1492,7 +1495,8 @@ struct GraphGenerator::Impl {
   // ---- compilation driver ----
   std::unique_ptr<CompiledGraph> Compile(
       const std::shared_ptr<minipy::FunctionValue>& fn,
-      std::span<const Value> args, bool training, double lr);
+      std::span<const Value> args, bool training, double lr,
+      const GraphGenerator::CompileHints& compile_hints);
 };
 
 // ===========================================================================
@@ -2541,10 +2545,11 @@ SymValue GraphGenerator::Impl::WrapDynamicRead(Frame& frame, NodeOutput value,
                                                const std::string& id,
                                                DType dtype) {
   ShapeAssumption shape = ShapeAssumption::Unknown();
-  if (opt.specialize && profile != nullptr &&
+  if (opt.specialize && !hints.DropShapes() && profile != nullptr &&
       profile->kind == ObservedKind::kTensor && AssumptionUsable(id) &&
       !profile->shape.is_unknown()) {
-    shape = profile->shape;
+    shape = hints.RelaxShapesToRank() ? profile->shape.RelaxedToRank()
+                                      : profile->shape;
     if (opt.insert_assertions) {
       std::vector<std::int64_t> dims;
       for (const auto& d : shape.dims()) {
@@ -2669,8 +2674,10 @@ SymValue GraphGenerator::Impl::EvalSubscript(const Expr* expr, Frame& frame,
 
 std::unique_ptr<CompiledGraph> GraphGenerator::Impl::Compile(
     const std::shared_ptr<minipy::FunctionValue>& fn,
-    std::span<const Value> args, bool training, double lr) {
+    std::span<const Value> args, bool training, double lr,
+    const GraphGenerator::CompileHints& compile_hints) {
   // Reset per-compilation state.
+  hints = compile_hints;
   variable_reads.clear();
   fn_cache.clear();
   fn_generating.clear();
@@ -2687,6 +2694,7 @@ std::unique_ptr<CompiledGraph> GraphGenerator::Impl::Compile(
   artifact->library = std::make_shared<FunctionLibrary>();
   artifact->training = training;
   artifact->learning_rate = lr;
+  artifact->despecialization_level = compile_hints.despecialization_level;
   out = artifact.get();
 
   Frame root_frame;
@@ -2781,8 +2789,15 @@ GraphGenerator::~GraphGenerator() = default;
 
 std::unique_ptr<CompiledGraph> GraphGenerator::Compile(
     const std::shared_ptr<minipy::FunctionValue>& fn,
+    std::span<const minipy::Value> args, bool training, double lr,
+    const CompileHints& hints) {
+  return impl_->Compile(fn, args, training, lr, hints);
+}
+
+std::unique_ptr<CompiledGraph> GraphGenerator::Compile(
+    const std::shared_ptr<minipy::FunctionValue>& fn,
     std::span<const minipy::Value> args, bool training, double lr) {
-  return impl_->Compile(fn, args, training, lr);
+  return impl_->Compile(fn, args, training, lr, CompileHints{});
 }
 
 }  // namespace janus

@@ -51,6 +51,23 @@ struct GeneratorOptions {
 
 class GraphGenerator {
  public:
+  // Per-compilation despecialization hints: the rung of the Fig. 4 lattice
+  // the cache's churn ladder asks this regeneration to start from. Each
+  // level keeps strictly fewer assumptions, so a churning key converges to
+  // a graph that cannot fail on the churn source instead of being
+  // regenerated (and evicted) forever:
+  //   0  full specialization (default)
+  //   1  shapes relaxed to rank-only wildcards
+  //   2  shapes dropped to Unknown entirely
+  //   3  additionally no scalar-constant baking (the value/dtype rung:
+  //      profiled-stable scalars feed placeholders instead of Consts)
+  struct CompileHints {
+    int despecialization_level = 0;
+    bool RelaxShapesToRank() const { return despecialization_level == 1; }
+    bool DropShapes() const { return despecialization_level >= 2; }
+    bool NoConstantBaking() const { return despecialization_level >= 3; }
+  };
+
   GraphGenerator(minipy::Interpreter* interp, Profiler* profiler,
                  GeneratorOptions options);
   ~GraphGenerator();
@@ -59,6 +76,10 @@ class GraphGenerator {
   // and SGD-update operations for every model parameter read by the
   // function are appended (learning rate `lr`), as §3.1 describes.
   // Throws NotConvertible when the program leaves the supported subset.
+  std::unique_ptr<CompiledGraph> Compile(
+      const std::shared_ptr<minipy::FunctionValue>& fn,
+      std::span<const minipy::Value> args, bool training, double lr,
+      const CompileHints& hints);
   std::unique_ptr<CompiledGraph> Compile(
       const std::shared_ptr<minipy::FunctionValue>& fn,
       std::span<const minipy::Value> args, bool training, double lr);

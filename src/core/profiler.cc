@@ -158,7 +158,15 @@ const ValueProfile* Profiler::context(const std::string& ref) const {
 }
 
 void Profiler::MarkAssumptionFailed(const std::string& assumption_id) {
-  failed_assumptions_.insert(assumption_id);
+  failed_assumptions_[assumption_id] = ++failure_stamp_;
+  while (failed_assumptions_.size() > kMaxFailedAssumptions) {
+    auto oldest = failed_assumptions_.begin();
+    for (auto it = failed_assumptions_.begin(); it != failed_assumptions_.end();
+         ++it) {
+      if (it->second < oldest->second) oldest = it;
+    }
+    failed_assumptions_.erase(oldest);
+  }
 }
 
 bool Profiler::HasFailed(const std::string& assumption_id) const {

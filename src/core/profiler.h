@@ -7,7 +7,6 @@
 #define JANUS_CORE_PROFILER_H_
 
 #include <map>
-#include <set>
 #include <string>
 
 #include "core/assumptions.h"
@@ -44,9 +43,17 @@ class Profiler : public minipy::ExecutionObserver {
   std::int64_t function_calls(const minipy::Stmt* def) const;
 
   // Assumption-failure feedback (§3.2): sites whose speculative treatment
-  // failed at runtime are blacklisted so regeneration relaxes them.
+  // failed at runtime are blacklisted so regeneration relaxes them. The
+  // blacklist is bounded (kMaxFailedAssumptions): long-lived engines
+  // re-marking ever-changing ids (e.g. value-dependent capture paths) age
+  // out the oldest marks instead of growing without limit. Re-marking an
+  // id refreshes its stamp, so persistently failing sites stay listed.
+  static constexpr std::size_t kMaxFailedAssumptions = 256;
   void MarkAssumptionFailed(const std::string& assumption_id);
   bool HasFailed(const std::string& assumption_id) const;
+  std::size_t failed_assumption_count() const {
+    return failed_assumptions_.size();
+  }
 
   // Context-value observations keyed by ContextRef path string (closure
   // captures and heap-list elements): fed by the generator when it first
@@ -66,7 +73,9 @@ class Profiler : public minipy::ExecutionObserver {
   std::map<const minipy::Expr*, ValueProfile> subscr_loads_;
   std::map<const minipy::Stmt*, std::int64_t> function_calls_;
   std::map<std::string, ValueProfile> context_profiles_;
-  std::set<std::string> failed_assumptions_;
+  // id -> insertion stamp (monotonic); oldest stamp evicted at the cap.
+  std::map<std::string, std::int64_t> failed_assumptions_;
+  std::int64_t failure_stamp_ = 0;
   std::int64_t total_observations_ = 0;
 };
 

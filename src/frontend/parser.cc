@@ -249,7 +249,7 @@ class Parser {
       Expect(TokenKind::kNewline, "assignment");
       return stmt;
     }
-    for (const auto [token, op] :
+    for (const auto& [token, op] :
          {std::pair{TokenKind::kPlusAssign, BinaryOp::kAdd},
           std::pair{TokenKind::kMinusAssign, BinaryOp::kSub},
           std::pair{TokenKind::kStarAssign, BinaryOp::kMul},

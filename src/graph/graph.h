@@ -11,10 +11,10 @@
 #define JANUS_GRAPH_GRAPH_H_
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "cache/plan_cache.h"
 #include "graph/attr.h"
 
 namespace janus {
@@ -118,23 +118,16 @@ class Graph {
   std::uint64_t version() const { return version_; }
 
   // Runtime-owned cache of compiled ExecutionPlans (opaque to the graph),
-  // keyed by (structural version, fetch set). See runtime/plan.h.
-  struct ExecCache {
-    std::mutex mu;
-    struct Entry {
-      std::uint64_t version = 0;
-      std::vector<NodeOutput> fetches;
-      std::shared_ptr<const void> plan;
-    };
-    std::vector<Entry> entries;
-  };
-  ExecCache& exec_cache() const { return *exec_cache_; }
+  // keyed by (structural version, fetch set). See src/cache/plan_cache.h;
+  // runtime/plan.cc is the only producer and consumer.
+  cache::PlanCache& plan_cache() const { return *plan_cache_; }
 
  private:
   std::vector<std::unique_ptr<Node>> nodes_;
   int next_id_ = 0;
   std::uint64_t version_ = 0;
-  std::unique_ptr<ExecCache> exec_cache_ = std::make_unique<ExecCache>();
+  std::unique_ptr<cache::PlanCache> plan_cache_ =
+      std::make_unique<cache::PlanCache>();
 };
 
 struct GraphFunction {

@@ -181,14 +181,21 @@ void AppendHistogramLine(std::string& out, const std::string& name,
 }
 
 std::string MetricsRegistry::TextReport() const {
+  return TextReportForPrefix("");
+}
+
+std::string MetricsRegistry::TextReportForPrefix(
+    std::string_view prefix) const {
   std::string out;
   for (const auto& [name, value] : CounterValues()) {
+    if (name.rfind(prefix, 0) != 0) continue;
     char line[192];
     std::snprintf(line, sizeof(line), "%-32s %lld\n", name.c_str(),
                   static_cast<long long>(value));
     out += line;
   }
   for (const std::string& name : HistogramNames()) {
+    if (name.rfind(prefix, 0) != 0) continue;
     const Histogram* histogram = FindHistogram(name);
     if (histogram != nullptr) AppendHistogramLine(out, name, *histogram);
   }

@@ -105,6 +105,10 @@ class MetricsRegistry {
   // count / mean / p50 / p95 / p99 / max.
   std::string TextReport() const;
 
+  // Same format, restricted to metrics whose name starts with `prefix`
+  // (e.g. "cache." for the specialization-cache section of a report).
+  std::string TextReportForPrefix(std::string_view prefix) const;
+
   // Drops every metric. Only for test isolation.
   void ResetForTesting();
 

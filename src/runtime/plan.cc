@@ -182,42 +182,26 @@ int ExecutionPlan::DagIndexOf(const Node* node) const {
 std::shared_ptr<const ExecutionPlan> GetOrBuildPlan(
     const Graph& graph, std::span<const NodeOutput> fetches,
     RunContext* run) {
-  auto& cache = graph.exec_cache();
-  {
-    const std::lock_guard<std::mutex> lock(cache.mu);
-    for (const auto& entry : cache.entries) {
-      if (entry.version != graph.version()) continue;
-      if (entry.fetches.size() != fetches.size() ||
-          !std::equal(entry.fetches.begin(), entry.fetches.end(),
-                      fetches.begin())) {
-        continue;
-      }
-      if (run != nullptr) {
-        run->plan_cache_hits.fetch_add(1, std::memory_order_relaxed);
-      }
-      return std::static_pointer_cast<const ExecutionPlan>(entry.plan);
+  cache::PlanCache& plan_cache = graph.plan_cache();
+  // The PlanCache is type-erased; fetch endpoints map 1:1 onto FetchIds.
+  std::vector<cache::PlanCache::FetchId> fetch_ids;
+  fetch_ids.reserve(fetches.size());
+  for (const NodeOutput& fetch : fetches) {
+    fetch_ids.push_back({fetch.node, fetch.index});
+  }
+  if (std::shared_ptr<const void> cached =
+          plan_cache.Find(graph.version(), fetch_ids);
+      cached != nullptr) {
+    if (run != nullptr) {
+      run->plan_cache_hits.fetch_add(1, std::memory_order_relaxed);
     }
+    return std::static_pointer_cast<const ExecutionPlan>(cached);
   }
   auto plan = ExecutionPlan::Build(graph, fetches);
   if (run != nullptr) {
     run->plan_builds.fetch_add(1, std::memory_order_relaxed);
   }
-  {
-    const std::lock_guard<std::mutex> lock(cache.mu);
-    // Drop entries invalidated by graph mutation, then bound the cache (one
-    // entry per distinct fetch set; executed graphs have very few).
-    std::erase_if(cache.entries, [&graph](const Graph::ExecCache::Entry& e) {
-      return e.version != graph.version();
-    });
-    constexpr std::size_t kMaxCachedPlans = 8;
-    if (cache.entries.size() >= kMaxCachedPlans) {
-      cache.entries.erase(cache.entries.begin());
-    }
-    cache.entries.push_back(Graph::ExecCache::Entry{
-        graph.version(),
-        {fetches.begin(), fetches.end()},
-        plan});
-  }
+  plan_cache.Insert(graph.version(), fetch_ids, plan);
   return plan;
 }
 
