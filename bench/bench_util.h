@@ -11,6 +11,19 @@
 
 namespace janus::bench {
 
+// "release" when the JANUS sources were compiled with NDEBUG, "debug"
+// otherwise. Every BENCH_*.json embeds this so CI can reject timing
+// numbers from unoptimized builds (google-benchmark's own
+// library_build_type context field reports how libbenchmark itself was
+// built, which says nothing about our code).
+inline const char* BuildTypeString() {
+#ifdef NDEBUG
+  return "release";
+#else
+  return "debug";
+#endif
+}
+
 // Calibrated per-op dispatch cost of the imperative executor, standing in
 // for CPython + TF Eager overhead (~tens of microseconds per op in the
 // paper's era). All framework configs share it: JANUS and the symbolic

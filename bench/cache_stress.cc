@@ -244,6 +244,7 @@ int Run(const char* out_path) {
   }
   std::fprintf(out,
                "{\n"
+               "  \"janus_build_type\": \"%s\",\n"
                "  \"requests\": %d,\n"
                "  \"models\": %d,\n"
                "  \"entry_budget\": %d,\n"
@@ -266,7 +267,8 @@ int Run(const char* out_path) {
                "  \"promotion_off_check_ns\": %lld,\n"
                "  \"promotion_check_reduction\": %.4f\n"
                "}\n",
-               kSteadyRequests, kNumModels, kNumModels / 2,
+               BuildTypeString(), kSteadyRequests, kNumModels,
+               kNumModels / 2,
                static_cast<long long>(hits), static_cast<long long>(misses),
                static_cast<long long>(evictions),
                static_cast<long long>(insertions),

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <utility>
 
+#include "obs/ledger.h"
 #include "obs/trace.h"
 
 namespace janus {
@@ -18,6 +19,21 @@ std::int64_t EnvInt64(const char* name, std::int64_t fallback) {
   const long long parsed = std::strtoll(env, &end, 10);
   if (end == env) return fallback;
   return static_cast<std::int64_t>(parsed);
+}
+
+// Flight-recorder event for one cache transition. Safe while holding the
+// cache mutex: Ledger::Record takes no lock. `bytes` < 0 omits the field.
+void RecordCacheEvent(const char* kind, const SpecializationCache::Key& key,
+                      int level, std::int64_t bytes, std::string detail) {
+  if (!obs::Ledger::Enabled()) return;
+  obs::LedgerRecord record;
+  record.kind = kind;
+  record.unit = obs::PointerToHex(key.unit);
+  record.variant = key.variant;
+  record.level = level;
+  record.bytes = bytes;
+  record.detail = std::move(detail);
+  obs::Ledger::Global().Record(std::move(record));
 }
 
 }  // namespace
@@ -97,7 +113,7 @@ SpecializationCache::EntryRef SpecializationCache::Insert(
     // Evict-then-regenerate cycle: the budget threw this key's work away
     // and the producer rebuilt it. Exactly the churn the ladder damps.
     record.stats.evicted_since_insert = false;
-    AddChurnLocked(record);
+    AddChurnLocked(key, record);
   }
 
   // Per-key candidate cap: drop the key's own LRU candidate first.
@@ -112,6 +128,9 @@ SpecializationCache::EntryRef SpecializationCache::Insert(
   by_priority_.emplace(entry->priority, entry);
   bytes_in_use_ += entry->bytes;
   resident_entries_ += 1;
+  RecordCacheEvent("cache_insert", key, record.stats.ladder_level,
+                   entry->bytes,
+                   "cost_ns=" + std::to_string(entry->cost_ns));
 
   // Global budgets. Never evict the entry being inserted unless it alone
   // busts the byte budget — then it leaves non-resident and the returned
@@ -144,6 +163,7 @@ ValidationDecision SpecializationCache::BeginUse(const EntryRef& entry) {
     entry->promoted = false;
     entry->runs_since_failure = 0;
     counters_.demotions->Increment();
+    RecordCacheEvent("cache_demote", entry->key, -1, -1, "epoch_advance");
     return ValidationDecision::kValidate;
   }
   entry->uses_since_audit += 1;
@@ -160,9 +180,8 @@ ValidationDecision SpecializationCache::BeginUse(const EntryRef& entry) {
 void SpecializationCache::OnRunSuccess(const Key& key, const EntryRef& entry) {
   const std::lock_guard<std::mutex> lock(mu_);
   counters_.hits->Increment();
-  if (KeyRecord* record = FindRecordLocked(key); record != nullptr) {
-    record->stats.hits += 1;
-  }
+  KeyRecord* record = FindRecordLocked(key);
+  if (record != nullptr) record->stats.hits += 1;
   entry->runs_since_failure += 1;
   if (options_.enable_promotion && !entry->promoted &&
       options_.promotion_runs > 0 &&
@@ -171,6 +190,11 @@ void SpecializationCache::OnRunSuccess(const Key& key, const EntryRef& entry) {
     entry->promoted_epoch = epoch_.load(std::memory_order_relaxed);
     entry->uses_since_audit = 0;
     counters_.promotions->Increment();
+    if (record != nullptr) record->stats.promotions += 1;
+    RecordCacheEvent(
+        "cache_promote", key,
+        record != nullptr ? record->stats.ladder_level : -1, -1,
+        "after " + std::to_string(entry->runs_since_failure) + " clean runs");
   }
 }
 
@@ -181,8 +205,9 @@ void SpecializationCache::OnAuditMismatch(const Key& key,
   entry->promoted = false;
   entry->runs_since_failure = 0;
   counters_.demotions->Increment();
+  RecordCacheEvent("cache_demote", key, -1, -1, "audit_mismatch");
   if (KeyRecord* record = FindRecordLocked(key); record != nullptr) {
-    AddChurnLocked(*record);
+    AddChurnLocked(key, *record);
   }
   BumpEpochLocked();
 }
@@ -193,7 +218,7 @@ void SpecializationCache::OnEntryFailure(const Key& key,
   counters_.assumption_failures->Increment();
   if (KeyRecord* record = FindRecordLocked(key); record != nullptr) {
     record->stats.failures += 1;
-    AddChurnLocked(*record);
+    AddChurnLocked(key, *record);
     std::erase(record->entries, entry);
   }
   if (entry->resident) {
@@ -205,6 +230,7 @@ void SpecializationCache::OnEntryFailure(const Key& key,
   if (entry->promoted) {
     entry->promoted = false;
     counters_.demotions->Increment();
+    RecordCacheEvent("cache_demote", key, -1, -1, "entry_failure");
   }
   BumpEpochLocked();
 }
@@ -224,7 +250,13 @@ int SpecializationCache::DespecializationLevel(const Key& key) const {
 KeyStats SpecializationCache::Stats(const Key& key) const {
   const std::lock_guard<std::mutex> lock(mu_);
   const auto it = keys_.find(key);
-  return it != keys_.end() ? it->second.stats : KeyStats{};
+  if (it == keys_.end()) return KeyStats{};
+  KeyStats stats = it->second.stats;
+  for (const EntryRef& entry : it->second.entries) {
+    if (entry->resident) stats.resident_entries += 1;
+    if (entry->promoted) stats.promoted_entries += 1;
+  }
+  return stats;
 }
 
 void SpecializationCache::PurgeOwner(const void* owner) {
@@ -285,12 +317,18 @@ void SpecializationCache::EvictEntryLocked(const EntryRef& entry) {
   if (entry->promoted) {
     entry->promoted = false;
     counters_.demotions->Increment();
+    RecordCacheEvent("cache_demote", entry->key, -1, -1, "evicted");
   }
-  if (KeyRecord* record = FindRecordLocked(entry->key); record != nullptr) {
+  KeyRecord* record = FindRecordLocked(entry->key);
+  if (record != nullptr) {
     record->stats.evictions += 1;
     record->stats.evicted_since_insert = true;
     std::erase(record->entries, entry);
   }
+  RecordCacheEvent("cache_evict", entry->key,
+                   record != nullptr ? record->stats.ladder_level : -1,
+                   entry->bytes,
+                   "priority=" + std::to_string(entry->priority));
 }
 
 void SpecializationCache::EvictLowestPriorityLocked() {
@@ -310,7 +348,7 @@ void SpecializationCache::TouchLocked(const EntryRef& entry) {
   }
 }
 
-void SpecializationCache::AddChurnLocked(KeyRecord& record) {
+void SpecializationCache::AddChurnLocked(const Key& key, KeyRecord& record) {
   record.stats.churn_events += 1;
   counters_.churn_events->Increment();
   const int level = std::min(
@@ -318,14 +356,27 @@ void SpecializationCache::AddChurnLocked(KeyRecord& record) {
       static_cast<int>(record.stats.churn_events /
                        std::max(options_.churn_per_level, 1)));
   if (level > record.stats.ladder_level) {
+    // The ladder transition the flight recorder exists to explain: which
+    // key slid down, to which rung, after how much churn.
+    RecordCacheEvent(
+        "cache_despecialize", key, level, -1,
+        "churn_events=" + std::to_string(record.stats.churn_events) +
+            " from_level=" + std::to_string(record.stats.ladder_level));
     record.stats.ladder_level = level;
     counters_.despecializations->Increment();
   }
 }
 
 void SpecializationCache::BumpEpochLocked() {
-  epoch_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t next =
+      epoch_.fetch_add(1, std::memory_order_relaxed) + 1;
   counters_.epoch_bumps->Increment();
+  if (obs::Ledger::Enabled()) {
+    obs::LedgerRecord record;
+    record.kind = "cache_epoch_bump";
+    record.detail = "epoch=" + std::to_string(next);
+    obs::Ledger::Global().Record(std::move(record));
+  }
 }
 
 void SpecializationCache::RemoveFromIndexLocked(const EntryRef& entry) {

@@ -91,8 +91,12 @@ struct KeyStats {
   std::int64_t evictions = 0;
   std::int64_t failures = 0;       // runtime assumption failures
   std::int64_t churn_events = 0;
+  std::int64_t promotions = 0;     // entries whose guards were promoted
   int ladder_level = 0;
   bool evicted_since_insert = false;
+  // Filled by Stats() from the live candidate list (not stored).
+  std::int64_t resident_entries = 0;
+  std::int64_t promoted_entries = 0;
 };
 
 class SpecializationCache {
@@ -213,7 +217,7 @@ class SpecializationCache {
   void EvictEntryLocked(const EntryRef& entry);
   void EvictLowestPriorityLocked();
   void TouchLocked(const EntryRef& entry);
-  void AddChurnLocked(KeyRecord& record);
+  void AddChurnLocked(const Key& key, KeyRecord& record);
   void BumpEpochLocked();
   void RemoveFromIndexLocked(const EntryRef& entry);
   double ComputePriorityLocked(const Entry& entry) const;

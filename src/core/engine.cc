@@ -2,9 +2,12 @@
 
 #include <bit>
 #include <cstdio>
+#include <cstring>
+#include <set>
 
 #include "common/logging.h"
 #include "frontend/builtins.h"
+#include "obs/http_export.h"
 #include "obs/trace.h"
 #include "tensor/buffer_pool.h"
 #include "tensor/ops.h"
@@ -13,6 +16,61 @@ namespace janus {
 
 using minipy::FunctionValue;
 using minipy::Value;
+
+namespace {
+
+// Renders a live context value for mismatch attribution (short, symbolic —
+// never tensor contents).
+std::string DescribeValue(const Value& value) {
+  struct Visitor {
+    std::string operator()(const minipy::NoneType&) { return "None"; }
+    std::string operator()(bool b) { return b ? "True" : "False"; }
+    std::string operator()(std::int64_t i) { return std::to_string(i); }
+    std::string operator()(double d) { return std::to_string(d); }
+    std::string operator()(const std::string& s) {
+      return "'" + (s.size() > 40 ? s.substr(0, 40) + "..." : s) + "'";
+    }
+    std::string operator()(const Tensor& t) {
+      return std::string("Tensor<") + DTypeName(t.dtype()) + ", " +
+             t.shape().ToString() + ">";
+    }
+    std::string operator()(const minipy::VariableRef& v) {
+      return "Variable('" + v.name + "')";
+    }
+    std::string operator()(const std::shared_ptr<minipy::ListValue>& l) {
+      return "list@" + std::to_string(l->heap_id()) + " (len " +
+             std::to_string(l->items.size()) + ")";
+    }
+    std::string operator()(const std::shared_ptr<minipy::DictValue>& d) {
+      return "dict@" + std::to_string(d->heap_id());
+    }
+    std::string operator()(const std::shared_ptr<minipy::ObjectValue>& o) {
+      return "object@" + std::to_string(o->heap_id());
+    }
+    std::string operator()(const std::shared_ptr<minipy::FunctionValue>& f) {
+      return "function " + f->qualified_name;
+    }
+    std::string operator()(const std::shared_ptr<minipy::ClassValue>& c) {
+      return "class " + c->name;
+    }
+    std::string operator()(const std::shared_ptr<minipy::BuiltinFunction>&) {
+      return "builtin";
+    }
+  };
+  return std::visit(Visitor{}, value);
+}
+
+// What a CaptureSpec speculates about its context slot, rendered on the
+// same vocabulary as DescribeValue so assumed/observed line up.
+std::string DescribeCaptureAssumption(const CaptureSpec& capture) {
+  if (capture.kind == ObservedKind::kTensor) {
+    return std::string("Tensor<") + DTypeName(capture.dtype) + ", " +
+           capture.shape.ToString() + ">";
+  }
+  return ObservedKindName(capture.kind);
+}
+
+}  // namespace
 
 EngineOptions EngineOptions::ImperativePreset() {
   EngineOptions options;
@@ -44,6 +102,10 @@ struct JanusEngine::UnitState {
   int failed_generations = 0;
   std::int64_t next_generation_attempt = 0;
   std::string refusal_reason;
+  // Guarded by units_mu_ (read by the introspection thread in
+  // StatsReport); everything above is engine-thread-only.
+  std::string name;
+  std::set<std::uint64_t> variants;
 };
 
 JanusEngine::JanusEngine(minipy::Interpreter* interp, EngineOptions options)
@@ -101,6 +163,12 @@ void JanusEngine::Attach() {
     obs::Trace::Enable();
   }
   if (options_.kernel_timing) obs::SetKernelTimingEnabled(true);
+  // Publish this engine to the live-introspection endpoints: its private
+  // registry feeds /metrics, its StatsReport() feeds /statusz. Detach()
+  // retires both so a scrape after teardown still sees the final totals.
+  obs::IntrospectionHub::Global().RegisterMetricsSource(&metrics_);
+  status_source_id_ = obs::IntrospectionHub::Global().RegisterStatusSource(
+      "engine " + obs::PointerToHex(this), [this] { return StatsReport(); });
   interp_->set_observer(&profiler_);
   interp_->set_interceptor(this);
   interp_->eager().set_dispatch_penalty_ns(options_.eager_dispatch_penalty_ns);
@@ -146,6 +214,13 @@ void JanusEngine::Attach() {
 
 void JanusEngine::Detach() {
   attached_ = false;
+  // Retirement must happen while the engine is still alive: the hub
+  // captures a final StatsReport() and folds the registry's counts.
+  if (status_source_id_ != 0) {
+    obs::IntrospectionHub::Global().UnregisterStatusSource(status_source_id_);
+    status_source_id_ = 0;
+  }
+  obs::IntrospectionHub::Global().UnregisterMetricsSource(&metrics_);
   interp_->set_observer(nullptr);
   interp_->set_interceptor(nullptr);
   if (!options_.trace_path.empty()) {
@@ -203,9 +278,28 @@ minipy::Value JanusEngine::Run(const std::shared_ptr<FunctionValue>& fn,
                               lr);
   }
   const void* key = UnitKey(*fn);
-  auto& unit = units_[key];
-  if (unit == nullptr) unit = std::make_unique<UnitState>();
+  UnitState* unit = nullptr;
+  {
+    const std::lock_guard<std::mutex> lock(units_mu_);
+    auto& slot = units_[key];
+    if (slot == nullptr) slot = std::make_unique<UnitState>();
+    unit = slot.get();
+    if (unit->name.empty()) unit->name = fn->qualified_name;
+    unit->variants.insert(VariantKey(training, lr));
+  }
   ++unit->calls;
+
+  // Flight-recorder context for every record this run emits. The disabled
+  // path is the one relaxed load in Ledger::Enabled().
+  const bool ledger_on = obs::Ledger::Enabled();
+  const auto NewRecord = [&](const char* kind) {
+    obs::LedgerRecord record;
+    record.kind = kind;
+    record.unit = obs::PointerToHex(key);
+    record.name = fn->qualified_name;
+    record.variant = VariantKey(training, lr);
+    return record;
+  };
 
   if (unit->imperative_only) {
     counters_.imperative_executions->Increment();
@@ -226,12 +320,25 @@ minipy::Value JanusEngine::Run(const std::shared_ptr<FunctionValue>& fn,
     if (entry.closure != fn->closure) continue;
     const cache::ValidationDecision decision = cache_->BeginUse(entry_ref);
     bool valid = true;
+    std::int64_t check_ns = -1;
+    EntryMismatch mismatch;
     if (decision != cache::ValidationDecision::kSkip) {
       const std::int64_t check_start_ns = obs::Trace::NowNs();
-      valid = EntryValid(entry, fn, args);
-      validation_ns_->Record(obs::Trace::NowNs() - check_start_ns);
+      valid = EntryValid(entry, fn, args, ledger_on ? &mismatch : nullptr);
+      check_ns = obs::Trace::NowNs() - check_start_ns;
+      validation_ns_->Record(check_ns);
     }
     if (!valid) {
+      if (ledger_on) {
+        auto record = NewRecord("entry_mismatch");
+        record.level = entry.compiled->despecialization_level;
+        record.cache_hit = 0;
+        record.assumption = mismatch.assumption;
+        record.assumed = mismatch.assumed;
+        record.observed = mismatch.observed;
+        record.validate_ns = check_ns;
+        obs::Ledger::Global().Record(std::move(record));
+      }
       if (decision == cache::ValidationDecision::kAudit) {
         // The entry's inputs drifted while its guards ran unchecked:
         // demote it (and, via the epoch, every other promoted entry).
@@ -240,9 +347,17 @@ minipy::Value JanusEngine::Run(const std::shared_ptr<FunctionValue>& fn,
       continue;
     }
     try {
-      Value result = ExecuteCompiled(entry, args);
+      auto run_record = NewRecord("run");
+      Value result =
+          ExecuteCompiled(entry, args, ledger_on ? &run_record : nullptr);
       counters_.graph_executions->Increment();
       cache_->OnRunSuccess(cache_key, entry_ref);
+      if (ledger_on) {
+        run_record.level = entry.compiled->despecialization_level;
+        run_record.cache_hit = 1;
+        run_record.validate_ns = check_ns;
+        obs::Ledger::Global().Record(std::move(run_record));
+      }
       return result;
     } catch (const AssumptionFailed& failure) {
       // (E) Runtime assumption failure: nothing was committed; mark the
@@ -252,6 +367,16 @@ minipy::Value JanusEngine::Run(const std::shared_ptr<FunctionValue>& fn,
       counters_.fallbacks->Increment();
       obs::Trace::RecordInstant("assumption_failure", "engine",
                                 failure.assumption_id());
+      if (ledger_on) {
+        auto record = NewRecord("fallback");
+        record.level = entry.compiled->despecialization_level;
+        record.cache_hit = 1;
+        record.assumption = failure.assumption_id();
+        record.assumed = failure.assumed();
+        record.observed = failure.observed();
+        record.validate_ns = check_ns;
+        obs::Ledger::Global().Record(std::move(record));
+      }
       profiler_.MarkAssumptionFailed(failure.assumption_id());
       cache_->OnEntryFailure(cache_key, entry_ref);
       counters_.imperative_executions->Increment();
@@ -265,6 +390,13 @@ minipy::Value JanusEngine::Run(const std::shared_ptr<FunctionValue>& fn,
       counters_.fallbacks->Increment();
       JANUS_LOG(kInfo) << "speculative graph failed (" << error.what()
                        << "); falling back";
+      if (ledger_on) {
+        auto record = NewRecord("fallback");
+        record.level = entry.compiled->despecialization_level;
+        record.cache_hit = 1;
+        record.detail = error.what();
+        obs::Ledger::Global().Record(std::move(record));
+      }
       cache_->OnEntryFailure(cache_key, entry_ref);
       counters_.imperative_executions->Increment();
       return RunImperativePhase("fallback", fn, std::move(args), training,
@@ -274,6 +406,13 @@ minipy::Value JanusEngine::Run(const std::shared_ptr<FunctionValue>& fn,
   if (!candidates.empty()) {
     counters_.cache_misses->Increment();
     cache_->OnMiss(cache_key);
+    if (ledger_on) {
+      auto record = NewRecord("cache_miss");
+      record.cache_hit = 0;
+      record.detail =
+          std::to_string(candidates.size()) + " candidates rejected";
+      obs::Ledger::Global().Record(std::move(record));
+    }
   }
 
   // (B) Generate once enough profile information exists (§3.1). After a
@@ -307,6 +446,19 @@ minipy::Value JanusEngine::Run(const std::shared_ptr<FunctionValue>& fn,
       cached->compiled = std::move(compiled);
       cached->closure = fn->closure;
       const std::int64_t bytes = cached->compiled->EstimateBytes();
+      if (ledger_on) {
+        auto record = NewRecord("generation");
+        record.level = hints.despecialization_level;
+        record.generate_ns = build_cost_ns;
+        record.bytes = bytes;
+        record.detail =
+            std::to_string(cached->compiled->num_assert_ops) +
+            " asserts, " +
+            std::to_string(cached->compiled->entry_checks.size()) +
+            " entry checks, " +
+            std::to_string(cached->compiled->captures.size()) + " captures";
+        obs::Ledger::Global().Record(std::move(record));
+      }
       // Eviction weight: what this artifact cost to build (generation +
       // plan compilation) against what it occupies.
       const auto entry_ref =
@@ -314,21 +466,44 @@ minipy::Value JanusEngine::Run(const std::shared_ptr<FunctionValue>& fn,
       CachedUnit& fresh = *cached;
       if (EntryValid(fresh, fn, args)) {
         try {
-          Value result = ExecuteCompiled(fresh, args);
+          auto run_record = NewRecord("run");
+          Value result = ExecuteCompiled(fresh, args,
+                                         ledger_on ? &run_record : nullptr);
           counters_.graph_executions->Increment();
           cache_->OnRunSuccess(cache_key, entry_ref);
+          if (ledger_on) {
+            run_record.level = fresh.compiled->despecialization_level;
+            run_record.cache_hit = 0;  // first run of a fresh graph
+            obs::Ledger::Global().Record(std::move(run_record));
+          }
           return result;
         } catch (const AssumptionFailed& failure) {
           counters_.assumption_failures->Increment();
           counters_.fallbacks->Increment();
           obs::Trace::RecordInstant("assumption_failure", "engine",
                                     failure.assumption_id());
+          if (ledger_on) {
+            auto record = NewRecord("fallback");
+            record.level = fresh.compiled->despecialization_level;
+            record.cache_hit = 0;
+            record.assumption = failure.assumption_id();
+            record.assumed = failure.assumed();
+            record.observed = failure.observed();
+            obs::Ledger::Global().Record(std::move(record));
+          }
           profiler_.MarkAssumptionFailed(failure.assumption_id());
           cache_->OnEntryFailure(cache_key, entry_ref);
         } catch (const Error& error) {
           counters_.fallbacks->Increment();
           JANUS_LOG(kInfo) << "fresh speculative graph failed ("
                            << error.what() << "); falling back";
+          if (ledger_on) {
+            auto record = NewRecord("fallback");
+            record.level = fresh.compiled->despecialization_level;
+            record.cache_hit = 0;
+            record.detail = error.what();
+            obs::Ledger::Global().Record(std::move(record));
+          }
           cache_->OnEntryFailure(cache_key, entry_ref);
         }
       }
@@ -341,6 +516,14 @@ minipy::Value JanusEngine::Run(const std::shared_ptr<FunctionValue>& fn,
       unit->refusal_reason = refusal.what();
       unit->next_generation_attempt = unit->calls * 2;
       if (unit->failed_generations >= 4) unit->imperative_only = true;
+      if (ledger_on) {
+        auto record = NewRecord("refusal");
+        record.detail = refusal.what();
+        if (unit->imperative_only) {
+          record.detail += " (unit pinned imperative)";
+        }
+        obs::Ledger::Global().Record(std::move(record));
+      }
       JANUS_LOG(kInfo) << "not convertible: " << refusal.what();
     }
   }
@@ -353,10 +536,24 @@ minipy::Value JanusEngine::RunImperativePhase(
     const char* phase, const std::shared_ptr<FunctionValue>& fn,
     std::vector<Value> args, bool training, double lr, std::string detail) {
   obs::TraceScope span(phase, "engine");
-  span.set_detail(std::move(detail));
   const std::int64_t start_ns = obs::Trace::NowNs();
   Value result = RunImperative(fn, std::move(args), training, lr);
-  imperative_ns_->Record(obs::Trace::NowNs() - start_ns);
+  const std::int64_t duration_ns = obs::Trace::NowNs() - start_ns;
+  imperative_ns_->Record(duration_ns);
+  // Fallback runs are attributed at the catch site (with the failing
+  // assumption); profile/imperative runs get their phase record here.
+  if (obs::Ledger::Enabled() && std::strcmp(phase, "fallback") != 0) {
+    obs::LedgerRecord record;
+    record.kind = phase;
+    record.unit = obs::PointerToHex(UnitKey(*fn));
+    record.name = fn->qualified_name;
+    record.variant = VariantKey(training, lr);
+    record.cache_hit = 0;
+    record.execute_ns = duration_ns;
+    record.detail = detail;
+    obs::Ledger::Global().Record(std::move(record));
+  }
+  span.set_detail(std::move(detail));
   return result;
 }
 
@@ -398,68 +595,89 @@ minipy::Value JanusEngine::RunImperative(
 
 bool JanusEngine::EntryValid(const CachedUnit& entry,
                              const std::shared_ptr<FunctionValue>& fn,
-                             std::span<const Value> args) {
-  if (entry.closure != fn->closure) return false;
+                             std::span<const Value> args,
+                             EntryMismatch* mismatch) {
+  // Renders the first failing guard for the flight recorder; the rendering
+  // work only happens on the (already slow) rejection path, and only when
+  // the caller wants attribution.
+  const auto report = [mismatch](const std::string& assumption,
+                                 std::string assumed, std::string observed) {
+    if (mismatch == nullptr) return;
+    mismatch->assumption = assumption;
+    mismatch->assumed = std::move(assumed);
+    mismatch->observed = std::move(observed);
+  };
+  if (entry.closure != fn->closure) {
+    report("closure", "generation-time closure", "different closure");
+    return false;
+  }
   if (!options_.validate_entry_checks) return true;
+  const CaptureSpec* current_capture = nullptr;
   try {
     for (const EntryCheck& check : entry.compiled->entry_checks) {
       if (!EntryValueMatches(check.ref.Resolve(args), check.expected)) {
+        report(check.assumption_id, DescribeValue(check.expected),
+               DescribeValue(check.ref.Resolve(args)));
         return false;
       }
     }
     for (const CaptureSpec& capture : entry.compiled->captures) {
+      current_capture = &capture;
       const Value value = capture.ref.Resolve(args);
       // Every validation is also a profile observation, so shape/constant
       // assumptions keep relaxing along the Fig. 4 lattice.
       profiler_.ObserveContext(capture.ref.ToString(), value);
+      bool ok = true;
       switch (capture.kind) {
         case ObservedKind::kTensor: {
           const auto* tensor = std::get_if<Tensor>(&value);
-          if (tensor == nullptr || tensor->dtype() != capture.dtype ||
-              !capture.shape.Matches(tensor->shape())) {
-            return false;
-          }
+          ok = tensor != nullptr && tensor->dtype() == capture.dtype &&
+               capture.shape.Matches(tensor->shape());
           break;
         }
         case ObservedKind::kInt:
-          if (!std::holds_alternative<std::int64_t>(value)) return false;
+          ok = std::holds_alternative<std::int64_t>(value);
           break;
         case ObservedKind::kFloat:
-          if (!std::holds_alternative<double>(value)) return false;
+          ok = std::holds_alternative<double>(value);
           break;
         case ObservedKind::kBool:
-          if (!std::holds_alternative<bool>(value)) return false;
+          ok = std::holds_alternative<bool>(value);
           break;
         case ObservedKind::kObject:
-          if (!std::holds_alternative<
-                  std::shared_ptr<minipy::ObjectValue>>(value)) {
-            return false;
-          }
+          ok = std::holds_alternative<std::shared_ptr<minipy::ObjectValue>>(
+              value);
           break;
         case ObservedKind::kList:
-          if (!std::holds_alternative<
-                  std::shared_ptr<minipy::ListValue>>(value)) {
-            return false;
-          }
+          ok = std::holds_alternative<std::shared_ptr<minipy::ListValue>>(
+              value);
           break;
         case ObservedKind::kDict:
-          if (!std::holds_alternative<
-                  std::shared_ptr<minipy::DictValue>>(value)) {
-            return false;
-          }
+          ok = std::holds_alternative<std::shared_ptr<minipy::DictValue>>(
+              value);
           break;
         default:
-          return false;
+          ok = false;
+      }
+      if (!ok) {
+        report(capture.assumption_id, DescribeCaptureAssumption(capture),
+               DescribeValue(value));
+        return false;
       }
     }
-  } catch (const Error&) {
-    return false;  // ref no longer resolves: context changed shape
+  } catch (const Error& error) {
+    // Ref no longer resolves: the surrounding context changed shape.
+    report(current_capture != nullptr ? current_capture->assumption_id
+                                      : std::string("context"),
+           "resolvable context reference", error.what());
+    return false;
   }
   return true;
 }
 
 minipy::Value JanusEngine::ExecuteCompiled(CachedUnit& entry,
-                                           std::span<const Value> args) {
+                                           std::span<const Value> args,
+                                           obs::LedgerRecord* run_record) {
   obs::TraceScope span("graph_execution", "engine");
   const std::int64_t start_ns = obs::Trace::NowNs();
   std::map<std::string, Tensor> feeds;
@@ -490,7 +708,13 @@ minipy::Value JanusEngine::ExecuteCompiled(CachedUnit& entry,
   // Invoke/While dispatches through each function's plan cache.
   counters_.plan_cache_hits->Add(1 + metrics.plan_cache_hits);
   span.set_arg("ops", metrics.ops_executed);
-  graph_execution_ns_->Record(obs::Trace::NowNs() - start_ns);
+  const std::int64_t duration_ns = obs::Trace::NowNs() - start_ns;
+  graph_execution_ns_->Record(duration_ns);
+  if (run_record != nullptr) {
+    run_record->execute_ns = duration_ns;
+    run_record->ops = metrics.ops_executed;
+    run_record->bytes = metrics.bytes_allocated;
+  }
   return results.at(0);
 }
 
@@ -533,6 +757,59 @@ std::string JanusEngine::StatsReport() const {
   }
   out += "--- specialization cache ---\n";
   out += cache_->TextReport();
+  // Per-unit ladder/promotion state: which rung of the Fig. 4 lattice each
+  // conversion unit sits on, and how its candidates are doing. /statusz
+  // reads this from the HTTP thread, hence the units_mu_ snapshot.
+  {
+    std::vector<std::pair<const void*,
+                          std::pair<std::string, std::vector<std::uint64_t>>>>
+        snapshot;
+    {
+      const std::lock_guard<std::mutex> lock(units_mu_);
+      for (const auto& [key, unit] : units_) {
+        snapshot.emplace_back(
+            key, std::make_pair(unit->name,
+                                std::vector<std::uint64_t>(
+                                    unit->variants.begin(),
+                                    unit->variants.end())));
+      }
+    }
+    std::string ladder;
+    for (const auto& [key, named] : snapshot) {
+      for (const std::uint64_t variant : named.second) {
+        const cache::KeyStats ks = cache_->Stats({this, key, variant});
+        if (ks.insertions == 0 && ks.misses == 0 && ks.hits == 0) continue;
+        std::string variant_text = "inference";
+        if ((variant & 1u) != 0) {
+          char lr_text[32];
+          std::snprintf(lr_text, sizeof(lr_text), "lr=%g",
+                        std::bit_cast<double>(variant >> 1));
+          variant_text = std::string("training ") + lr_text;
+        }
+        char line[320];
+        std::snprintf(
+            line, sizeof(line),
+            "%s [%s]: ladder_level=%d resident=%lld promoted=%lld "
+            "hits=%lld misses=%lld failures=%lld churn=%lld "
+            "promotions=%lld\n",
+            named.first.empty() ? obs::PointerToHex(key).c_str()
+                                : named.first.c_str(),
+            variant_text.c_str(), ks.ladder_level,
+            static_cast<long long>(ks.resident_entries),
+            static_cast<long long>(ks.promoted_entries),
+            static_cast<long long>(ks.hits),
+            static_cast<long long>(ks.misses),
+            static_cast<long long>(ks.failures),
+            static_cast<long long>(ks.churn_events),
+            static_cast<long long>(ks.promotions));
+        ladder += line;
+      }
+    }
+    if (!ladder.empty()) {
+      out += "--- per-unit despecialization ladder ---\n";
+      out += ladder;
+    }
+  }
   const BufferPool::Stats pool = BufferPool::Global().Snapshot();
   out += "--- buffer pool (process-wide) ---\n";
   char line[256];

@@ -28,12 +28,14 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "cache/specialization_cache.h"
 #include "common/thread_pool.h"
 #include "core/generator.h"
 #include "core/host_state.h"
+#include "obs/ledger.h"
 #include "obs/metrics.h"
 #include "runtime/executor.h"
 
@@ -184,11 +186,23 @@ class JanusEngine : public minipy::CallInterceptor {
       const char* phase, const std::shared_ptr<minipy::FunctionValue>& fn,
       std::vector<minipy::Value> args, bool training, double lr,
       std::string detail = {});
+  // First entry-guard that rejected a cached entry, rendered for the
+  // speculation ledger: which assumption, what the graph assumed, what the
+  // live context held.
+  struct EntryMismatch {
+    std::string assumption;
+    std::string assumed;
+    std::string observed;
+  };
   bool EntryValid(const CachedUnit& entry,
                   const std::shared_ptr<minipy::FunctionValue>& fn,
-                  std::span<const minipy::Value> args);
+                  std::span<const minipy::Value> args,
+                  EntryMismatch* mismatch = nullptr);
+  // When `run_record` is non-null (ledger enabled), fills execute_ns, ops,
+  // and bytes for the caller's flight-recorder record.
   minipy::Value ExecuteCompiled(CachedUnit& entry,
-                                std::span<const minipy::Value> args);
+                                std::span<const minipy::Value> args,
+                                obs::LedgerRecord* run_record = nullptr);
 
   minipy::Interpreter* interp_;
   EngineOptions options_;
@@ -204,11 +218,16 @@ class JanusEngine : public minipy::CallInterceptor {
   obs::Histogram* validation_ns_ = nullptr;
   std::unique_ptr<cache::SpecializationCache> owned_cache_;
   cache::SpecializationCache* cache_ = nullptr;
+  // Guards the units_ map plus each unit's name/variants against the
+  // introspection thread (StatsReport via /statusz); the remaining
+  // UnitState fields stay engine-thread-only.
+  mutable std::mutex units_mu_;
   std::map<const void*, std::unique_ptr<UnitState>> units_;
   std::map<const void*, bool> roots_;
   bool attached_ = false;
   bool in_imperative_run_ = false;
   bool trace_was_enabled_ = false;  // tracer state to restore at Detach()
+  int status_source_id_ = 0;  // IntrospectionHub registration (0 = none)
 };
 
 }  // namespace janus

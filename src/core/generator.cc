@@ -814,11 +814,18 @@ struct GraphGenerator::Impl {
         AssumptionUsable(id)) {
       const bool taken = profile->Direction();
       if (opt.insert_assertions) {
-        NodeOutput pred = ToBool(frame, cond);
+        const NodeOutput raw_pred = ToBool(frame, cond);
+        NodeOutput pred = raw_pred;
         if (!taken) {
           pred = {AddOp(frame, "LogicalNot", {pred}), 0};
         }
-        Node* check = AddOp(frame, "Assert", {pred}, {{"assumption", id}});
+        // Input 1 carries the raw predicate so a failure can report the
+        // observed truth value alongside the speculated direction.
+        Node* check = AddOp(frame, "Assert", {pred, raw_pred},
+                            {{"assumption", id},
+                             {"assumed", std::string(taken
+                                                         ? "branch taken"
+                                                         : "branch not taken")}});
         frame.side_nodes.push_back(check);
         out->runtime_assumptions.push_back(id);
         ++out->num_assert_ops;
@@ -1007,7 +1014,13 @@ struct GraphGenerator::Impl {
         if (opt.insert_assertions) {
           const NodeOutput pred =
               ToBool(frame, Eval(stmt->value.get(), frame, scope));
-          Node* check = AddOp(frame, "Assert", {pred}, {{"assumption", id}});
+          Node* check =
+              AddOp(frame, "Assert", {pred},
+                    {{"assumption", id},
+                     {"assumed", std::to_string(profile->trip_count) +
+                                     " iterations (condition true before "
+                                     "iteration " +
+                                     std::to_string(k) + ")"}});
           frame.side_nodes.push_back(check);
           ++out->num_assert_ops;
         }
@@ -1018,9 +1031,13 @@ struct GraphGenerator::Impl {
       if (opt.insert_assertions) {
         const NodeOutput pred =
             ToBool(frame, Eval(stmt->value.get(), frame, scope));
-        Node* done = AddOp(frame, "Assert",
-                           {{AddOp(frame, "LogicalNot", {pred}), 0}},
-                           {{"assumption", id}});
+        Node* done =
+            AddOp(frame, "Assert",
+                  {{AddOp(frame, "LogicalNot", {pred}), 0}, pred},
+                  {{"assumption", id},
+                   {"assumed", std::to_string(profile->trip_count) +
+                                   " iterations (condition false after the "
+                                   "last)"}});
         frame.side_nodes.push_back(done);
         ++out->num_assert_ops;
       }
@@ -1153,8 +1170,14 @@ struct GraphGenerator::Impl {
         const NodeOutput expected = ToNode(
             frame, SymValue::Static(*lo_i + trips), DType::kInt64);
         Node* eq = AddOp(frame, "Equal", {bound, expected});
+        // Input 1 is the live range bound, so a trip-count mismatch reports
+        // assumed "range(lo, lo+trips)" against the observed bound value.
         Node* check =
-            AddOp(frame, "Assert", {{eq, 0}}, {{"assumption", id}});
+            AddOp(frame, "Assert", {{eq, 0}, bound},
+                  {{"assumption", id},
+                   {"assumed", "range bound " +
+                                   std::to_string(*lo_i + trips) + " (" +
+                                   std::to_string(trips) + " iterations)"}});
         frame.side_nodes.push_back(check);
         out->runtime_assumptions.push_back(id);
         ++out->num_assert_ops;

@@ -1,5 +1,7 @@
 #include "core/profiler.h"
 
+#include "obs/ledger.h"
+
 namespace janus {
 
 using minipy::Value;
@@ -158,6 +160,14 @@ const ValueProfile* Profiler::context(const std::string& ref) const {
 }
 
 void Profiler::MarkAssumptionFailed(const std::string& assumption_id) {
+  if (obs::Ledger::Enabled() &&
+      failed_assumptions_.count(assumption_id) == 0u) {
+    // First failure of this id: regeneration will stop speculating on it.
+    obs::LedgerRecord record;
+    record.kind = "assumption_blacklisted";
+    record.assumption = assumption_id;
+    obs::Ledger::Global().Record(std::move(record));
+  }
   failed_assumptions_[assumption_id] = ++failure_stamp_;
   while (failed_assumptions_.size() > kMaxFailedAssumptions) {
     auto oldest = failed_assumptions_.begin();

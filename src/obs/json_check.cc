@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <optional>
 
@@ -27,6 +28,66 @@ class Parser {
     ParseTopLevel(summary);
     SkipWhitespace();
     if (pos_ != text_.size()) Fail("trailing content after JSON document");
+  }
+
+  // Parses one flat JSON object (no nested objects/arrays), capturing
+  // every top-level field, and requires end-of-input after it.
+  void ParseFlatDocument(FlatObject* fields) {
+    SkipWhitespace();
+    Expect('{');
+    SkipWhitespace();
+    if (Peek() == '}') {
+      ++pos_;
+    } else {
+      while (true) {
+        SkipWhitespace();
+        const std::string key = ParseString();
+        SkipWhitespace();
+        Expect(':');
+        SkipWhitespace();
+        FlatValue value;
+        switch (Peek()) {
+          case '{':
+          case '[':
+            Fail("nested value in flat object");
+          case '"':
+            value.kind = FlatValue::Kind::kString;
+            value.text = ParseString();
+            break;
+          case 't':
+            ParseLiteral("true");
+            value.kind = FlatValue::Kind::kBool;
+            value.text = "true";
+            break;
+          case 'f':
+            ParseLiteral("false");
+            value.kind = FlatValue::Kind::kBool;
+            value.text = "false";
+            break;
+          case 'n':
+            ParseLiteral("null");
+            value.kind = FlatValue::Kind::kNull;
+            value.text = "null";
+            break;
+          default: {
+            const std::size_t start = pos_;
+            ParseNumber();
+            value.kind = FlatValue::Kind::kNumber;
+            value.text = std::string(text_.substr(start, pos_ - start));
+          }
+        }
+        if (fields != nullptr) (*fields)[key] = std::move(value);
+        SkipWhitespace();
+        const char c = Next();
+        if (c == '}') break;
+        if (c != ',') {
+          --pos_;
+          Fail("expected ',' or '}' in object");
+        }
+      }
+    }
+    SkipWhitespace();
+    if (pos_ != text_.size()) Fail("trailing content after JSON object");
   }
 
  private:
@@ -284,6 +345,133 @@ class Parser {
   std::size_t pos_ = 0;
 };
 
+void FormatParseError(const Parser::ParseError& parse_error,
+                      std::string* error) {
+  if (error == nullptr) return;
+  char prefix[64];
+  std::snprintf(prefix, sizeof(prefix), "at byte %zu: ",
+                parse_error.position);
+  *error = prefix + parse_error.message;
+}
+
+bool SetError(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
+  return false;
+}
+
+// ---- Prometheus text-format 0.0.4 helpers ----
+
+bool IsMetricNameStart(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+         c == ':';
+}
+
+bool IsMetricNameChar(char c) {
+  return IsMetricNameStart(c) || (c >= '0' && c <= '9');
+}
+
+bool IsLabelNameStart(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+
+bool IsLabelNameChar(char c) {
+  return IsLabelNameStart(c) || (c >= '0' && c <= '9');
+}
+
+bool IsValidMetricName(std::string_view name) {
+  if (name.empty() || !IsMetricNameStart(name[0])) return false;
+  for (const char c : name.substr(1)) {
+    if (!IsMetricNameChar(c)) return false;
+  }
+  return true;
+}
+
+bool IsValidSampleValue(std::string_view token) {
+  if (token == "+Inf" || token == "-Inf" || token == "NaN") return true;
+  if (token.empty()) return false;
+  const std::string copy(token);
+  char* end = nullptr;
+  std::strtod(copy.c_str(), &end);
+  return end == copy.c_str() + copy.size();
+}
+
+// Validates one sample line: name[{labels}] value [timestamp]. Returns
+// the metric name via *name on success.
+bool ValidateSampleLine(std::string_view line, std::string* name,
+                        std::string* error) {
+  std::size_t pos = 0;
+  while (pos < line.size() && IsMetricNameChar(line[pos])) ++pos;
+  if (pos == 0 || !IsValidMetricName(line.substr(0, pos))) {
+    return SetError(error, "bad metric name");
+  }
+  *name = std::string(line.substr(0, pos));
+  if (pos < line.size() && line[pos] == '{') {
+    ++pos;
+    while (true) {
+      if (pos >= line.size()) return SetError(error, "unterminated label set");
+      if (line[pos] == '}') {
+        ++pos;
+        break;
+      }
+      const std::size_t label_start = pos;
+      while (pos < line.size() && IsLabelNameChar(line[pos])) ++pos;
+      if (pos == label_start || !IsLabelNameStart(line[label_start])) {
+        return SetError(error, "bad label name");
+      }
+      if (pos >= line.size() || line[pos] != '=') {
+        return SetError(error, "expected '=' after label name");
+      }
+      ++pos;
+      if (pos >= line.size() || line[pos] != '"') {
+        return SetError(error, "label value is not a quoted string");
+      }
+      ++pos;
+      while (true) {
+        if (pos >= line.size()) {
+          return SetError(error, "unterminated label value");
+        }
+        const char c = line[pos];
+        if (c == '"') {
+          ++pos;
+          break;
+        }
+        if (c == '\n') return SetError(error, "raw newline in label value");
+        if (c == '\\') {
+          ++pos;
+          if (pos >= line.size() ||
+              (line[pos] != '\\' && line[pos] != '"' && line[pos] != 'n')) {
+            return SetError(error, "bad escape in label value");
+          }
+        }
+        ++pos;
+      }
+      if (pos < line.size() && line[pos] == ',') ++pos;
+    }
+  }
+  if (pos >= line.size() || line[pos] != ' ') {
+    return SetError(error, "expected space before sample value");
+  }
+  while (pos < line.size() && line[pos] == ' ') ++pos;
+  std::size_t value_end = pos;
+  while (value_end < line.size() && line[value_end] != ' ') ++value_end;
+  if (!IsValidSampleValue(line.substr(pos, value_end - pos))) {
+    return SetError(error, "bad sample value");
+  }
+  pos = value_end;
+  while (pos < line.size() && line[pos] == ' ') ++pos;
+  if (pos < line.size()) {
+    // Optional millisecond timestamp: an integer.
+    if (line[pos] == '-') ++pos;
+    if (pos >= line.size()) return SetError(error, "bad timestamp");
+    for (; pos < line.size(); ++pos) {
+      if (line[pos] < '0' || line[pos] > '9') {
+        return SetError(error, "bad timestamp");
+      }
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 bool ValidateChromeTrace(std::string_view json, std::string* error,
@@ -292,15 +480,131 @@ bool ValidateChromeTrace(std::string_view json, std::string* error,
   try {
     Parser(json).ParseDocument(&local);
   } catch (const Parser::ParseError& parse_error) {
-    if (error != nullptr) {
-      char prefix[64];
-      std::snprintf(prefix, sizeof(prefix), "at byte %zu: ",
-                    parse_error.position);
-      *error = prefix + parse_error.message;
-    }
+    FormatParseError(parse_error, error);
     return false;
   }
   if (summary != nullptr) *summary = local;
+  if (error != nullptr) error->clear();
+  return true;
+}
+
+bool ParseFlatJsonObject(std::string_view line, FlatObject* fields,
+                         std::string* error) {
+  FlatObject local;
+  try {
+    Parser(line).ParseFlatDocument(&local);
+  } catch (const Parser::ParseError& parse_error) {
+    FormatParseError(parse_error, error);
+    return false;
+  }
+  if (fields != nullptr) *fields = std::move(local);
+  if (error != nullptr) error->clear();
+  return true;
+}
+
+bool ValidateLedgerLine(std::string_view line, FlatObject* fields,
+                        std::string* error) {
+  FlatObject local;
+  if (!ParseFlatJsonObject(line, &local, error)) return false;
+
+  const auto require_number = [&](const char* key, bool required) {
+    const auto it = local.find(key);
+    if (it == local.end()) {
+      if (required) {
+        SetError(error, std::string("missing numeric field \"") + key + "\"");
+        return false;
+      }
+      return true;
+    }
+    if (it->second.kind != FlatValue::Kind::kNumber) {
+      SetError(error, std::string("field \"") + key + "\" is not a number");
+      return false;
+    }
+    return true;
+  };
+  const auto require_string = [&](const char* key) {
+    const auto it = local.find(key);
+    if (it != local.end() && it->second.kind != FlatValue::Kind::kString) {
+      SetError(error, std::string("field \"") + key + "\" is not a string");
+      return false;
+    }
+    return true;
+  };
+
+  if (!require_number("seq", /*required=*/true)) return false;
+  if (!require_number("ts_ns", /*required=*/true)) return false;
+  const auto kind = local.find("kind");
+  if (kind == local.end() || kind->second.kind != FlatValue::Kind::kString ||
+      kind->second.text.empty()) {
+    return SetError(error, "missing or empty string field \"kind\"");
+  }
+  for (const char* key : {"unit", "name", "variant", "assumption", "assumed",
+                          "observed", "detail"}) {
+    if (!require_string(key)) return false;
+  }
+  for (const char* key : {"level", "cache_hit", "validate_ns", "execute_ns",
+                          "generate_ns", "ops", "bytes"}) {
+    if (!require_number(key, /*required=*/false)) return false;
+  }
+
+  if (fields != nullptr) *fields = std::move(local);
+  if (error != nullptr) error->clear();
+  return true;
+}
+
+bool ValidatePrometheusText(std::string_view text, std::string* error,
+                            PrometheusSummary* summary) {
+  PrometheusSummary local;
+  int line_number = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    const std::string_view line =
+        text.substr(pos, (eol == std::string_view::npos ? text.size() : eol) -
+                             pos);
+    pos = (eol == std::string_view::npos) ? text.size() + 1 : eol + 1;
+    ++line_number;
+    if (line.empty()) continue;
+
+    std::string line_error;
+    if (line[0] == '#') {
+      // "# HELP <name> <docstring>" / "# TYPE <name> <type>"; other
+      // comments are ignored per the format spec.
+      if (line.rfind("# HELP ", 0) == 0 || line.rfind("# TYPE ", 0) == 0) {
+        const bool is_type = line[2] == 'T';
+        const std::string_view rest = line.substr(7);
+        const std::size_t space = rest.find(' ');
+        const std::string_view name =
+            rest.substr(0, space == std::string_view::npos ? rest.size()
+                                                           : space);
+        if (!IsValidMetricName(name)) {
+          line_error = "bad metric name in comment";
+        } else if (is_type) {
+          const std::string_view type =
+              space == std::string_view::npos ? std::string_view()
+                                              : rest.substr(space + 1);
+          if (type != "counter" && type != "gauge" && type != "histogram" &&
+              type != "summary" && type != "untyped") {
+            line_error = "bad metric type";
+          } else {
+            local.families.insert(std::string(name));
+          }
+        }
+      }
+    } else {
+      std::string name;
+      if (ValidateSampleLine(line, &name, &line_error)) {
+        ++local.num_samples;
+        local.sample_names.insert(std::move(name));
+      }
+    }
+    if (!line_error.empty()) {
+      char prefix[32];
+      std::snprintf(prefix, sizeof(prefix), "line %d: ", line_number);
+      return SetError(error, prefix + line_error);
+    }
+  }
+  if (summary != nullptr) *summary = std::move(local);
   if (error != nullptr) error->clear();
   return true;
 }

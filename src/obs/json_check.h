@@ -1,13 +1,15 @@
-// Minimal JSON parser used to validate emitted Chrome-trace files.
+// Minimal parsers used to validate the observability subsystem's emitted
+// text formats: Chrome-trace JSON, speculation-ledger JSONL, and the
+// Prometheus text exposition served on /metrics.
 //
-// This is deliberately not a general JSON library: it fully validates
-// syntax (objects, arrays, strings with escapes, numbers, literals) and
-// extracts only what trace validation needs — per-event name / cat / ph
-// and the event count. Tests and the `trace_validate` CI tool both parse
-// exporter output back through this to guard the JSON schema.
+// These are deliberately not general libraries: they fully validate
+// syntax and extract only what validation needs. Tests and the
+// `trace_validate` CI tool both parse exporter output back through this
+// module to guard each schema.
 #ifndef JANUS_OBS_JSON_CHECK_H_
 #define JANUS_OBS_JSON_CHECK_H_
 
+#include <map>
 #include <set>
 #include <string>
 #include <string_view>
@@ -28,6 +30,45 @@ struct ChromeTraceSummary {
 // fields. On success fills *summary when non-null.
 bool ValidateChromeTrace(std::string_view json, std::string* error,
                          ChromeTraceSummary* summary = nullptr);
+
+// One top-level value of a flat JSON object. Strings are decoded
+// (escapes resolved); numbers and literals keep their raw source text.
+struct FlatValue {
+  enum class Kind { kString, kNumber, kBool, kNull };
+  Kind kind = Kind::kString;
+  std::string text;
+};
+using FlatObject = std::map<std::string, FlatValue>;
+
+// Parses one line as a flat JSON object — the shape every ledger JSONL
+// record has. Nested objects and arrays are rejected. Returns false with
+// a position-annotated *error on malformed input.
+bool ParseFlatJsonObject(std::string_view line, FlatObject* fields,
+                         std::string* error);
+
+// Validates one speculation-ledger JSONL line (obs/ledger.h schema): a
+// flat object with numeric "seq" and "ts_ns" and a non-empty string
+// "kind"; the attribution fields (unit/name/assumption/assumed/observed/
+// detail) must be strings and the latency/volume fields numeric when
+// present. Fills *fields when non-null.
+bool ValidateLedgerLine(std::string_view line, FlatObject* fields,
+                        std::string* error);
+
+struct PrometheusSummary {
+  int num_samples = 0;
+  // Family names declared by "# TYPE" lines, and the (possibly suffixed)
+  // names that actually appeared on sample lines.
+  std::set<std::string> families;
+  std::set<std::string> sample_names;
+};
+
+// Validates a Prometheus text-format 0.0.4 exposition: every line must be
+// a comment ("# HELP" / "# TYPE" with a well-formed name and type) or a
+// sample `name{labels} value` whose metric name, label names, label-value
+// escapes, and value all conform. On success fills *summary when
+// non-null.
+bool ValidatePrometheusText(std::string_view text, std::string* error,
+                            PrometheusSummary* summary = nullptr);
 
 }  // namespace obs
 }  // namespace janus

@@ -7,6 +7,7 @@
 #include <chrono>
 
 #include "common/logging.h"
+#include "obs/ledger.h"
 #include "obs/trace.h"
 #include "tensor/buffer_pool.h"
 
@@ -60,8 +61,20 @@ void ExecuteKernel(RunContext& run, const Node& node, const KernelFn& kernel,
     // holder of dead input buffers (see runtime/memory_plan.h).
     const InPlaceScope scope(allow_in_place);
     kernel(ctx);
-  } catch (const AssumptionFailed&) {
-    throw;  // expected speculative abort; no annotation needed
+  } catch (const AssumptionFailed& failure) {
+    // Expected speculative abort; no annotation needed, but the flight
+    // recorder wants the kernel-site view (the engine adds unit context in
+    // its own fallback record, joined on assumption id).
+    if (obs::Ledger::Enabled()) {
+      obs::LedgerRecord record;
+      record.kind = "assert_failure";
+      record.assumption = failure.assumption_id();
+      record.assumed = failure.assumed();
+      record.observed = failure.observed();
+      record.detail = node.op() + ":" + node.name();
+      obs::Ledger::Global().Record(std::move(record));
+    }
+    throw;
   } catch (const Error& e) {
     throw InvalidArgument(std::string(e.what()) + " [at " +
                           node.DebugString() + "]");

@@ -32,13 +32,27 @@ void RegisterStateKernels(KernelRegistry& r) {
 
   // The runtime assumption check of JANUS (§3.2). Aborts graph execution by
   // throwing AssumptionFailed; because every state mutation is deferred,
-  // aborting is safe at any point.
+  // aborting is safe at any point. Optional attribution: attr "assumed"
+  // names what the generator speculated; the observed side comes from attr
+  // "observed" or, preferably, from a second input carrying the live value
+  // the predicate tested (rendered at failure time only).
   r.Register("Assert", [](KernelContext& ctx) {
     if (!ctx.input(0).ScalarBoolValue()) {
-      throw AssumptionFailed(ctx.node->GetStringAttr("assumption"),
+      const std::string& id = ctx.node->GetStringAttr("assumption");
+      std::string assumed = ctx.node->HasAttr("assumed")
+                                ? ctx.node->GetStringAttr("assumed")
+                                : std::string();
+      std::string observed = ctx.node->HasAttr("observed")
+                                 ? ctx.node->GetStringAttr("observed")
+                                 : std::string();
+      if (observed.empty() && ctx.node->num_inputs() > 1) {
+        observed = ctx.input(1).ToString();
+      }
+      throw AssumptionFailed(id,
                              ctx.node->HasAttr("message")
                                  ? ctx.node->GetStringAttr("message")
-                                 : ctx.node->GetStringAttr("assumption"));
+                                 : id,
+                             std::move(assumed), std::move(observed));
     }
     ctx.set_output(0, ctx.input(0));
   });
@@ -59,10 +73,19 @@ void RegisterStateKernels(KernelRegistry& r) {
       }
     }
     if (!ok) {
+      // Render the assumed shape in the Fig. 4 wildcard notation.
+      std::string assumed = "shape [";
+      for (std::size_t i = 0; i < dims.size(); ++i) {
+        if (i > 0) assumed += ", ";
+        assumed += dims[i] < 0 ? "?" : std::to_string(dims[i]);
+      }
+      assumed += "]";
+      const std::string observed = "shape " + value.shape().ToString();
       throw AssumptionFailed(ctx.node->GetStringAttr("assumption"),
-                             "shape " + value.shape().ToString() +
-                                 " violates assumption " +
-                                 ctx.node->GetStringAttr("assumption"));
+                             observed + " violates assumption " +
+                                 ctx.node->GetStringAttr("assumption") +
+                                 " (assumed " + assumed + ")",
+                             std::move(assumed), observed);
     }
     ctx.set_output(0, value);
   });

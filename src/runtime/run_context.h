@@ -26,16 +26,32 @@
 namespace janus {
 
 // Thrown by AssertOp when a speculative assumption does not hold at runtime.
+// Carries the failing assumption's identity and, when the assert site can
+// render them, the assumed vs observed values — the engine forwards both to
+// the speculation ledger so fallbacks are attributable after the fact.
 class AssumptionFailed : public Error {
  public:
   AssumptionFailed(std::string assumption_id, const std::string& message)
       : Error("assumption failed: " + message),
         assumption_id_(std::move(assumption_id)) {}
 
+  AssumptionFailed(std::string assumption_id, const std::string& message,
+                   std::string assumed, std::string observed)
+      : Error("assumption failed: " + message),
+        assumption_id_(std::move(assumption_id)),
+        assumed_(std::move(assumed)),
+        observed_(std::move(observed)) {}
+
   const std::string& assumption_id() const { return assumption_id_; }
+  // What the graph speculated / what the run saw, rendered symbolically.
+  // Empty when the assert site could not render the value.
+  const std::string& assumed() const { return assumed_; }
+  const std::string& observed() const { return observed_; }
 
  private:
   std::string assumption_id_;
+  std::string assumed_;
+  std::string observed_;
 };
 
 // Named model-parameter storage shared between imperative and graph

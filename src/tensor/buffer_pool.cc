@@ -25,12 +25,22 @@ void FreeRaw(internal::BufferControl* ctrl) {
 
 }  // namespace
 
+namespace {
+
+// Set by ~ThreadCache. Trivially destructible, so it stays readable after
+// TLS destructors ran — the window where static-storage tensors (cached
+// graphs' baked constants) are still being destroyed during exit().
+thread_local bool tls_cache_destroyed = false;
+
+}  // namespace
+
 // A small LIFO stack of free blocks per class, owned by one thread. Spills
 // to / refills from the central freelist; flushes everything on thread exit.
 struct BufferPool::ThreadCache {
   std::array<std::vector<internal::BufferControl*>, kNumClasses> free_blocks;
 
   ~ThreadCache() {
+    tls_cache_destroyed = true;
     BufferPool& pool = BufferPool::Global();
     for (int c = 0; c < kNumClasses; ++c) {
       if (!free_blocks[static_cast<std::size_t>(c)].empty()) {
@@ -47,9 +57,10 @@ BufferPool& BufferPool::Global() {
   return *pool;
 }
 
-BufferPool::ThreadCache& BufferPool::LocalCache() {
+BufferPool::ThreadCache* BufferPool::LocalCache() {
+  if (tls_cache_destroyed) return nullptr;
   thread_local ThreadCache cache;
-  return cache;
+  return &cache;
 }
 
 int BufferPool::SizeClassFor(std::size_t bytes) {
@@ -79,9 +90,11 @@ internal::BufferControl* BufferPool::Allocate(std::size_t bytes) {
     return NewBlock(/*size_class=*/-1, bytes);  // oversize: unpooled
   }
   const std::size_t capacity = ClassBytes(size_class);
-  auto& cached = LocalCache().free_blocks[static_cast<std::size_t>(size_class)];
+  ThreadCache* cache = LocalCache();
   internal::BufferControl* ctrl = nullptr;
-  if (!cached.empty()) {
+  if (cache != nullptr &&
+      !cache->free_blocks[static_cast<std::size_t>(size_class)].empty()) {
+    auto& cached = cache->free_blocks[static_cast<std::size_t>(size_class)];
     ctrl = cached.back();
     cached.pop_back();
   } else {
@@ -103,7 +116,15 @@ void BufferPool::Release(internal::BufferControl* ctrl) {
   }
   retained_bytes_.fetch_add(static_cast<std::int64_t>(ctrl->capacity),
                             std::memory_order_relaxed);
-  auto& cached = LocalCache().free_blocks[static_cast<std::size_t>(size_class)];
+  ThreadCache* cache = LocalCache();
+  if (cache == nullptr) {
+    // This thread's cache is already gone (process teardown): park the
+    // block centrally instead of touching the destroyed TLS vectors.
+    std::vector<internal::BufferControl*> one{ctrl};
+    CentralPush(size_class, one);
+    return;
+  }
+  auto& cached = cache->free_blocks[static_cast<std::size_t>(size_class)];
   cached.push_back(ctrl);
   if (cached.size() > kThreadCacheBlocks) {
     CentralPush(size_class, cached);
@@ -143,10 +164,11 @@ void BufferPool::CentralPush(int size_class,
 
 void BufferPool::Trim() {
   trims_.fetch_add(1, std::memory_order_relaxed);
-  ThreadCache& cache = LocalCache();
-  for (int c = 0; c < kNumClasses; ++c) {
-    auto& cached = cache.free_blocks[static_cast<std::size_t>(c)];
-    if (!cached.empty()) CentralPush(c, cached);
+  if (ThreadCache* cache = LocalCache(); cache != nullptr) {
+    for (int c = 0; c < kNumClasses; ++c) {
+      auto& cached = cache->free_blocks[static_cast<std::size_t>(c)];
+      if (!cached.empty()) CentralPush(c, cached);
+    }
   }
   std::vector<internal::BufferControl*> reclaimed;
   {

@@ -84,7 +84,9 @@ class BufferPool {
 
   BufferPool() = default;
 
-  ThreadCache& LocalCache();
+  // The calling thread's cache, or nullptr once it has been destroyed
+  // (static-destruction-time releases go straight to the central lists).
+  ThreadCache* LocalCache();
   internal::BufferControl* NewBlock(int size_class, std::size_t capacity);
   // Central-freelist operations (batch, one lock each).
   internal::BufferControl* CentralPop(int size_class);

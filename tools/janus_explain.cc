@@ -1,0 +1,382 @@
+// Root-cause attribution over a speculation-ledger dump (JANUS_LEDGER=
+// <path> JSONL, obs/ledger.h schema). Where the aggregate counters say
+// *that* fallbacks and cache churn happened, this answers *why*: per
+// conversion unit, the top failing assumptions with their assumed vs
+// observed values, the despecialization-ladder transitions with the churn
+// that triggered them, and the cache-churn summary.
+//
+//   janus_explain <ledger.jsonl> [--top N] [--unit <name-or-hex-substr>]
+//
+// Exit status: 0 on success, 1 on malformed records, 2 on usage/IO
+// errors.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "obs/json_check.h"
+
+namespace {
+
+using janus::obs::FlatObject;
+using janus::obs::FlatValue;
+
+std::string GetStr(const FlatObject& fields, const char* key) {
+  const auto it = fields.find(key);
+  return it == fields.end() ? std::string() : it->second.text;
+}
+
+std::int64_t GetInt(const FlatObject& fields, const char* key,
+                    std::int64_t fallback = -1) {
+  const auto it = fields.find(key);
+  if (it == fields.end() || it->second.kind != FlatValue::Kind::kNumber) {
+    return fallback;
+  }
+  return std::strtoll(it->second.text.c_str(), nullptr, 10);
+}
+
+std::string FormatNs(double ns) {
+  char buffer[32];
+  if (ns < 10'000.0) {
+    std::snprintf(buffer, sizeof(buffer), "%.0f ns", ns);
+  } else if (ns < 10'000'000.0) {
+    std::snprintf(buffer, sizeof(buffer), "%.1f us", ns / 1e3);
+  } else if (ns < 10'000'000'000.0) {
+    std::snprintf(buffer, sizeof(buffer), "%.1f ms", ns / 1e6);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.2f s", ns / 1e9);
+  }
+  return buffer;
+}
+
+// One failing assumption within a unit, aggregated across fallback,
+// entry_mismatch, and (by id) assert_failure records.
+struct AssumptionAgg {
+  std::int64_t count = 0;
+  std::string assumed;   // most recent rendering
+  std::string observed;  // most recent rendering
+  std::map<std::string, std::int64_t> kinds;
+};
+
+struct UnitAgg {
+  std::string unit;  // hex identity (join key)
+  std::string name;  // qualified name when any record carried one
+  std::set<std::string> variants;
+  std::map<std::string, std::int64_t> kind_counts;
+  std::int64_t graph_runs = 0, graph_ns = 0, graph_ops = 0;
+  std::int64_t imperative_runs = 0, imperative_ns = 0;
+  std::map<std::string, AssumptionAgg> assumptions;
+  std::vector<std::string> ladder;       // despecialization transitions
+  std::vector<std::string> generations;  // one line per generation
+  std::map<std::string, std::int64_t> demote_reasons;
+
+  std::int64_t Count(const char* kind) const {
+    const auto it = kind_counts.find(kind);
+    return it == kind_counts.end() ? 0 : it->second;
+  }
+  std::int64_t Disruptions() const {
+    return Count("fallback") + Count("entry_mismatch") +
+           Count("cache_despecialize");
+  }
+};
+
+void AddFailure(UnitAgg& unit, const std::string& kind,
+                const FlatObject& fields) {
+  const std::string id = GetStr(fields, "assumption");
+  if (id.empty()) return;
+  AssumptionAgg& agg = unit.assumptions[id];
+  agg.count += 1;
+  agg.kinds[kind] += 1;
+  const std::string assumed = GetStr(fields, "assumed");
+  const std::string observed = GetStr(fields, "observed");
+  if (!assumed.empty()) agg.assumed = assumed;
+  if (!observed.empty()) agg.observed = observed;
+}
+
+void PrintUnit(const UnitAgg& unit, int top) {
+  std::printf("== unit %s (%s)",
+              unit.name.empty() ? "<anonymous>" : unit.name.c_str(),
+              unit.unit.c_str());
+  if (unit.variants.size() > 1) {
+    std::printf(" [%zu variants]", unit.variants.size());
+  }
+  std::printf(" ==\n");
+
+  std::printf("  runs: %lld graph", static_cast<long long>(unit.graph_runs));
+  if (unit.graph_runs > 0) {
+    std::printf(" (avg %s",
+                FormatNs(static_cast<double>(unit.graph_ns) /
+                         static_cast<double>(unit.graph_runs))
+                    .c_str());
+    if (unit.graph_ops > 0) {
+      std::printf(", %lld ops total", static_cast<long long>(unit.graph_ops));
+    }
+    std::printf(")");
+  }
+  std::printf(", %lld imperative",
+              static_cast<long long>(unit.imperative_runs));
+  if (unit.imperative_runs > 0) {
+    std::printf(" (avg %s)",
+                FormatNs(static_cast<double>(unit.imperative_ns) /
+                         static_cast<double>(unit.imperative_runs))
+                    .c_str());
+  }
+  std::printf("\n");
+
+  std::printf(
+      "  speculation: %lld generations, %lld cache misses, %lld entry "
+      "mismatches, %lld fallbacks, %lld refusals\n",
+      static_cast<long long>(unit.Count("generation")),
+      static_cast<long long>(unit.Count("cache_miss")),
+      static_cast<long long>(unit.Count("entry_mismatch")),
+      static_cast<long long>(unit.Count("fallback")),
+      static_cast<long long>(unit.Count("refusal")));
+
+  if (!unit.assumptions.empty()) {
+    std::vector<const std::map<std::string, AssumptionAgg>::value_type*>
+        ranked;
+    for (const auto& pair : unit.assumptions) ranked.push_back(&pair);
+    std::sort(ranked.begin(), ranked.end(), [](const auto* a, const auto* b) {
+      if (a->second.count != b->second.count) {
+        return a->second.count > b->second.count;
+      }
+      return a->first < b->first;
+    });
+    std::printf("  top failing assumptions:\n");
+    int shown = 0;
+    for (const auto* pair : ranked) {
+      if (shown++ == top) {
+        std::printf("    ... and %zu more\n", ranked.size() - top);
+        break;
+      }
+      const AssumptionAgg& agg = pair->second;
+      std::string kinds;
+      for (const auto& [kind, count] : agg.kinds) {
+        if (!kinds.empty()) kinds += ", ";
+        kinds += kind + "=" + std::to_string(count);
+      }
+      std::printf("    %lldx %s (%s)\n", static_cast<long long>(agg.count),
+                  pair->first.c_str(), kinds.c_str());
+      if (!agg.assumed.empty()) {
+        std::printf("        assumed:  %s\n", agg.assumed.c_str());
+      }
+      if (!agg.observed.empty()) {
+        std::printf("        observed: %s\n", agg.observed.c_str());
+      }
+    }
+  }
+
+  for (const std::string& line : unit.ladder) {
+    std::printf("  ladder: %s\n", line.c_str());
+  }
+  for (const std::string& line : unit.generations) {
+    std::printf("  generation: %s\n", line.c_str());
+  }
+
+  const std::int64_t inserts = unit.Count("cache_insert");
+  const std::int64_t evicts = unit.Count("cache_evict");
+  const std::int64_t promotes = unit.Count("cache_promote");
+  const std::int64_t demotes = unit.Count("cache_demote");
+  if (inserts + evicts + promotes + demotes > 0) {
+    std::printf(
+        "  cache: %lld inserts, %lld evictions, %lld promotions, %lld "
+        "demotions",
+        static_cast<long long>(inserts), static_cast<long long>(evicts),
+        static_cast<long long>(promotes), static_cast<long long>(demotes));
+    if (!unit.demote_reasons.empty()) {
+      std::string reasons;
+      for (const auto& [reason, count] : unit.demote_reasons) {
+        if (!reasons.empty()) reasons += ", ";
+        reasons += reason + "=" + std::to_string(count);
+      }
+      std::printf(" (%s)", reasons.c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* path = nullptr;
+  const char* unit_filter = nullptr;
+  int top = 5;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--top") == 0 && i + 1 < argc) {
+      top = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--unit") == 0 && i + 1 < argc) {
+      unit_filter = argv[++i];
+    } else if (path == nullptr && argv[i][0] != '-') {
+      path = argv[i];
+    } else {
+      path = nullptr;
+      break;
+    }
+  }
+  if (path == nullptr || top < 1) {
+    std::fprintf(stderr,
+                 "usage: janus_explain <ledger.jsonl> [--top N] "
+                 "[--unit <name-or-hex-substr>]\n");
+    return 2;
+  }
+  std::ifstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "janus_explain: cannot open '%s'\n", path);
+    return 2;
+  }
+
+  std::map<std::string, UnitAgg> units;
+  std::map<std::string, std::int64_t> kind_totals;
+  // Kernel-site assert failures carry no unit; key on assumption id.
+  std::map<std::string, AssumptionAgg> assert_sites;
+  std::map<std::string, std::string> assert_site_nodes;
+  std::set<std::string> blacklisted;
+  int records = 0;
+  int bad_lines = 0;
+  int line_number = 0;
+  std::string line;
+  while (std::getline(file, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    std::string error;
+    FlatObject fields;
+    if (!janus::obs::ValidateLedgerLine(line, &fields, &error)) {
+      std::fprintf(stderr, "janus_explain: %s:%d: skipping bad record: %s\n",
+                   path, line_number, error.c_str());
+      ++bad_lines;
+      continue;
+    }
+    ++records;
+    const std::string kind = GetStr(fields, "kind");
+    ++kind_totals[kind];
+
+    if (kind == "assumption_blacklisted") {
+      blacklisted.insert(GetStr(fields, "assumption"));
+      continue;
+    }
+    if (kind == "assert_failure") {
+      const std::string id = GetStr(fields, "assumption");
+      AssumptionAgg& agg = assert_sites[id];
+      agg.count += 1;
+      const std::string assumed = GetStr(fields, "assumed");
+      const std::string observed = GetStr(fields, "observed");
+      if (!assumed.empty()) agg.assumed = assumed;
+      if (!observed.empty()) agg.observed = observed;
+      const std::string node = GetStr(fields, "detail");
+      if (!node.empty()) assert_site_nodes[id] = node;
+      continue;
+    }
+
+    const std::string unit_id = GetStr(fields, "unit");
+    if (unit_id.empty()) continue;  // e.g. cache_epoch_bump
+    UnitAgg& unit = units[unit_id];
+    unit.unit = unit_id;
+    const std::string name = GetStr(fields, "name");
+    if (!name.empty()) unit.name = name;
+    const std::string variant = GetStr(fields, "variant");
+    unit.variants.insert(variant.empty() ? "inference" : variant);
+    unit.kind_counts[kind] += 1;
+
+    if (kind == "run") {
+      unit.graph_runs += 1;
+      unit.graph_ns += std::max<std::int64_t>(GetInt(fields, "execute_ns"), 0);
+      unit.graph_ops += std::max<std::int64_t>(GetInt(fields, "ops"), 0);
+    } else if (kind == "profile" || kind == "imperative" ||
+               kind == "fallback") {
+      if (kind == "fallback") AddFailure(unit, kind, fields);
+      const std::int64_t ns = GetInt(fields, "execute_ns");
+      if (ns >= 0) {
+        unit.imperative_runs += 1;
+        unit.imperative_ns += ns;
+      }
+    } else if (kind == "entry_mismatch") {
+      AddFailure(unit, kind, fields);
+    } else if (kind == "generation") {
+      std::string rendered = "level " + std::to_string(GetInt(fields, "level", 0));
+      const std::int64_t generate_ns = GetInt(fields, "generate_ns");
+      if (generate_ns >= 0) {
+        rendered += ", " + FormatNs(static_cast<double>(generate_ns));
+      }
+      const std::int64_t bytes = GetInt(fields, "bytes");
+      if (bytes >= 0) rendered += ", " + std::to_string(bytes) + " bytes";
+      const std::string detail = GetStr(fields, "detail");
+      if (!detail.empty()) rendered += ", " + detail;
+      unit.generations.push_back(std::move(rendered));
+    } else if (kind == "cache_despecialize") {
+      unit.ladder.push_back("-> level " +
+                            std::to_string(GetInt(fields, "level", 0)) + " (" +
+                            GetStr(fields, "detail") + ")");
+    } else if (kind == "cache_demote") {
+      const std::string reason = GetStr(fields, "detail");
+      unit.demote_reasons[reason.empty() ? "unknown" : reason] += 1;
+    }
+  }
+
+  if (records == 0) {
+    std::fprintf(stderr, "janus_explain: %s: no valid ledger records\n",
+                 path);
+    return bad_lines > 0 ? 1 : 2;
+  }
+
+  std::printf("== ledger %s: %d records, %zu units ==\n", path, records,
+              units.size());
+  std::string kinds_line;
+  for (const auto& [kind, count] : kind_totals) {
+    if (!kinds_line.empty()) kinds_line += ", ";
+    kinds_line += kind + "=" + std::to_string(count);
+  }
+  std::printf("  kinds: %s\n", kinds_line.c_str());
+  if (!blacklisted.empty()) {
+    std::string ids;
+    for (const std::string& id : blacklisted) {
+      if (!ids.empty()) ids += ", ";
+      ids += id;
+    }
+    std::printf("  blacklisted assumptions (speculation stopped): %s\n",
+                ids.c_str());
+  }
+  std::printf("\n");
+
+  std::vector<const UnitAgg*> ranked;
+  for (const auto& [id, unit] : units) {
+    if (unit_filter != nullptr &&
+        unit.unit.find(unit_filter) == std::string::npos &&
+        unit.name.find(unit_filter) == std::string::npos) {
+      continue;
+    }
+    ranked.push_back(&unit);
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const UnitAgg* a, const UnitAgg* b) {
+              if (a->Disruptions() != b->Disruptions()) {
+                return a->Disruptions() > b->Disruptions();
+              }
+              return a->unit < b->unit;
+            });
+  for (const UnitAgg* unit : ranked) PrintUnit(*unit, top);
+
+  if (!assert_sites.empty()) {
+    std::printf("== assert sites (kernel-level) ==\n");
+    for (const auto& [id, agg] : assert_sites) {
+      const auto node = assert_site_nodes.find(id);
+      std::printf("  %lldx %s%s%s\n", static_cast<long long>(agg.count),
+                  id.c_str(), node != assert_site_nodes.end() ? " at " : "",
+                  node != assert_site_nodes.end() ? node->second.c_str()
+                                                  : "");
+      if (!agg.assumed.empty()) {
+        std::printf("      assumed:  %s\n", agg.assumed.c_str());
+      }
+      if (!agg.observed.empty()) {
+        std::printf("      observed: %s\n", agg.observed.c_str());
+      }
+    }
+  }
+  return bad_lines > 0 ? 1 : 0;
+}

@@ -1,39 +1,56 @@
-// Validates a Chrome-trace JSON file emitted via JANUS_TRACE /
-// Trace::WriteChromeTrace: full JSON syntax check plus per-event schema
-// (string name/cat/ph). Optional extra arguments are event names that must
-// appear in the trace; CI uses this to assert the decision-loop phases
-// were captured.
+// Validates the observability subsystem's emitted text formats. Three
+// modes, selected by the first argument:
 //
 //   trace_validate <trace.json> [required-event-name...]
+//     Chrome-trace JSON (JANUS_TRACE / Trace::WriteChromeTrace): full
+//     syntax check plus per-event schema (string name/cat/ph). Extra
+//     arguments are event names that must appear; CI uses this to assert
+//     the decision-loop phases were captured.
+//
+//   trace_validate --ledger <ledger.jsonl> [required-kind...]
+//     Speculation-ledger JSONL (JANUS_LEDGER / Ledger::WriteJsonl): every
+//     line must be a valid flat record with seq/ts_ns/kind. Extra
+//     arguments are record kinds that must appear (e.g. "run",
+//     "generation").
+//
+//   trace_validate --prom <metrics.txt> [required-family...]
+//     Prometheus text exposition 0.0.4 (the /metrics endpoint): per-line
+//     syntax check of comments, metric/label names, escapes, and values.
+//     Extra arguments are metric families that must appear as samples.
 #include <cstdio>
+#include <cstring>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 
 #include "obs/json_check.h"
 
-int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr,
-                 "usage: trace_validate <trace.json> [required-event...]\n");
-    return 2;
-  }
-  std::ifstream file(argv[1]);
-  if (!file) {
-    std::fprintf(stderr, "trace_validate: cannot open '%s'\n", argv[1]);
-    return 2;
-  }
+namespace {
+
+bool ReadFile(const char* path, std::string* out) {
+  std::ifstream file(path);
+  if (!file) return false;
   std::ostringstream content;
   content << file.rdbuf();
+  *out = content.str();
+  return true;
+}
 
+int ValidateTrace(const char* path, int argc, char** argv, int first_extra) {
+  std::string content;
+  if (!ReadFile(path, &content)) {
+    std::fprintf(stderr, "trace_validate: cannot open '%s'\n", path);
+    return 2;
+  }
   std::string error;
   janus::obs::ChromeTraceSummary summary;
-  if (!janus::obs::ValidateChromeTrace(content.str(), &error, &summary)) {
-    std::fprintf(stderr, "trace_validate: %s: invalid trace: %s\n", argv[1],
+  if (!janus::obs::ValidateChromeTrace(content, &error, &summary)) {
+    std::fprintf(stderr, "trace_validate: %s: invalid trace: %s\n", path,
                  error.c_str());
     return 1;
   }
-  std::printf("%s: %d events, %zu distinct names, %zu categories\n", argv[1],
+  std::printf("%s: %d events, %zu distinct names, %zu categories\n", path,
               summary.num_events, summary.names.size(),
               summary.categories.size());
   if (summary.num_events == 0) {
@@ -41,7 +58,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   int missing = 0;
-  for (int i = 2; i < argc; ++i) {
+  for (int i = first_extra; i < argc; ++i) {
     if (summary.names.count(argv[i]) == 0u) {
       std::fprintf(stderr,
                    "trace_validate: required event '%s' not present\n",
@@ -52,4 +69,104 @@ int main(int argc, char** argv) {
     }
   }
   return missing == 0 ? 0 : 1;
+}
+
+int ValidateLedger(const char* path, int argc, char** argv, int first_extra) {
+  std::ifstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "trace_validate: cannot open '%s'\n", path);
+    return 2;
+  }
+  std::map<std::string, int> kinds;
+  int records = 0;
+  int line_number = 0;
+  std::string line;
+  while (std::getline(file, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    std::string error;
+    janus::obs::FlatObject fields;
+    if (!janus::obs::ValidateLedgerLine(line, &fields, &error)) {
+      std::fprintf(stderr, "trace_validate: %s:%d: invalid record: %s\n",
+                   path, line_number, error.c_str());
+      return 1;
+    }
+    ++records;
+    ++kinds[fields["kind"].text];
+  }
+  std::printf("%s: %d records, %zu distinct kinds\n", path, records,
+              kinds.size());
+  for (const auto& [kind, count] : kinds) {
+    std::printf("  %-24s %d\n", kind.c_str(), count);
+  }
+  if (records == 0) {
+    std::fprintf(stderr, "trace_validate: ledger contains no records\n");
+    return 1;
+  }
+  int missing = 0;
+  for (int i = first_extra; i < argc; ++i) {
+    if (kinds.count(argv[i]) == 0u) {
+      std::fprintf(stderr,
+                   "trace_validate: required record kind '%s' not present\n",
+                   argv[i]);
+      ++missing;
+    }
+  }
+  return missing == 0 ? 0 : 1;
+}
+
+int ValidatePrometheus(const char* path, int argc, char** argv,
+                       int first_extra) {
+  std::string content;
+  if (!ReadFile(path, &content)) {
+    std::fprintf(stderr, "trace_validate: cannot open '%s'\n", path);
+    return 2;
+  }
+  std::string error;
+  janus::obs::PrometheusSummary summary;
+  if (!janus::obs::ValidatePrometheusText(content, &error, &summary)) {
+    std::fprintf(stderr, "trace_validate: %s: invalid exposition: %s\n",
+                 path, error.c_str());
+    return 1;
+  }
+  std::printf("%s: %d samples, %zu families declared\n", path,
+              summary.num_samples, summary.families.size());
+  if (summary.num_samples == 0) {
+    std::fprintf(stderr, "trace_validate: exposition contains no samples\n");
+    return 1;
+  }
+  int missing = 0;
+  for (int i = first_extra; i < argc; ++i) {
+    if (summary.sample_names.count(argv[i]) == 0u &&
+        summary.families.count(argv[i]) == 0u) {
+      std::fprintf(stderr,
+                   "trace_validate: required metric '%s' not present\n",
+                   argv[i]);
+      ++missing;
+    } else {
+      std::printf("  found required metric '%s'\n", argv[i]);
+    }
+  }
+  return missing == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 3 && std::strcmp(argv[1], "--ledger") == 0) {
+    return ValidateLedger(argv[2], argc, argv, 3);
+  }
+  if (argc >= 3 && std::strcmp(argv[1], "--prom") == 0) {
+    return ValidatePrometheus(argv[2], argc, argv, 3);
+  }
+  if (argc >= 2 && argv[1][0] != '-') {
+    return ValidateTrace(argv[1], argc, argv, 2);
+  }
+  std::fprintf(stderr,
+               "usage: trace_validate <trace.json> [required-event...]\n"
+               "       trace_validate --ledger <ledger.jsonl> "
+               "[required-kind...]\n"
+               "       trace_validate --prom <metrics.txt> "
+               "[required-family...]\n");
+  return 2;
 }
