@@ -347,7 +347,10 @@ minipy::Value JanusEngine::Run(const std::shared_ptr<FunctionValue>& fn,
       continue;
     }
     try {
-      auto run_record = NewRecord("run");
+      // Only materialize the record (PointerToHex + name copies) when the
+      // ledger is on; the disabled path stays one relaxed load and a branch.
+      obs::LedgerRecord run_record;
+      if (ledger_on) run_record = NewRecord("run");
       Value result =
           ExecuteCompiled(entry, args, ledger_on ? &run_record : nullptr);
       counters_.graph_executions->Increment();
@@ -466,7 +469,8 @@ minipy::Value JanusEngine::Run(const std::shared_ptr<FunctionValue>& fn,
       CachedUnit& fresh = *cached;
       if (EntryValid(fresh, fn, args)) {
         try {
-          auto run_record = NewRecord("run");
+          obs::LedgerRecord run_record;
+          if (ledger_on) run_record = NewRecord("run");
           Value result = ExecuteCompiled(fresh, args,
                                          ledger_on ? &run_record : nullptr);
           counters_.graph_executions->Increment();

@@ -10,6 +10,8 @@
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
+#include <shared_mutex>
 #include <utility>
 
 #include "common/logging.h"
@@ -53,7 +55,7 @@ IntrospectionHub& IntrospectionHub::Global() {
 
 void IntrospectionHub::RegisterMetricsSource(const MetricsRegistry* registry) {
   if (registry == nullptr) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::shared_mutex> lock(mu_);
   if (std::find(registries_.begin(), registries_.end(), registry) ==
       registries_.end()) {
     registries_.push_back(registry);
@@ -73,7 +75,7 @@ void IntrospectionHub::FoldRegistryLocked(const MetricsRegistry& registry) {
 
 void IntrospectionHub::UnregisterMetricsSource(
     const MetricsRegistry* registry) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::shared_mutex> lock(mu_);
   auto it = std::find(registries_.begin(), registries_.end(), registry);
   if (it == registries_.end()) return;
   // Retire rather than forget: a scrape racing (or following) engine
@@ -84,7 +86,7 @@ void IntrospectionHub::UnregisterMetricsSource(
 
 int IntrospectionHub::RegisterStatusSource(
     std::string name, std::function<std::string()> provider) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::shared_mutex> lock(mu_);
   const int id = next_status_id_++;
   status_sources_.push_back({id, std::move(name), std::move(provider)});
   return id;
@@ -94,7 +96,7 @@ void IntrospectionHub::UnregisterStatusSource(int id) {
   std::function<std::string()> provider;
   std::string name;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<std::shared_mutex> lock(mu_);
     auto it = std::find_if(status_sources_.begin(), status_sources_.end(),
                            [id](const StatusSource& s) { return s.id == id; });
     if (it == status_sources_.end()) return;
@@ -106,7 +108,7 @@ void IntrospectionHub::UnregisterStatusSource(int id) {
   // locks), then file it under a retired marker.
   std::string text;
   if (provider) text = provider();
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::shared_mutex> lock(mu_);
   retired_status_.push_back("== " + name + " [retired] ==\n" + text);
 }
 
@@ -115,7 +117,7 @@ std::map<std::string, std::int64_t> IntrospectionHub::MergedCounters() const {
   for (const auto& [name, value] : MetricsRegistry::Global().CounterValues()) {
     merged[name] += value;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   for (const MetricsRegistry* registry : registries_) {
     for (const auto& [name, value] : registry->CounterValues()) {
       merged[name] += value;
@@ -136,7 +138,7 @@ std::map<std::string, HistogramSnapshot> IntrospectionHub::MergedHistograms()
     }
   };
   fold(MetricsRegistry::Global());
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   for (const MetricsRegistry* registry : registries_) fold(*registry);
   for (const auto& [name, snapshot] : retired_histograms_) {
     merged[name].Accumulate(snapshot);
@@ -145,24 +147,18 @@ std::map<std::string, HistogramSnapshot> IntrospectionHub::MergedHistograms()
 }
 
 std::string IntrospectionHub::StatusText() const {
-  std::vector<std::pair<std::string, std::function<std::string()>>> live;
-  std::vector<std::string> retired;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    live.reserve(status_sources_.size());
-    for (const StatusSource& source : status_sources_) {
-      live.emplace_back(source.name, source.provider);
-    }
-    retired = retired_status_;
-  }
+  // Providers are invoked under the reader lock: UnregisterStatusSource
+  // takes mu_ exclusively, so once it returns no in-flight call here can
+  // still reference the (possibly dying) engine behind the provider.
+  std::shared_lock<std::shared_mutex> lock(mu_);
   std::string out;
-  for (const auto& [name, provider] : live) {
-    out += "== " + name + " ==\n";
-    if (provider) out += provider();
+  for (const StatusSource& source : status_sources_) {
+    out += "== " + source.name + " ==\n";
+    if (source.provider) out += source.provider();
     if (!out.empty() && out.back() != '\n') out += '\n';
     out += '\n';
   }
-  for (const std::string& text : retired) {
+  for (const std::string& text : retired_status_) {
     out += text;
     if (!out.empty() && out.back() != '\n') out += '\n';
     out += '\n';
@@ -172,7 +168,7 @@ std::string IntrospectionHub::StatusText() const {
 }
 
 void IntrospectionHub::ResetForTesting() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::shared_mutex> lock(mu_);
   registries_.clear();
   status_sources_.clear();
   retired_counters_.clear();
@@ -389,7 +385,7 @@ bool HttpExportServer::Start(int port) {
   } else {
     port_ = port;
   }
-  listen_fd_ = fd;
+  listen_fd_.store(fd, std::memory_order_release);
   running_.store(true, std::memory_order_release);
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   JANUS_LOG(kInfo) << "http_export: serving on http://127.0.0.1:" << port_
@@ -399,16 +395,22 @@ bool HttpExportServer::Start(int port) {
 
 void HttpExportServer::Stop() {
   if (!running_.exchange(false, std::memory_order_acq_rel)) return;
-  // Unblock accept(); the loop observes running_ == false and exits.
-  ::shutdown(listen_fd_, SHUT_RDWR);
-  ::close(listen_fd_);
-  listen_fd_ = -1;
+  // Unblock accept(); the loop observes running_ == false and exits. The
+  // fd stays valid (and != -1) until the thread has joined, so the loop
+  // never reads a clobbered descriptor.
+  const int fd = listen_fd_.load(std::memory_order_acquire);
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
   if (accept_thread_.joinable()) accept_thread_.join();
+  listen_fd_.store(-1, std::memory_order_release);
 }
 
 void HttpExportServer::AcceptLoop() {
   while (running_.load(std::memory_order_acquire)) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    const int fd =
+        ::accept(listen_fd_.load(std::memory_order_acquire), nullptr, nullptr);
     if (fd < 0) {
       if (!running_.load(std::memory_order_acquire)) return;
       if (errno == EINTR) continue;
@@ -420,12 +422,23 @@ void HttpExportServer::AcceptLoop() {
 }
 
 void HttpExportServer::ServeConnection(int fd) {
+  // Read until the request line is complete (first LF) — a client may
+  // legally deliver "GET /metrics HTTP/1.1\r\n" across several segments.
   char buffer[4096];
-  const ssize_t n = ::recv(fd, buffer, sizeof(buffer) - 1, 0);
-  if (n <= 0) return;
-  buffer[n] = '\0';
+  std::size_t total = 0;
+  while (total < sizeof(buffer) - 1) {
+    const ssize_t n =
+        ::recv(fd, buffer + total, sizeof(buffer) - 1 - total, 0);
+    if (n <= 0) break;
+    total += static_cast<std::size_t>(n);
+    if (std::string_view(buffer, total).find('\n') != std::string_view::npos) {
+      break;
+    }
+  }
+  if (total == 0) return;
+  buffer[total] = '\0';
   // "GET <path> HTTP/1.x" — method then target; everything else ignored.
-  std::string_view request(buffer, static_cast<std::size_t>(n));
+  std::string_view request(buffer, total);
   HttpResponse response;
   const std::size_t method_end = request.find(' ');
   if (method_end == std::string_view::npos) {

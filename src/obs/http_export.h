@@ -36,7 +36,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -60,9 +60,11 @@ struct HistogramSnapshot {
 };
 
 // Aggregates metrics and status text across every live and retired
-// producer. All methods are thread-safe; providers are invoked outside
-// internal locks' critical ordering concerns but must themselves be safe
-// to call from the HTTP thread.
+// producer. All methods are thread-safe. Status providers are invoked
+// while the hub holds its reader lock, so UnregisterStatusSource (which
+// takes the lock exclusively) cannot return while a provider call is in
+// flight — after it returns, the provider's captured state is safe to
+// destroy. Providers must therefore never call back into the hub.
 class IntrospectionHub {
  public:
   static IntrospectionHub& Global();
@@ -99,7 +101,7 @@ class IntrospectionHub {
 
   void FoldRegistryLocked(const MetricsRegistry& registry);
 
-  mutable std::mutex mu_;
+  mutable std::shared_mutex mu_;
   std::vector<const MetricsRegistry*> registries_;
   std::vector<StatusSource> status_sources_;
   int next_status_id_ = 1;
@@ -155,7 +157,7 @@ class HttpExportServer {
   void ServeConnection(int fd);
 
   std::atomic<bool> running_{false};
-  int listen_fd_ = -1;
+  std::atomic<int> listen_fd_{-1};
   int port_ = 0;
   std::thread accept_thread_;
 };

@@ -24,13 +24,16 @@ struct Ledger::Slot {
   LedgerRecord record;
 
   // Claims the slot (spins only on wrap collisions / concurrent snapshot).
+  // The version must be re-read every iteration: an odd value short-circuits
+  // the CAS, so a stale load would spin forever once another claimant is
+  // observed mid-hold.
   std::uint64_t Acquire() {
-    std::uint64_t v = version.load(std::memory_order_acquire);
     for (;;) {
+      std::uint64_t v = version.load(std::memory_order_acquire);
       if ((v & 1) == 0 &&
           version.compare_exchange_weak(v, v + 1,
                                         std::memory_order_acquire,
-                                        std::memory_order_acquire)) {
+                                        std::memory_order_relaxed)) {
         return v + 1;
       }
     }
