@@ -1,0 +1,69 @@
+#include "cache/fused_kernel_cache.h"
+
+#include <cstdlib>
+
+namespace janus::cache {
+namespace {
+
+std::size_t EnvEntries(const char* name, std::size_t fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(env, &end, 10);
+  if (end == env || parsed <= 0) return fallback;
+  return static_cast<std::size_t>(parsed);
+}
+
+}  // namespace
+
+FusedKernelCache& FusedKernelCache::Global() {
+  // Leaked: programs may be looked up during static teardown (exit-time
+  // benchmark/report paths), same lifetime policy as the other registries.
+  static FusedKernelCache* cache = new FusedKernelCache(
+      EnvEntries("JANUS_FUSED_CACHE_ENTRIES", 1024));
+  return *cache;
+}
+
+FusedKernelCache::FusedKernelCache(std::size_t max_entries)
+    : max_entries_(max_entries == 0 ? 1 : max_entries) {}
+
+std::shared_ptr<const void> FusedKernelCache::Find(const std::string& key) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  return it->second;
+}
+
+void FusedKernelCache::Insert(const std::string& key,
+                              std::shared_ptr<const void> program) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto [it, inserted] = entries_.insert_or_assign(key, std::move(program));
+  (void)it;
+  ++stats_.inserts;
+  if (!inserted) return;  // replacement: no growth, no fifo entry
+  insertion_order_.push_back(key);
+  while (entries_.size() > max_entries_ && !insertion_order_.empty()) {
+    const std::string victim = std::move(insertion_order_.front());
+    insertion_order_.pop_front();
+    if (entries_.erase(victim) > 0) ++stats_.evictions;
+  }
+}
+
+FusedKernelCache::Stats FusedKernelCache::Snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Stats stats = stats_;
+  stats.entries = static_cast<std::int64_t>(entries_.size());
+  return stats;
+}
+
+void FusedKernelCache::Clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  insertion_order_.clear();
+}
+
+}  // namespace janus::cache

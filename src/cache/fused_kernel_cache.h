@@ -1,0 +1,64 @@
+// Process-wide content-addressed cache of specialized fused-kernel programs.
+//
+// The fusion pass (runtime/fusion.cc) specializes each fused region's
+// superop program on the actual input dtypes + shapes seen at run time. Two
+// regions with identical structure and identical input signatures — across
+// graphs, engines, units, and despecialization levels — produce identical
+// programs, so specialization results are shared here under their full
+// content key (structural signature + external dtypes/shapes). Payloads are
+// type-erased (shared_ptr<const void>) to keep this subsystem free of
+// runtime-layer dependencies, mirroring PlanCache / SpecializationCache.
+//
+// Bounded FIFO: JANUS_FUSED_CACHE_ENTRIES caps resident programs
+// (default 1024); the oldest insertion is evicted first. Programs are tiny
+// (instruction lists + shape vectors), so a byte budget is not worth the
+// bookkeeping.
+#ifndef JANUS_CACHE_FUSED_KERNEL_CACHE_H_
+#define JANUS_CACHE_FUSED_KERNEL_CACHE_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace janus::cache {
+
+class FusedKernelCache {
+ public:
+  struct Stats {
+    std::int64_t hits = 0;
+    std::int64_t misses = 0;
+    std::int64_t inserts = 0;
+    std::int64_t evictions = 0;
+    std::int64_t entries = 0;
+  };
+
+  static FusedKernelCache& Global();
+
+  explicit FusedKernelCache(std::size_t max_entries);
+
+  // Returns the cached program for `key`, or nullptr (counting a miss).
+  std::shared_ptr<const void> Find(const std::string& key);
+
+  // Inserts (or replaces) the program for `key`, evicting the oldest entry
+  // when over budget.
+  void Insert(const std::string& key, std::shared_ptr<const void> program);
+
+  Stats Snapshot() const;
+
+  // Drops every entry (tests).
+  void Clear();
+
+ private:
+  const std::size_t max_entries_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<const void>> entries_;
+  std::deque<std::string> insertion_order_;
+  Stats stats_;
+};
+
+}  // namespace janus::cache
+
+#endif  // JANUS_CACHE_FUSED_KERNEL_CACHE_H_

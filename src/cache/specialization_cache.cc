@@ -303,7 +303,12 @@ std::string SpecializationCache::TextReport() const {
   return out;
 }
 
-void SpecializationCache::EvictEntryLocked(const EntryRef& entry) {
+// Takes its argument by value on purpose: callers pass references to the
+// shared_ptr stored inside by_priority_ / record->entries, and this function
+// erases from both containers — a reference parameter would dangle the
+// moment RemoveFromIndexLocked (or the std::erase below) destroys the
+// stored pointer it aliases.
+void SpecializationCache::EvictEntryLocked(const EntryRef entry) {
   if (!entry->resident) return;
   RemoveFromIndexLocked(entry);
   bytes_in_use_ -= entry->bytes;

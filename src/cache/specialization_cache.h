@@ -214,7 +214,9 @@ class SpecializationCache {
   };
 
   // All private helpers require mu_ held.
-  void EvictEntryLocked(const EntryRef& entry);
+  // By value: see the definition — callers hand over references into the
+  // very containers this function erases from.
+  void EvictEntryLocked(EntryRef entry);
   void EvictLowestPriorityLocked();
   void TouchLocked(const EntryRef& entry);
   void AddChurnLocked(const Key& key, KeyRecord& record);

@@ -72,15 +72,17 @@ std::string ContextRef::ToString() const {
   return oss.str();
 }
 
-int CompiledGraph::BuildPlans() {
+int CompiledGraph::BuildPlans(bool enable_fusion) {
   if (plan != nullptr) return 0;
   int built = 0;
-  plan = GetOrBuildPlan(graph, fetches);
+  const PlanOptions options{.enable_fusion = enable_fusion};
+  plan = GetOrBuildPlan(graph, fetches, nullptr, options);
   ++built;
   if (library != nullptr) {
     for (const std::string& name : library->FunctionNames()) {
       const GraphFunction& fn = library->Lookup(name);
-      function_plans.push_back(GetOrBuildPlan(fn.graph, fn.results));
+      function_plans.push_back(
+          GetOrBuildPlan(fn.graph, fn.results, nullptr, options));
       ++built;
     }
   }

@@ -85,7 +85,10 @@ struct CompiledGraph {
 
   // Builds `plan` and `function_plans` (idempotent). Returns the number of
   // plans built by this call, for EngineStats::plan_builds accounting.
-  int BuildPlans();
+  // `enable_fusion` feeds PlanOptions for every plan built here; plans are
+  // cached per (graph, fetches), so the flag takes effect because this
+  // pre-build is the first (and thus cache-populating) build.
+  int BuildPlans(bool enable_fusion = true);
 
   // Rough resident size in bytes (nodes, captures, checks, plans), used as
   // the SpecializationCache eviction weight. An estimate is fine: eviction

@@ -5,10 +5,12 @@
 #include <cstring>
 #include <set>
 
+#include "cache/fused_kernel_cache.h"
 #include "common/logging.h"
 #include "frontend/builtins.h"
 #include "obs/http_export.h"
 #include "obs/trace.h"
+#include "runtime/fusion.h"
 #include "tensor/buffer_pool.h"
 #include "tensor/ops.h"
 
@@ -135,6 +137,8 @@ JanusEngine::JanusEngine(minipy::Interpreter* interp, EngineOptions options)
   counters_.pool_hits = &metrics_.GetCounter("engine.pool_hits");
   counters_.pool_misses = &metrics_.GetCounter("engine.pool_misses");
   counters_.in_place_reuses = &metrics_.GetCounter("engine.in_place_reuses");
+  counters_.fused_regions = &metrics_.GetCounter("engine.fused_regions");
+  counters_.fused_ops = &metrics_.GetCounter("engine.fused_ops");
   imperative_ns_ = &metrics_.GetHistogram("engine.imperative_ns");
   graph_execution_ns_ = &metrics_.GetHistogram("engine.graph_execution_ns");
   generation_ns_ = &metrics_.GetHistogram("engine.generation_ns");
@@ -440,7 +444,8 @@ minipy::Value JanusEngine::Run(const std::shared_ptr<FunctionValue>& fn,
         // conversion cost: compile execution plans for the graph and every
         // library function so no ExecuteCompiled ever plans on the hot
         // path.
-        counters_.plan_builds->Add(compiled->BuildPlans());
+        counters_.plan_builds->Add(
+            compiled->BuildPlans(options_.enable_fusion));
         build_cost_ns = obs::Trace::NowNs() - start_ns;
         generation_ns_->Record(build_cost_ns);
       }
@@ -697,7 +702,8 @@ minipy::Value JanusEngine::ExecuteCompiled(CachedUnit& entry,
   if (entry.compiled->plan == nullptr) {
     // Defensive: graphs injected into the cache without going through the
     // generator (tests) still get a one-time plan build.
-    counters_.plan_builds->Add(entry.compiled->BuildPlans());
+    counters_.plan_builds->Add(
+        entry.compiled->BuildPlans(options_.enable_fusion));
   }
   RunMetrics metrics;
   std::vector<Tensor> results =
@@ -708,6 +714,8 @@ minipy::Value JanusEngine::ExecuteCompiled(CachedUnit& entry,
   counters_.pool_hits->Add(metrics.pool_hits);
   counters_.pool_misses->Add(metrics.pool_misses);
   counters_.in_place_reuses->Add(metrics.in_place_reuses);
+  counters_.fused_regions->Add(metrics.fused_regions);
+  counters_.fused_ops->Add(metrics.fused_ops);
   // The prebuilt main-graph plan counts as a hit, as do nested
   // Invoke/While dispatches through each function's plan cache.
   counters_.plan_cache_hits->Add(1 + metrics.plan_cache_hits);
@@ -718,6 +726,8 @@ minipy::Value JanusEngine::ExecuteCompiled(CachedUnit& entry,
     run_record->execute_ns = duration_ns;
     run_record->ops = metrics.ops_executed;
     run_record->bytes = metrics.bytes_allocated;
+    run_record->fused_regions = metrics.fused_regions;
+    run_record->fused_ops = metrics.fused_ops;
   }
   return results.at(0);
 }
@@ -738,6 +748,8 @@ EngineStats JanusEngine::stats() const {
   s.pool_hits = counters_.pool_hits->Value();
   s.pool_misses = counters_.pool_misses->Value();
   s.in_place_reuses = counters_.in_place_reuses->Value();
+  s.fused_regions = counters_.fused_regions->Value();
+  s.fused_ops = counters_.fused_ops->Value();
   return s;
 }
 
@@ -813,6 +825,29 @@ std::string JanusEngine::StatsReport() const {
       out += "--- per-unit despecialization ladder ---\n";
       out += ladder;
     }
+  }
+  {
+    // Fused-region dispatch: how much of this engine's graph work ran
+    // through superops, plus the process-wide specialized-program cache.
+    const std::int64_t regions = counters_.fused_regions->Value();
+    const std::int64_t fused_ops = counters_.fused_ops->Value();
+    const cache::FusedKernelCache::Stats fks =
+        cache::FusedKernelCache::Global().Snapshot();
+    out += "--- fusion ---\n";
+    char fusion_line[320];
+    std::snprintf(fusion_line, sizeof(fusion_line),
+                  "fused_regions=%lld fused_ops=%lld enabled=%d\n"
+                  "fused_kernel_cache(process-wide): entries=%lld hits=%lld "
+                  "misses=%lld inserts=%lld evictions=%lld\n",
+                  static_cast<long long>(regions),
+                  static_cast<long long>(fused_ops),
+                  options_.enable_fusion && fusion::GloballyEnabled() ? 1 : 0,
+                  static_cast<long long>(fks.entries),
+                  static_cast<long long>(fks.hits),
+                  static_cast<long long>(fks.misses),
+                  static_cast<long long>(fks.inserts),
+                  static_cast<long long>(fks.evictions));
+    out += fusion_line;
   }
   const BufferPool::Stats pool = BufferPool::Global().Snapshot();
   out += "--- buffer pool (process-wide) ---\n";

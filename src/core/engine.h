@@ -72,6 +72,10 @@ struct EngineOptions {
   // Sampled per-op kernel timers (histograms "kernel.<op>" in the global
   // metrics registry) even when the tracer is off.
   bool kernel_timing = false;
+  // Plan-time fusion of elementwise regions into superops (runtime/fusion.h).
+  // ANDed with the process-wide JANUS_FUSION kill switch; applies to every
+  // plan this engine builds (main graphs and library functions).
+  bool enable_fusion = true;
 
   static EngineOptions ImperativePreset();
   static EngineOptions TracingPreset();
@@ -103,6 +107,11 @@ struct EngineStats {
   std::int64_t pool_hits = 0;
   std::int64_t pool_misses = 0;
   std::int64_t in_place_reuses = 0;
+  // Fused-region dispatch across all graph executions (runtime/fusion.h):
+  // regions executed through the superop interpreter and the member ops
+  // they covered (the latter also counted in graph_ops_executed).
+  std::int64_t fused_regions = 0;
+  std::int64_t fused_ops = 0;
 };
 
 class JanusEngine : public minipy::CallInterceptor {
@@ -167,6 +176,8 @@ class JanusEngine : public minipy::CallInterceptor {
     obs::Counter* pool_hits = nullptr;
     obs::Counter* pool_misses = nullptr;
     obs::Counter* in_place_reuses = nullptr;
+    obs::Counter* fused_regions = nullptr;
+    obs::Counter* fused_ops = nullptr;
   };
 
   // Identity of a conversion unit: its def or lambda AST node.

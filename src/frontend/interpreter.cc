@@ -53,6 +53,28 @@ struct Interpreter::Impl {
   std::map<std::int64_t, HeapEntry> heap;
   std::int64_t next_heap_id = 1;
 
+  // Environments captured as function closures. A FunctionValue's closure
+  // points back at the environment that defines it (and object attributes /
+  // container items can close further cycles), so these strongly-connected
+  // object graphs never reach refcount zero on their own. ~Interpreter walks
+  // this list and severs every cycle edge. Weak pointers only: registration
+  // must not extend any environment's lifetime.
+  std::vector<std::weak_ptr<Environment>> closure_envs;
+
+  void RegisterClosureEnv(const std::shared_ptr<Environment>& env) {
+    if (env == nullptr || env == globals) return;
+    // Compact expired entries occasionally so long sessions with many
+    // short-lived closures don't accumulate dead weak_ptrs.
+    if (closure_envs.size() >= 1024 &&
+        (closure_envs.size() & (closure_envs.size() - 1)) == 0) {
+      std::erase_if(closure_envs,
+                    [](const std::weak_ptr<Environment>& weak) {
+                      return weak.expired();
+                    });
+    }
+    closure_envs.push_back(env);
+  }
+
   // ---- statements ----
 
   void ExecBlock(const std::vector<StmtPtr>& body,
@@ -152,6 +174,7 @@ struct Interpreter::Impl {
         fn->def = stmt;
         fn->closure = env;
         fn->qualified_name = stmt->name;
+        RegisterClosureEnv(env);
         env->Define(stmt->name, std::move(fn));
         return;
       }
@@ -159,6 +182,7 @@ struct Interpreter::Impl {
         auto cls = std::make_shared<ClassValue>();
         cls->name = stmt->name;
         cls->def = stmt;
+        RegisterClosureEnv(env);
         for (const StmtPtr& method : stmt->methods) {
           auto fn = std::make_shared<FunctionValue>();
           fn->def = method.get();
@@ -415,6 +439,7 @@ struct Interpreter::Impl {
         fn->closure = env;
         fn->qualified_name = "<lambda>";
         fn->lambda = expr;
+        RegisterClosureEnv(env);
         return fn;
       }
     }
@@ -522,7 +547,33 @@ Interpreter::Interpreter(VariableStore* variables, Rng* rng)
   impl_->self = this;
 }
 
-Interpreter::~Interpreter() = default;
+Interpreter::~Interpreter() {
+  // Sever reference cycles so the interpreter's object graph is actually
+  // reclaimed. Three cycle families exist: environment -> FunctionValue ->
+  // closure environment; object/list/dict values reachable from themselves
+  // through attrs/items; and combinations of the two. The heap registry and
+  // closure_envs both hold weak pointers, so everything still alive here is
+  // alive only because of such a cycle (or an external reference, for which
+  // clearing the contents is still safe — the value itself stays valid).
+  for (const std::weak_ptr<Environment>& weak : impl_->closure_envs) {
+    if (const std::shared_ptr<Environment> env = weak.lock()) env->Clear();
+  }
+  impl_->globals->Clear();
+  for (auto& entry : impl_->heap) {
+    std::visit(
+        [](auto& weak) {
+          using T = typename std::decay_t<decltype(weak)>::element_type;
+          if (const std::shared_ptr<T> value = weak.lock()) {
+            if constexpr (std::is_same_v<T, ObjectValue>) {
+              value->attrs.clear();
+            } else {
+              value->items.clear();
+            }
+          }
+        },
+        entry.second);
+  }
+}
 
 void Interpreter::Run(const std::string& source) { Run(Parse(source)); }
 

@@ -129,6 +129,17 @@ class Environment : public std::enable_shared_from_this<Environment> {
   // Names declared `global` in this scope: assignments go to the root.
   std::vector<std::string> global_names;
 
+  // Drops every binding and the parent link. Interpreter teardown only:
+  // environments and the function/object values they bind form shared_ptr
+  // cycles (a FunctionValue's closure points back at the environment that
+  // defines it), so the interpreter explicitly severs them in its
+  // destructor rather than leaking the whole object graph.
+  void Clear() {
+    vars_.clear();
+    global_names.clear();
+    parent_.reset();
+  }
+
  private:
   std::map<std::string, Value> vars_;
   std::shared_ptr<Environment> parent_;

@@ -543,7 +543,8 @@ bool ValidateLedgerLine(std::string_view line, FlatObject* fields,
     if (!require_string(key)) return false;
   }
   for (const char* key : {"level", "cache_hit", "validate_ns", "execute_ns",
-                          "generate_ns", "ops", "bytes"}) {
+                          "generate_ns", "ops", "bytes", "fused_regions",
+                          "fused_ops"}) {
     if (!require_number(key, /*required=*/false)) return false;
   }
 

@@ -216,6 +216,8 @@ std::string Ledger::ToJsonLine(const LedgerRecord& record) {
   AppendIntField(out, "generate_ns", record.generate_ns, &first);
   AppendIntField(out, "ops", record.ops, &first);
   AppendIntField(out, "bytes", record.bytes, &first);
+  AppendIntField(out, "fused_regions", record.fused_regions, &first);
+  AppendIntField(out, "fused_ops", record.fused_ops, &first);
   AppendStringField(out, "detail", record.detail, &first);
   out += '}';
   return out;

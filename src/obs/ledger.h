@@ -74,6 +74,11 @@ struct LedgerRecord {
   std::int64_t generate_ns = -1;
   std::int64_t ops = -1;
   std::int64_t bytes = -1;
+  // Fusion accounting for "run" records: regions dispatched through the
+  // superop interpreter and the member ops they covered. -1 = not a run
+  // record (field omitted from the serialized line).
+  std::int64_t fused_regions = -1;
+  std::int64_t fused_ops = -1;
   std::string detail;
 };
 

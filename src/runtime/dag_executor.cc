@@ -18,6 +18,7 @@
 
 #include "common/logging.h"
 #include "runtime/executor.h"
+#include "runtime/fusion.h"
 
 namespace janus {
 namespace internal {
@@ -99,8 +100,17 @@ std::vector<Tensor> ExecuteDag(RunContext& run, const ExecutionPlan& plan,
         release_outputs(producer);
       }
     }
-    ExecuteKernel(run, *entry.node, *entry.kernel, inputs, state.outputs,
-                  /*allow_in_place=*/minfo.in_place_capable);
+    if (entry.kind == ExecutionPlan::OpKind::kFusedRegion) {
+      // Note the precomputed check above keys on the region's ROOT node;
+      // interior members recorded on an eager tape are honoured inside
+      // ExecuteFusedRegion, which falls back to per-member dispatch.
+      ExecuteFusedRegion(run, *entry.fused, inputs, state.outputs,
+                         /*allow_in_place=*/minfo.in_place_capable,
+                         precomputed);
+    } else {
+      ExecuteKernel(run, *entry.node, *entry.kernel, inputs, state.outputs,
+                    /*allow_in_place=*/minfo.in_place_capable);
+    }
     // Outputs nothing reads (control-edge-anchored side effects) die at
     // birth.
     if (minfo.output_reads == 0 && !minfo.fetch_protected &&

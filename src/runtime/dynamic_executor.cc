@@ -12,6 +12,7 @@
 
 #include "common/logging.h"
 #include "runtime/executor.h"
+#include "runtime/fusion.h"
 
 namespace janus {
 namespace internal {
@@ -345,9 +346,14 @@ std::vector<Tensor> ExecuteDynamic(RunContext& run, const ExecutionPlan& plan,
     inputs.reserve(tokens.size());
     for (Token& token : tokens) inputs.push_back(std::move(token.value));
     std::vector<Tensor> outputs;
-    ExecuteKernel(run, node, *info.kernel, inputs, outputs,
-                  /*allow_in_place=*/plan.memory().dyn_in_place[
-                      static_cast<std::size_t>(key.node)] != 0);
+    const bool in_place = plan.memory().dyn_in_place[
+                              static_cast<std::size_t>(key.node)] != 0;
+    if (info.kind == OpKind::kFusedRegion) {
+      ExecuteFusedRegion(run, *info.fused, inputs, outputs, in_place,
+                         /*precomputed=*/nullptr);
+    } else {
+      ExecuteKernel(run, node, *info.kernel, inputs, outputs, in_place);
+    }
     for (int i = 0; i < node.num_outputs(); ++i) {
       deliver_output(key.node, i, tag,
                      Token{outputs.at(static_cast<std::size_t>(i)), false});

@@ -49,6 +49,10 @@ struct RunMetrics {
   std::int64_t pool_misses = 0;
   std::int64_t in_place_reuses = 0;
   std::int64_t buffers_released = 0;  // dead intermediates dropped mid-run
+  // Fused-region dispatch: regions executed through the superop interpreter
+  // and the member ops they covered (also counted in ops_executed).
+  std::int64_t fused_regions = 0;
+  std::int64_t fused_ops = 0;
 };
 
 class Executor {

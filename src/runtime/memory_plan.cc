@@ -2,6 +2,7 @@
 
 #include <unordered_set>
 
+#include "runtime/fusion.h"
 #include "runtime/plan.h"
 
 namespace janus {
@@ -30,9 +31,14 @@ MemoryPlan BuildMemoryPlan(const ExecutionPlan& plan) {
     mem.dag.resize(nodes.size());
     for (std::size_t i = 0; i < nodes.size(); ++i) {
       const ExecutionPlan::DagNode& node = nodes[i];
+      // Fused-region interiors are never materialized, so only the region
+      // output participates in liveness; a non-reduction region is same-index
+      // elementwise end to end and may overwrite a dying input.
       mem.dag[i].in_place_capable =
-          node.kind == ExecutionPlan::OpKind::kKernel &&
-          OpSupportsInPlace(node.node->op());
+          (node.kind == ExecutionPlan::OpKind::kKernel &&
+           OpSupportsInPlace(node.node->op())) ||
+          (node.kind == ExecutionPlan::OpKind::kFusedRegion &&
+           node.fused != nullptr && !node.fused->has_reduction);
       for (const ExecutionPlan::DagInput& input : node.inputs) {
         ++mem.dag[static_cast<std::size_t>(input.producer)].output_reads;
       }
@@ -46,8 +52,10 @@ MemoryPlan BuildMemoryPlan(const ExecutionPlan& plan) {
     for (std::size_t i = 0; i < nodes.size(); ++i) {
       const ExecutionPlan::DynNode& node = nodes[i];
       mem.dyn_in_place[i] =
-          node.kind == ExecutionPlan::OpKind::kKernel &&
-                  OpSupportsInPlace(node.node->op())
+          (node.kind == ExecutionPlan::OpKind::kKernel &&
+           OpSupportsInPlace(node.node->op())) ||
+                  (node.kind == ExecutionPlan::OpKind::kFusedRegion &&
+                   node.fused != nullptr && !node.fused->has_reduction)
               ? 1
               : 0;
     }

@@ -5,6 +5,7 @@
 
 #include "common/error.h"
 #include "obs/trace.h"
+#include "runtime/fusion.h"
 #include "runtime/run_context.h"
 
 namespace janus {
@@ -46,7 +47,8 @@ bool GraphNeedsDynamicExecution(const Graph& graph) {
 }
 
 std::shared_ptr<const ExecutionPlan> ExecutionPlan::Build(
-    const Graph& graph, std::span<const NodeOutput> fetches) {
+    const Graph& graph, std::span<const NodeOutput> fetches,
+    PlanOptions options) {
   obs::TraceScope span("plan_build", "runtime");
   span.set_arg("graph_nodes",
                static_cast<std::int64_t>(graph.nodes().size()));
@@ -59,6 +61,21 @@ std::shared_ptr<const ExecutionPlan> ExecutionPlan::Build(
   } else {
     plan->strategy_ = Strategy::kDag;
     plan->BuildDag(graph);
+  }
+  // Fusion rewrites the schedule in place (interior members disappear) and
+  // must run before the memory plan: liveness is computed over the fused
+  // node array, so interior values are never materialized or tracked.
+  if (options.enable_fusion && fusion::GloballyEnabled()) {
+    obs::TraceScope fusion_span("fusion", "runtime");
+    int regions = 0;
+    if (plan->strategy_ == Strategy::kDag) {
+      regions = FuseDagPlan(plan->dag_nodes_, plan->dag_fetch_slots_,
+                            plan->dag_index_, plan->fused_regions_);
+    } else {
+      regions = FuseDynPlan(plan->dyn_nodes_, plan->dyn_fetch_slots_,
+                            plan->fused_regions_);
+    }
+    fusion_span.set_arg("regions", static_cast<std::int64_t>(regions));
   }
   plan->memory_ = BuildMemoryPlan(*plan);
   return plan;
@@ -181,7 +198,7 @@ int ExecutionPlan::DagIndexOf(const Node* node) const {
 
 std::shared_ptr<const ExecutionPlan> GetOrBuildPlan(
     const Graph& graph, std::span<const NodeOutput> fetches,
-    RunContext* run) {
+    RunContext* run, PlanOptions options) {
   cache::PlanCache& plan_cache = graph.plan_cache();
   // The PlanCache is type-erased; fetch endpoints map 1:1 onto FetchIds.
   std::vector<cache::PlanCache::FetchId> fetch_ids;
@@ -197,7 +214,7 @@ std::shared_ptr<const ExecutionPlan> GetOrBuildPlan(
     }
     return std::static_pointer_cast<const ExecutionPlan>(cached);
   }
-  auto plan = ExecutionPlan::Build(graph, fetches);
+  auto plan = ExecutionPlan::Build(graph, fetches, options);
   if (run != nullptr) {
     run->plan_builds.fetch_add(1, std::memory_order_relaxed);
   }

@@ -32,6 +32,13 @@
 namespace janus {
 
 class RunContext;
+struct FusedRegionPlan;
+
+// Per-build knobs. `enable_fusion` is ANDed with the process-wide
+// fusion::GloballyEnabled() switch (JANUS_FUSION).
+struct PlanOptions {
+  bool enable_fusion = true;
+};
 
 class ExecutionPlan {
  public:
@@ -49,6 +56,9 @@ class ExecutionPlan {
     kExit,
     kNextIteration,
     kKernel,
+    // A fused elementwise region (runtime/fusion.h): one plan node standing
+    // in for a chain/tree of kernels, executed with a single dispatch.
+    kFusedRegion,
   };
 
   // ---- DAG schedule (graphs without control-flow primitives) ----
@@ -65,6 +75,7 @@ class ExecutionPlan {
     OpKind kind = OpKind::kKernel;
     const KernelFn* kernel = nullptr;  // resolved iff kind == kKernel
     Tensor const_value;                // valid iff kind == kConst
+    const FusedRegionPlan* fused = nullptr;  // valid iff kind == kFusedRegion
     int initial_pending = 0;
     std::vector<DagInput> inputs;  // data inputs, in slot order
     std::vector<int> consumers;    // dense indices, deduplicated
@@ -83,6 +94,7 @@ class ExecutionPlan {
     const Node* node = nullptr;
     OpKind kind = OpKind::kKernel;
     const KernelFn* kernel = nullptr;  // resolved iff kind == kKernel
+    const FusedRegionPlan* fused = nullptr;  // valid iff kind == kFusedRegion
     // Producer coordinate of each input slot, and the dense index of each
     // control-input producer.
     std::vector<DagInput> inputs;
@@ -104,7 +116,8 @@ class ExecutionPlan {
   // planning). Throws InvalidArgument if a non-control-flow op has no
   // registered kernel.
   static std::shared_ptr<const ExecutionPlan> Build(
-      const Graph& graph, std::span<const NodeOutput> fetches);
+      const Graph& graph, std::span<const NodeOutput> fetches,
+      PlanOptions options = {});
 
   Strategy strategy() const { return strategy_; }
   std::span<const NodeOutput> fetches() const { return fetches_; }
@@ -128,6 +141,12 @@ class ExecutionPlan {
   // Liveness + in-place analysis, computed once at plan-build time.
   const MemoryPlan& memory() const { return memory_; }
 
+  // Fused regions owned by this plan (referenced by kFusedRegion nodes).
+  const std::vector<std::shared_ptr<const FusedRegionPlan>>& fused_regions()
+      const {
+    return fused_regions_;
+  }
+
  private:
   ExecutionPlan() = default;
 
@@ -145,6 +164,8 @@ class ExecutionPlan {
   std::vector<DynNode> dyn_nodes_;
   std::vector<DagInput> dyn_fetch_slots_;
 
+  std::vector<std::shared_ptr<const FusedRegionPlan>> fused_regions_;
+
   MemoryPlan memory_;
 };
 
@@ -157,7 +178,7 @@ bool GraphNeedsDynamicExecution(const Graph& graph);
 // bumps run->plan_builds and a hit bumps run->plan_cache_hits. Thread-safe.
 std::shared_ptr<const ExecutionPlan> GetOrBuildPlan(
     const Graph& graph, std::span<const NodeOutput> fetches,
-    RunContext* run = nullptr);
+    RunContext* run = nullptr, PlanOptions options = {});
 
 }  // namespace janus
 

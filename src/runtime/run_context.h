@@ -128,6 +128,11 @@ class RunContext {
   // Dead intermediate output tensors dropped mid-run by the liveness plan
   // (their buffers return to the BufferPool for reuse within the same run).
   std::atomic<std::int64_t> buffers_released{0};
+  // Fusion accounting: regions dispatched through the superop interpreter
+  // and the member ops they covered. Fallback (per-member) region execution
+  // counts ops normally and leaves these at zero.
+  std::atomic<std::int64_t> fused_regions{0};
+  std::atomic<std::int64_t> fused_ops{0};
 
   // Per-kernel busy-wait (ns) emulating interpreter/framework dispatch cost;
   // only the eager (imperative) executor sets this.

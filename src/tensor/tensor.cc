@@ -84,6 +84,14 @@ Tensor Tensor::Zeros(DType dtype, const Shape& shape) {
 Tensor Tensor::OutputBuffer(
     std::initializer_list<const Tensor*> reuse_candidates, DType dtype,
     const Shape& shape) {
+  return OutputBuffer(
+      std::span<const Tensor* const>(reuse_candidates.begin(),
+                                     reuse_candidates.size()),
+      dtype, shape);
+}
+
+Tensor Tensor::OutputBuffer(std::span<const Tensor* const> reuse_candidates,
+                            DType dtype, const Shape& shape) {
   if (InPlaceScope::Active()) {
     const std::size_t bytes =
         static_cast<std::size_t>(shape.num_elements()) * DTypeSize(dtype);

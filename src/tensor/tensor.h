@@ -74,6 +74,10 @@ class Tensor {
   static Tensor OutputBuffer(
       std::initializer_list<const Tensor*> reuse_candidates, DType dtype,
       const Shape& shape);
+  // As above, for candidate lists built at run time (fused-region execution
+  // collects its full-size external inputs dynamically).
+  static Tensor OutputBuffer(std::span<const Tensor* const> reuse_candidates,
+                             DType dtype, const Shape& shape);
   static Tensor Full(const Shape& shape, float value);
   static Tensor FullInt(const Shape& shape, std::int64_t value);
   static Tensor Scalar(float value);

@@ -218,8 +218,13 @@ TEST_F(MemoryPlanLivenessTest, ElementwiseChainRunsInPlace) {
   for (int i = 0; i < kChain; ++i) {
     v = {g.AddNode("Add", {v, one}), 0};
   }
+  // Per-op in-place reuse is what this test measures; fusion would collapse
+  // the whole chain into one region with no intermediates at all.
+  const std::vector<NodeOutput> fetches{v};
+  const auto plan = ExecutionPlan::Build(g, fetches, {.enable_fusion = false});
+  Executor executor(&library_, &variables_, nullptr, &rng_);
   RunMetrics metrics;
-  const std::vector<Tensor> results = Run(g, {v}, &metrics);
+  const std::vector<Tensor> results = executor.Run(*plan, {}, &metrics);
   ASSERT_EQ(results.size(), 1u);
   for (const float x : results[0].data<float>()) {
     EXPECT_EQ(x, 1.0f + kChain);

@@ -64,12 +64,24 @@ struct AssumptionAgg {
   std::map<std::string, std::int64_t> kinds;
 };
 
+// Fused-region coverage of the graph runs at one despecialization-ladder
+// level. Comparing levels shows when sliding down the ladder (rank-only,
+// shapeless graphs) destroys or preserves fusion coverage.
+struct LevelFusion {
+  std::int64_t runs = 0;
+  std::int64_t fused_regions = 0;
+  std::int64_t fused_ops = 0;
+  std::int64_t ops = 0;
+};
+
 struct UnitAgg {
   std::string unit;  // hex identity (join key)
   std::string name;  // qualified name when any record carried one
   std::set<std::string> variants;
   std::map<std::string, std::int64_t> kind_counts;
   std::int64_t graph_runs = 0, graph_ns = 0, graph_ops = 0;
+  std::int64_t fused_regions = 0, fused_ops = 0;
+  std::map<std::int64_t, LevelFusion> fusion_by_level;  // key: ladder level
   std::int64_t imperative_runs = 0, imperative_ns = 0;
   std::map<std::string, AssumptionAgg> assumptions;
   std::vector<std::string> ladder;       // despecialization transitions
@@ -137,6 +149,38 @@ void PrintUnit(const UnitAgg& unit, int top) {
       static_cast<long long>(unit.Count("entry_mismatch")),
       static_cast<long long>(unit.Count("fallback")),
       static_cast<long long>(unit.Count("refusal")));
+
+  if (unit.fused_regions > 0) {
+    std::printf("  fusion: %lld regions covering %lld ops",
+                static_cast<long long>(unit.fused_regions),
+                static_cast<long long>(unit.fused_ops));
+    if (unit.graph_ops > 0) {
+      std::printf(" (%.0f%% of graph ops)",
+                  100.0 * static_cast<double>(unit.fused_ops) /
+                      static_cast<double>(unit.graph_ops));
+    }
+    std::printf("\n");
+    // Per-ladder-level coverage only when the unit ran at more than one
+    // level: that contrast is what shows despecialization destroying (or
+    // runtime re-specialization preserving) fusion.
+    if (unit.fusion_by_level.size() > 1) {
+      for (const auto& [level, lf] : unit.fusion_by_level) {
+        std::printf("    level %lld: %lld runs, %.1f regions/run",
+                    static_cast<long long>(level),
+                    static_cast<long long>(lf.runs),
+                    static_cast<double>(lf.fused_regions) /
+                        static_cast<double>(lf.runs));
+        if (lf.ops > 0) {
+          std::printf(", %.0f%% of ops fused",
+                      100.0 * static_cast<double>(lf.fused_ops) /
+                          static_cast<double>(lf.ops));
+        }
+        std::printf("\n");
+      }
+    }
+  } else if (unit.graph_runs > 0) {
+    std::printf("  fusion: none\n");
+  }
 
   if (!unit.assumptions.empty()) {
     std::vector<const std::map<std::string, AssumptionAgg>::value_type*>
@@ -288,6 +332,15 @@ int main(int argc, char** argv) {
       unit.graph_runs += 1;
       unit.graph_ns += std::max<std::int64_t>(GetInt(fields, "execute_ns"), 0);
       unit.graph_ops += std::max<std::int64_t>(GetInt(fields, "ops"), 0);
+      const std::int64_t fused_regions = GetInt(fields, "fused_regions");
+      const std::int64_t fused_ops = GetInt(fields, "fused_ops");
+      if (fused_regions >= 0) unit.fused_regions += fused_regions;
+      if (fused_ops >= 0) unit.fused_ops += fused_ops;
+      LevelFusion& lf = unit.fusion_by_level[GetInt(fields, "level", -1)];
+      lf.runs += 1;
+      lf.fused_regions += std::max<std::int64_t>(fused_regions, 0);
+      lf.fused_ops += std::max<std::int64_t>(fused_ops, 0);
+      lf.ops += std::max<std::int64_t>(GetInt(fields, "ops"), 0);
     } else if (kind == "profile" || kind == "imperative" ||
                kind == "fallback") {
       if (kind == "fallback") AddFailure(unit, kind, fields);
