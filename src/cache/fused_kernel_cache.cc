@@ -28,7 +28,7 @@ FusedKernelCache::FusedKernelCache(std::size_t max_entries)
     : max_entries_(max_entries == 0 ? 1 : max_entries) {}
 
 std::shared_ptr<const void> FusedKernelCache::Find(const std::string& key) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   const auto it = entries_.find(key);
   if (it == entries_.end()) {
     ++stats_.misses;
@@ -40,7 +40,7 @@ std::shared_ptr<const void> FusedKernelCache::Find(const std::string& key) {
 
 void FusedKernelCache::Insert(const std::string& key,
                               std::shared_ptr<const void> program) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   const auto [it, inserted] = entries_.insert_or_assign(key, std::move(program));
   (void)it;
   ++stats_.inserts;
@@ -54,14 +54,14 @@ void FusedKernelCache::Insert(const std::string& key,
 }
 
 FusedKernelCache::Stats FusedKernelCache::Snapshot() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   Stats stats = stats_;
   stats.entries = static_cast<std::int64_t>(entries_.size());
   return stats;
 }
 
 void FusedKernelCache::Clear() {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   entries_.clear();
   insertion_order_.clear();
 }

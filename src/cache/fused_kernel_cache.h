@@ -19,9 +19,11 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace janus::cache {
 
@@ -53,10 +55,11 @@ class FusedKernelCache {
 
  private:
   const std::size_t max_entries_;
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, std::shared_ptr<const void>> entries_;
-  std::deque<std::string> insertion_order_;
-  Stats stats_;
+  mutable Mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<const void>> entries_
+      GUARDED_BY(mu_);
+  std::deque<std::string> insertion_order_ GUARDED_BY(mu_);
+  Stats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace janus::cache

@@ -45,7 +45,7 @@ std::size_t PlanCache::MaxEntries() {
 
 std::shared_ptr<const void> PlanCache::Find(
     std::uint64_t version, std::span<const FetchId> fetches) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   for (const Entry& entry : entries_) {
     if (entry.version != version) continue;
     if (entry.fetches.size() != fetches.size() ||
@@ -63,7 +63,7 @@ std::shared_ptr<const void> PlanCache::Find(
 void PlanCache::Insert(std::uint64_t version,
                        std::span<const FetchId> fetches,
                        std::shared_ptr<const void> plan) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   // Entries for stale structural versions can never hit again.
   std::erase_if(entries_,
                 [version](const Entry& e) { return e.version != version; });
@@ -76,7 +76,7 @@ void PlanCache::Insert(std::uint64_t version,
 }
 
 std::size_t PlanCache::size() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   return entries_.size();
 }
 

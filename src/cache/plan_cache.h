@@ -19,9 +19,11 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace janus {
 namespace cache {
@@ -59,8 +61,8 @@ class PlanCache {
     std::shared_ptr<const void> plan;
   };
 
-  mutable std::mutex mu_;
-  std::vector<Entry> entries_;
+  mutable Mutex mu_;
+  std::vector<Entry> entries_ GUARDED_BY(mu_);
 };
 
 }  // namespace cache

@@ -83,7 +83,7 @@ std::vector<SpecializationCache::EntryRef> SpecializationCache::Lookup(
   const std::int64_t start_ns = obs::Trace::NowNs();
   std::vector<EntryRef> candidates;
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     counters_.lookups->Increment();
     if (KeyRecord* record = FindRecordLocked(key); record != nullptr) {
       candidates = record->entries;
@@ -102,7 +102,7 @@ SpecializationCache::EntryRef SpecializationCache::Insert(
   entry->cost_ns = std::max<std::int64_t>(cost_ns, 1);
   entry->key = key;
 
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   counters_.insertions->Increment();
   entry_bytes_->Record(entry->bytes);
   entry_cost_ns_->Record(entry->cost_ns);
@@ -151,7 +151,7 @@ SpecializationCache::EntryRef SpecializationCache::Insert(
 }
 
 ValidationDecision SpecializationCache::BeginUse(const EntryRef& entry) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   entry->uses += 1;
   if (entry->resident) TouchLocked(entry);
   if (!options_.enable_promotion || !entry->promoted) {
@@ -178,7 +178,7 @@ ValidationDecision SpecializationCache::BeginUse(const EntryRef& entry) {
 }
 
 void SpecializationCache::OnRunSuccess(const Key& key, const EntryRef& entry) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   counters_.hits->Increment();
   KeyRecord* record = FindRecordLocked(key);
   if (record != nullptr) record->stats.hits += 1;
@@ -200,7 +200,7 @@ void SpecializationCache::OnRunSuccess(const Key& key, const EntryRef& entry) {
 
 void SpecializationCache::OnAuditMismatch(const Key& key,
                                           const EntryRef& entry) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   counters_.audit_failures->Increment();
   entry->promoted = false;
   entry->runs_since_failure = 0;
@@ -214,7 +214,7 @@ void SpecializationCache::OnAuditMismatch(const Key& key,
 
 void SpecializationCache::OnEntryFailure(const Key& key,
                                          const EntryRef& entry) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   counters_.assumption_failures->Increment();
   if (KeyRecord* record = FindRecordLocked(key); record != nullptr) {
     record->stats.failures += 1;
@@ -236,19 +236,19 @@ void SpecializationCache::OnEntryFailure(const Key& key,
 }
 
 void SpecializationCache::OnMiss(const Key& key) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   counters_.misses->Increment();
   keys_[key].stats.misses += 1;
 }
 
 int SpecializationCache::DespecializationLevel(const Key& key) const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   const auto it = keys_.find(key);
   return it != keys_.end() ? it->second.stats.ladder_level : 0;
 }
 
 KeyStats SpecializationCache::Stats(const Key& key) const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   const auto it = keys_.find(key);
   if (it == keys_.end()) return KeyStats{};
   KeyStats stats = it->second.stats;
@@ -260,7 +260,7 @@ KeyStats SpecializationCache::Stats(const Key& key) const {
 }
 
 void SpecializationCache::PurgeOwner(const void* owner) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   for (auto it = keys_.lower_bound(Key{owner, nullptr, 0});
        it != keys_.end() && it->first.owner == owner;) {
     for (const EntryRef& entry : it->second.entries) {
@@ -276,7 +276,7 @@ void SpecializationCache::PurgeOwner(const void* owner) {
 }
 
 SpecializationCache::Snapshot SpecializationCache::TakeSnapshot() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   Snapshot snapshot;
   snapshot.bytes_in_use = bytes_in_use_;
   snapshot.entries = resident_entries_;

@@ -44,10 +44,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 
 namespace janus {
@@ -213,29 +214,29 @@ class SpecializationCache {
     KeyStats stats;
   };
 
-  // All private helpers require mu_ held.
+  // All private helpers require mu_ held (machine-checked under clang).
   // By value: see the definition — callers hand over references into the
   // very containers this function erases from.
-  void EvictEntryLocked(EntryRef entry);
-  void EvictLowestPriorityLocked();
-  void TouchLocked(const EntryRef& entry);
-  void AddChurnLocked(const Key& key, KeyRecord& record);
-  void BumpEpochLocked();
-  void RemoveFromIndexLocked(const EntryRef& entry);
-  double ComputePriorityLocked(const Entry& entry) const;
-  KeyRecord* FindRecordLocked(const Key& key);
+  void EvictEntryLocked(EntryRef entry) REQUIRES(mu_);
+  void EvictLowestPriorityLocked() REQUIRES(mu_);
+  void TouchLocked(const EntryRef& entry) REQUIRES(mu_);
+  void AddChurnLocked(const Key& key, KeyRecord& record) REQUIRES(mu_);
+  void BumpEpochLocked() REQUIRES(mu_);
+  void RemoveFromIndexLocked(const EntryRef& entry) REQUIRES(mu_);
+  double ComputePriorityLocked(const Entry& entry) const REQUIRES(mu_);
+  KeyRecord* FindRecordLocked(const Key& key) REQUIRES(mu_);
 
   CacheOptions options_;
   obs::MetricsRegistry* registry_;
 
-  mutable std::mutex mu_;
-  std::map<Key, KeyRecord> keys_;
+  mutable Mutex mu_;
+  std::map<Key, KeyRecord> keys_ GUARDED_BY(mu_);
   // Eviction index: priority -> entry. Entries keep no iterator back-ref;
   // removal erases the matching (priority, entry) pair.
-  std::multimap<double, EntryRef> by_priority_;
-  std::int64_t bytes_in_use_ = 0;
-  std::int64_t resident_entries_ = 0;
-  double clock_ = 0.0;  // GreedyDual aging floor
+  std::multimap<double, EntryRef> by_priority_ GUARDED_BY(mu_);
+  std::int64_t bytes_in_use_ GUARDED_BY(mu_) = 0;
+  std::int64_t resident_entries_ GUARDED_BY(mu_) = 0;
+  double clock_ GUARDED_BY(mu_) = 0.0;  // GreedyDual aging floor
 
   std::atomic<std::uint64_t> epoch_{0};
 

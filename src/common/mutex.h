@@ -1,0 +1,97 @@
+// Annotated mutex wrappers for clang thread-safety analysis.
+//
+// libstdc++'s std::mutex / std::shared_mutex are not declared as
+// capabilities, so clang's -Wthread-safety cannot reason about members
+// guarded by them. janus::Mutex and janus::SharedMutex are zero-cost
+// wrappers that carry the CAPABILITY attribute; MutexLock /
+// ReaderMutexLock / WriterMutexLock are the RAII guards the analysis
+// understands (SCOPED_CAPABILITY). Under g++ the attributes compile away
+// and the wrappers are exactly std::mutex / std::shared_mutex plus an
+// inlined forwarding layer.
+//
+// Mutex also exposes BasicLockable lower-case lock()/unlock() so it can
+// back a std::condition_variable_any wait (see common/thread_pool.h).
+#ifndef JANUS_COMMON_MUTEX_H_
+#define JANUS_COMMON_MUTEX_H_
+
+#include <mutex>
+#include <shared_mutex>
+
+#include "common/thread_annotations.h"
+
+namespace janus {
+
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  // BasicLockable spelling, for std::condition_variable_any::wait(*this).
+  // The analysis treats them like Lock/Unlock.
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+class CAPABILITY("mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  void LockShared() ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() RELEASE_GENERIC() { mu_.Unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+class SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu) ACQUIRE(mu) : mu_(mu) {
+    mu_.Lock();
+  }
+  ~WriterMutexLock() RELEASE_GENERIC() { mu_.Unlock(); }
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+class SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mu) ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.LockShared();
+  }
+  ~ReaderMutexLock() RELEASE_GENERIC() { mu_.UnlockShared(); }
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+}  // namespace janus
+
+#endif  // JANUS_COMMON_MUTEX_H_

@@ -1,0 +1,66 @@
+// Clang thread-safety-analysis attribute macros.
+//
+// These wrap the -Wthread-safety attribute set so the lock discipline of
+// the concurrent subsystems (tensor/buffer_pool, cache/*, obs/metrics,
+// obs/http_export, common/thread_pool) is machine-checked wherever clang
+// compiles the tree, and compiles away to nothing elsewhere (g++ has no
+// equivalent analysis). Use them through the annotated wrappers in
+// common/mutex.h — std::mutex itself is not declared as a capability by
+// libstdc++, so GUARDED_BY(std_mutex_member) would be rejected by the
+// analysis.
+//
+// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+#ifndef JANUS_COMMON_THREAD_ANNOTATIONS_H_
+#define JANUS_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && defined(__has_attribute)
+#define JANUS_THREAD_ANNOTATION_(x) __has_attribute(x)
+#else
+#define JANUS_THREAD_ANNOTATION_(x) 0
+#endif
+
+#if JANUS_THREAD_ANNOTATION_(capability)
+#define JANUS_TSA_(x) __attribute__((x))
+#else
+#define JANUS_TSA_(x)
+#endif
+
+// Declares a type as a lockable capability ("mutex" names the capability
+// kind in diagnostics).
+#define CAPABILITY(x) JANUS_TSA_(capability(x))
+
+// Declares an RAII type whose lifetime acquires/releases a capability.
+#define SCOPED_CAPABILITY JANUS_TSA_(scoped_lockable)
+
+// Data members: which lock protects them (directly or through a pointer).
+#define GUARDED_BY(x) JANUS_TSA_(guarded_by(x))
+#define PT_GUARDED_BY(x) JANUS_TSA_(pt_guarded_by(x))
+
+// Function contracts: locks that must be held on entry.
+#define REQUIRES(...) JANUS_TSA_(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  JANUS_TSA_(requires_shared_capability(__VA_ARGS__))
+
+// Functions that acquire/release locks (members of the wrapper types).
+#define ACQUIRE(...) JANUS_TSA_(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) JANUS_TSA_(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) JANUS_TSA_(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) JANUS_TSA_(release_shared_capability(__VA_ARGS__))
+#define RELEASE_GENERIC(...) \
+  JANUS_TSA_(release_generic_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) JANUS_TSA_(try_acquire_capability(__VA_ARGS__))
+
+// Locks that must NOT be held on entry (deadlock prevention).
+#define EXCLUDES(...) JANUS_TSA_(locks_excluded(__VA_ARGS__))
+
+// Runtime assertion that a capability is held (no acquire/release effect).
+#define ASSERT_CAPABILITY(x) JANUS_TSA_(assert_capability(x))
+
+// Function returns a reference to the named capability.
+#define RETURN_CAPABILITY(x) JANUS_TSA_(lock_returned(x))
+
+// Escape hatch for code the analysis cannot model (e.g. lock-free claim
+// protocols, conditional locking).
+#define NO_THREAD_SAFETY_ANALYSIS JANUS_TSA_(no_thread_safety_analysis)
+
+#endif  // JANUS_COMMON_THREAD_ANNOTATIONS_H_

@@ -45,7 +45,7 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     shutting_down_ = true;
   }
   cv_.notify_all();
@@ -54,7 +54,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Schedule(std::function<void()> task) {
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     queue_.push_back(std::move(task));
   }
   cv_.notify_one();
@@ -64,8 +64,11 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
+      const MutexLock lock(mu_);
+      // Explicit wait loop (not the predicate overload): clang's analysis
+      // checks each lambda separately and cannot see the lock the wait
+      // re-acquires around the predicate call.
+      while (!shutting_down_ && queue_.empty()) cv_.wait(mu_);
       if (queue_.empty()) return;  // shutting down and drained
       task = std::move(queue_.front());
       queue_.pop_front();

@@ -8,9 +8,11 @@
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace janus {
 
@@ -29,10 +31,13 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool shutting_down_ = false;
+  Mutex mu_;
+  // condition_variable_any so the wait releases the annotated Mutex
+  // directly (std::condition_variable only accepts
+  // std::unique_lock<std::mutex>).
+  std::condition_variable_any cv_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  bool shutting_down_ GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 

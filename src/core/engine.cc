@@ -13,6 +13,7 @@
 #include "runtime/fusion.h"
 #include "tensor/buffer_pool.h"
 #include "tensor/ops.h"
+#include "verify/plan_verifier.h"
 
 namespace janus {
 
@@ -162,6 +163,10 @@ JanusEngine::~JanusEngine() {
 void JanusEngine::Attach() {
   JANUS_EXPECTS(!attached_);
   attached_ = true;
+  // Post-build plan verification (src/verify): the hook is process-wide and
+  // idempotent; whether it actually checks is gated by JANUS_VERIFY
+  // (default: debug builds only).
+  verify::InstallPlanVerifier();
   if (!options_.trace_path.empty()) {
     trace_was_enabled_ = obs::Trace::Enabled();
     obs::Trace::Enable();
@@ -284,7 +289,7 @@ minipy::Value JanusEngine::Run(const std::shared_ptr<FunctionValue>& fn,
   const void* key = UnitKey(*fn);
   UnitState* unit = nullptr;
   {
-    const std::lock_guard<std::mutex> lock(units_mu_);
+    const MutexLock lock(units_mu_);
     auto& slot = units_[key];
     if (slot == nullptr) slot = std::make_unique<UnitState>();
     unit = slot.get();
@@ -433,7 +438,10 @@ minipy::Value JanusEngine::Run(const std::shared_ptr<FunctionValue>& fn,
       // descends the Fig. 4 lattice instead of thrashing at full
       // specialization.
       GraphGenerator::CompileHints hints;
-      hints.despecialization_level = cache_->DespecializationLevel(cache_key);
+      hints.despecialization_level =
+          options_.force_despecialization_level >= 0
+              ? options_.force_despecialization_level
+              : cache_->DespecializationLevel(cache_key);
       std::unique_ptr<CompiledGraph> compiled;
       std::int64_t build_cost_ns = 0;
       {
@@ -781,7 +789,7 @@ std::string JanusEngine::StatsReport() const {
                           std::pair<std::string, std::vector<std::uint64_t>>>>
         snapshot;
     {
-      const std::lock_guard<std::mutex> lock(units_mu_);
+      const MutexLock lock(units_mu_);
       for (const auto& [key, unit] : units_) {
         snapshot.emplace_back(
             key, std::make_pair(unit->name,
@@ -863,6 +871,36 @@ std::string JanusEngine::StatsReport() const {
                 static_cast<long long>(pool.in_place_reuses));
   out += line;
   return out;
+}
+
+void JanusEngine::ForEachCompiledUnit(
+    const std::function<void(const std::string& name,
+                             const CompiledGraph& unit)>& visit) {
+  // Snapshot keys under the lock, then walk the cache unlocked: Lookup
+  // takes the cache mutex and the visitor may be arbitrarily slow.
+  std::vector<std::pair<const void*,
+                        std::pair<std::string, std::vector<std::uint64_t>>>>
+      snapshot;
+  {
+    const MutexLock lock(units_mu_);
+    for (const auto& [key, unit] : units_) {
+      snapshot.emplace_back(
+          key, std::make_pair(unit->name, std::vector<std::uint64_t>(
+                                              unit->variants.begin(),
+                                              unit->variants.end())));
+    }
+  }
+  for (const auto& [key, named] : snapshot) {
+    for (const std::uint64_t variant : named.second) {
+      for (const auto& entry_ref : cache_->Lookup({this, key, variant})) {
+        const auto& cached =
+            *static_cast<const CachedUnit*>(entry_ref->payload.get());
+        if (cached.compiled != nullptr) {
+          visit(named.first, *cached.compiled);
+        }
+      }
+    }
+  }
 }
 
 }  // namespace janus

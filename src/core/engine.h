@@ -26,12 +26,14 @@
 #ifndef JANUS_CORE_ENGINE_H_
 #define JANUS_CORE_ENGINE_H_
 
+#include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "cache/specialization_cache.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "core/generator.h"
 #include "core/host_state.h"
@@ -76,6 +78,10 @@ struct EngineOptions {
   // ANDed with the process-wide JANUS_FUSION kill switch; applies to every
   // plan this engine builds (main graphs and library functions).
   bool enable_fusion = true;
+  // When in [0, 3], every generation uses this despecialization-ladder
+  // level instead of the cache's churn-driven one. For tools/janus_verify
+  // and tests that need plans at a specific ladder rung; -1 = off.
+  int force_despecialization_level = -1;
 
   static EngineOptions ImperativePreset();
   static EngineOptions TracingPreset();
@@ -153,6 +159,14 @@ class JanusEngine : public minipy::CallInterceptor {
   // The graph cache this engine stores its specializations in (global by
   // default; see EngineOptions::private_cache).
   cache::SpecializationCache& graph_cache() { return *cache_; }
+
+  // Visits every compiled unit currently resident in the engine's cache
+  // (each variant of each conversion unit), passing the unit's qualified
+  // name. For offline analysis (tools/janus_verify); touches cache LRU
+  // state like any lookup. Do not call from inside a conversion.
+  void ForEachCompiledUnit(
+      const std::function<void(const std::string& name,
+                               const CompiledGraph& unit)>& visit);
 
  private:
   struct CachedUnit;
@@ -232,8 +246,9 @@ class JanusEngine : public minipy::CallInterceptor {
   // Guards the units_ map plus each unit's name/variants against the
   // introspection thread (StatsReport via /statusz); the remaining
   // UnitState fields stay engine-thread-only.
-  mutable std::mutex units_mu_;
-  std::map<const void*, std::unique_ptr<UnitState>> units_;
+  mutable Mutex units_mu_;
+  std::map<const void*, std::unique_ptr<UnitState>> units_
+      GUARDED_BY(units_mu_);
   std::map<const void*, bool> roots_;
   bool attached_ = false;
   bool in_imperative_run_ = false;

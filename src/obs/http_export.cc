@@ -11,7 +11,6 @@
 #include <cstdlib>
 #include <cstring>
 #include <mutex>
-#include <shared_mutex>
 #include <utility>
 
 #include "common/logging.h"
@@ -55,7 +54,7 @@ IntrospectionHub& IntrospectionHub::Global() {
 
 void IntrospectionHub::RegisterMetricsSource(const MetricsRegistry* registry) {
   if (registry == nullptr) return;
-  std::lock_guard<std::shared_mutex> lock(mu_);
+  const WriterMutexLock lock(mu_);
   if (std::find(registries_.begin(), registries_.end(), registry) ==
       registries_.end()) {
     registries_.push_back(registry);
@@ -75,7 +74,7 @@ void IntrospectionHub::FoldRegistryLocked(const MetricsRegistry& registry) {
 
 void IntrospectionHub::UnregisterMetricsSource(
     const MetricsRegistry* registry) {
-  std::lock_guard<std::shared_mutex> lock(mu_);
+  const WriterMutexLock lock(mu_);
   auto it = std::find(registries_.begin(), registries_.end(), registry);
   if (it == registries_.end()) return;
   // Retire rather than forget: a scrape racing (or following) engine
@@ -86,7 +85,7 @@ void IntrospectionHub::UnregisterMetricsSource(
 
 int IntrospectionHub::RegisterStatusSource(
     std::string name, std::function<std::string()> provider) {
-  std::lock_guard<std::shared_mutex> lock(mu_);
+  const WriterMutexLock lock(mu_);
   const int id = next_status_id_++;
   status_sources_.push_back({id, std::move(name), std::move(provider)});
   return id;
@@ -96,7 +95,7 @@ void IntrospectionHub::UnregisterStatusSource(int id) {
   std::function<std::string()> provider;
   std::string name;
   {
-    std::lock_guard<std::shared_mutex> lock(mu_);
+    const WriterMutexLock lock(mu_);
     auto it = std::find_if(status_sources_.begin(), status_sources_.end(),
                            [id](const StatusSource& s) { return s.id == id; });
     if (it == status_sources_.end()) return;
@@ -108,7 +107,7 @@ void IntrospectionHub::UnregisterStatusSource(int id) {
   // locks), then file it under a retired marker.
   std::string text;
   if (provider) text = provider();
-  std::lock_guard<std::shared_mutex> lock(mu_);
+  const WriterMutexLock lock(mu_);
   retired_status_.push_back("== " + name + " [retired] ==\n" + text);
 }
 
@@ -117,7 +116,7 @@ std::map<std::string, std::int64_t> IntrospectionHub::MergedCounters() const {
   for (const auto& [name, value] : MetricsRegistry::Global().CounterValues()) {
     merged[name] += value;
   }
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  const ReaderMutexLock lock(mu_);
   for (const MetricsRegistry* registry : registries_) {
     for (const auto& [name, value] : registry->CounterValues()) {
       merged[name] += value;
@@ -138,7 +137,7 @@ std::map<std::string, HistogramSnapshot> IntrospectionHub::MergedHistograms()
     }
   };
   fold(MetricsRegistry::Global());
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  const ReaderMutexLock lock(mu_);
   for (const MetricsRegistry* registry : registries_) fold(*registry);
   for (const auto& [name, snapshot] : retired_histograms_) {
     merged[name].Accumulate(snapshot);
@@ -150,7 +149,7 @@ std::string IntrospectionHub::StatusText() const {
   // Providers are invoked under the reader lock: UnregisterStatusSource
   // takes mu_ exclusively, so once it returns no in-flight call here can
   // still reference the (possibly dying) engine behind the provider.
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  const ReaderMutexLock lock(mu_);
   std::string out;
   for (const StatusSource& source : status_sources_) {
     out += "== " + source.name + " ==\n";
@@ -168,7 +167,7 @@ std::string IntrospectionHub::StatusText() const {
 }
 
 void IntrospectionHub::ResetForTesting() {
-  std::lock_guard<std::shared_mutex> lock(mu_);
+  const WriterMutexLock lock(mu_);
   registries_.clear();
   status_sources_.clear();
   retired_counters_.clear();

@@ -36,12 +36,13 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 
 namespace janus {
@@ -99,15 +100,16 @@ class IntrospectionHub {
     std::function<std::string()> provider;
   };
 
-  void FoldRegistryLocked(const MetricsRegistry& registry);
+  void FoldRegistryLocked(const MetricsRegistry& registry) REQUIRES(mu_);
 
-  mutable std::shared_mutex mu_;
-  std::vector<const MetricsRegistry*> registries_;
-  std::vector<StatusSource> status_sources_;
-  int next_status_id_ = 1;
-  std::map<std::string, std::int64_t> retired_counters_;
-  std::map<std::string, HistogramSnapshot> retired_histograms_;
-  std::vector<std::string> retired_status_;
+  mutable SharedMutex mu_;
+  std::vector<const MetricsRegistry*> registries_ GUARDED_BY(mu_);
+  std::vector<StatusSource> status_sources_ GUARDED_BY(mu_);
+  int next_status_id_ GUARDED_BY(mu_) = 1;
+  std::map<std::string, std::int64_t> retired_counters_ GUARDED_BY(mu_);
+  std::map<std::string, HistogramSnapshot> retired_histograms_
+      GUARDED_BY(mu_);
+  std::vector<std::string> retired_status_ GUARDED_BY(mu_);
 };
 
 // Prometheus text exposition 0.0.4 helpers, exposed for tests.

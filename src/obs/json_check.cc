@@ -1,10 +1,14 @@
 #include "obs/json_check.h"
 
+#include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <optional>
+#include <utility>
+#include <vector>
 
 namespace janus {
 namespace obs {
@@ -386,25 +390,46 @@ bool IsValidMetricName(std::string_view name) {
   return true;
 }
 
-bool IsValidSampleValue(std::string_view token) {
-  if (token == "+Inf" || token == "-Inf" || token == "NaN") return true;
-  if (token.empty()) return false;
+// Sample VALUES must be finite: a NaN or ±Inf sample poisons every
+// aggregation downstream (rate(), sum()) and always indicates a broken
+// exporter — an uninitialized cell, a 0/0 ratio, an overflowed histogram
+// sum. (The "+Inf" LABEL value on histogram `le` buckets is untouched:
+// labels are parsed as quoted strings, never through here.)
+bool IsValidSampleValue(std::string_view token, std::string* error) {
+  if (token == "+Inf" || token == "-Inf" || token == "NaN" ||
+      token == "+inf" || token == "-inf" || token == "inf" ||
+      token == "nan" || token == "Inf") {
+    return SetError(error, "non-finite sample value");
+  }
+  if (token.empty()) return SetError(error, "bad sample value");
   const std::string copy(token);
   char* end = nullptr;
-  std::strtod(copy.c_str(), &end);
-  return end == copy.c_str() + copy.size();
+  const double value = std::strtod(copy.c_str(), &end);
+  if (end != copy.c_str() + copy.size()) {
+    return SetError(error, "bad sample value");
+  }
+  if (!std::isfinite(value)) {
+    // e.g. "1e999" overflows to +Inf without spelling it.
+    return SetError(error, "non-finite sample value");
+  }
+  return true;
 }
 
-// Validates one sample line: name[{labels}] value [timestamp]. Returns
-// the metric name via *name on success.
+// Validates one sample line: name[{labels}] value [timestamp]. Returns the
+// metric name via *name and the canonical series identity (name plus
+// sorted label pairs) via *series_key on success — two lines with equal
+// keys are the same series sampled twice, which the format forbids.
 bool ValidateSampleLine(std::string_view line, std::string* name,
-                        std::string* error) {
+                        std::string* series_key, std::string* error) {
   std::size_t pos = 0;
   while (pos < line.size() && IsMetricNameChar(line[pos])) ++pos;
   if (pos == 0 || !IsValidMetricName(line.substr(0, pos))) {
     return SetError(error, "bad metric name");
   }
   *name = std::string(line.substr(0, pos));
+  // Label pairs, collected for the canonical series key. Sorted so label
+  // order never disguises a duplicate series.
+  std::vector<std::pair<std::string, std::string>> labels;
   if (pos < line.size() && line[pos] == '{') {
     ++pos;
     while (true) {
@@ -418,6 +443,8 @@ bool ValidateSampleLine(std::string_view line, std::string* name,
       if (pos == label_start || !IsLabelNameStart(line[label_start])) {
         return SetError(error, "bad label name");
       }
+      const std::string_view label_name =
+          line.substr(label_start, pos - label_start);
       if (pos >= line.size() || line[pos] != '=') {
         return SetError(error, "expected '=' after label name");
       }
@@ -426,13 +453,13 @@ bool ValidateSampleLine(std::string_view line, std::string* name,
         return SetError(error, "label value is not a quoted string");
       }
       ++pos;
+      const std::size_t value_start = pos;
       while (true) {
         if (pos >= line.size()) {
           return SetError(error, "unterminated label value");
         }
         const char c = line[pos];
         if (c == '"') {
-          ++pos;
           break;
         }
         if (c == '\n') return SetError(error, "raw newline in label value");
@@ -445,7 +472,18 @@ bool ValidateSampleLine(std::string_view line, std::string* name,
         }
         ++pos;
       }
+      labels.emplace_back(
+          std::string(label_name),
+          std::string(line.substr(value_start, pos - value_start)));
+      ++pos;  // past the closing quote
       if (pos < line.size() && line[pos] == ',') ++pos;
+    }
+  }
+  if (series_key != nullptr) {
+    std::sort(labels.begin(), labels.end());
+    *series_key = *name;
+    for (const auto& [label_name, label_value] : labels) {
+      *series_key += '{' + label_name + '=' + label_value + '}';
     }
   }
   if (pos >= line.size() || line[pos] != ' ') {
@@ -454,8 +492,8 @@ bool ValidateSampleLine(std::string_view line, std::string* name,
   while (pos < line.size() && line[pos] == ' ') ++pos;
   std::size_t value_end = pos;
   while (value_end < line.size() && line[value_end] != ' ') ++value_end;
-  if (!IsValidSampleValue(line.substr(pos, value_end - pos))) {
-    return SetError(error, "bad sample value");
+  if (!IsValidSampleValue(line.substr(pos, value_end - pos), error)) {
+    return false;
   }
   pos = value_end;
   while (pos < line.size() && line[pos] == ' ') ++pos;
@@ -556,6 +594,7 @@ bool ValidateLedgerLine(std::string_view line, FlatObject* fields,
 bool ValidatePrometheusText(std::string_view text, std::string* error,
                             PrometheusSummary* summary) {
   PrometheusSummary local;
+  std::set<std::string> seen_series;
   int line_number = 0;
   std::size_t pos = 0;
   while (pos <= text.size()) {
@@ -594,9 +633,16 @@ bool ValidatePrometheusText(std::string_view text, std::string* error,
       }
     } else {
       std::string name;
-      if (ValidateSampleLine(line, &name, &line_error)) {
+      std::string series_key;
+      if (ValidateSampleLine(line, &name, &series_key, &line_error)) {
         ++local.num_samples;
         local.sample_names.insert(std::move(name));
+        // The exposition format allows each series (name + label set)
+        // exactly once per scrape; a duplicate means two sources collided
+        // on one name or an exporter emitted a family twice.
+        if (!seen_series.insert(std::move(series_key)).second) {
+          line_error = "duplicate series";
+        }
       }
     }
     if (!line_error.empty()) {

@@ -65,7 +65,10 @@ struct PrometheusSummary {
 // Validates a Prometheus text-format 0.0.4 exposition: every line must be
 // a comment ("# HELP" / "# TYPE" with a well-formed name and type) or a
 // sample `name{labels} value` whose metric name, label names, label-value
-// escapes, and value all conform. On success fills *summary when
+// escapes, and value all conform. Sample values must be finite (NaN/±Inf
+// indicate a broken exporter; the `le="+Inf"` histogram-bucket LABEL is
+// unaffected), and each series — name plus label set, order-insensitive —
+// may appear at most once per exposition. On success fills *summary when
 // non-null.
 bool ValidatePrometheusText(std::string_view text, std::string* error,
                             PrometheusSummary* summary = nullptr);

@@ -115,7 +115,7 @@ MetricsRegistry& MetricsRegistry::Global() {
 }
 
 Counter& MetricsRegistry::GetCounter(std::string_view name) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name), std::make_unique<Counter>())
@@ -125,7 +125,7 @@ Counter& MetricsRegistry::GetCounter(std::string_view name) {
 }
 
 Histogram& MetricsRegistry::GetHistogram(std::string_view name) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
@@ -135,20 +135,20 @@ Histogram& MetricsRegistry::GetHistogram(std::string_view name) {
 }
 
 Counter* MetricsRegistry::FindCounter(std::string_view name) const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   const auto it = counters_.find(name);
   return it != counters_.end() ? it->second.get() : nullptr;
 }
 
 Histogram* MetricsRegistry::FindHistogram(std::string_view name) const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   const auto it = histograms_.find(name);
   return it != histograms_.end() ? it->second.get() : nullptr;
 }
 
 std::vector<std::pair<std::string, std::int64_t>>
 MetricsRegistry::CounterValues() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   std::vector<std::pair<std::string, std::int64_t>> values;
   values.reserve(counters_.size());
   for (const auto& [name, counter] : counters_) {
@@ -158,7 +158,7 @@ MetricsRegistry::CounterValues() const {
 }
 
 std::vector<std::string> MetricsRegistry::HistogramNames() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   std::vector<std::string> names;
   names.reserve(histograms_.size());
   for (const auto& [name, histogram] : histograms_) names.push_back(name);
@@ -203,7 +203,7 @@ std::string MetricsRegistry::TextReportForPrefix(
 }
 
 void MetricsRegistry::ResetForTesting() {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   counters_.clear();
   histograms_.clear();
 }

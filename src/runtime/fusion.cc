@@ -1105,7 +1105,7 @@ std::string SpecKey(const FusedRegionPlan& region,
 std::shared_ptr<const FusedSpec> GetSpec(const FusedRegionPlan& region,
                                          std::span<const Tensor> inputs) {
   {
-    const std::lock_guard<std::mutex> lock(region.memo_mu);
+    const MutexLock lock(region.memo_mu);
     if (region.memo != nullptr && SpecMatches(*region.memo, inputs)) {
       return region.memo;
     }
@@ -1124,7 +1124,7 @@ std::shared_ptr<const FusedSpec> GetSpec(const FusedRegionPlan& region,
     cache.Insert(key, spec);
   }
   {
-    const std::lock_guard<std::mutex> lock(region.memo_mu);
+    const MutexLock lock(region.memo_mu);
     region.memo = spec;
   }
   return spec;

@@ -39,11 +39,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 #include "runtime/executor.h"
 #include "runtime/plan.h"
@@ -129,8 +131,8 @@ struct FusedRegionPlan {
 
   // Memoized runtime specialization, validated against the actual inputs on
   // every execution and rebuilt (through the global cache) on mismatch.
-  mutable std::mutex memo_mu;
-  mutable std::shared_ptr<const FusedSpec> memo;
+  mutable Mutex memo_mu;
+  mutable std::shared_ptr<const FusedSpec> memo GUARDED_BY(memo_mu);
 };
 
 // Fusion passes, invoked by ExecutionPlan::Build after the dense schedule is

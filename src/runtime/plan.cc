@@ -1,6 +1,7 @@
 #include "runtime/plan.h"
 
 #include <algorithm>
+#include <atomic>
 #include <unordered_set>
 
 #include "common/error.h"
@@ -37,7 +38,20 @@ bool IsSourceKind(ExecutionPlan::OpKind kind) {
          kind == OpKind::kParam;
 }
 
+// The installed post-build verification hook (nullptr = none). Relaxed is
+// enough: installation happens once at engine attach / static init, and a
+// build that misses a just-installed hook only skips one verification.
+std::atomic<PlanVerifyHookFn> g_plan_verify_hook{nullptr};
+
 }  // namespace
+
+void SetPlanVerifyHook(PlanVerifyHookFn hook) {
+  g_plan_verify_hook.store(hook, std::memory_order_relaxed);
+}
+
+PlanVerifyHookFn GetPlanVerifyHook() {
+  return g_plan_verify_hook.load(std::memory_order_relaxed);
+}
 
 bool GraphNeedsDynamicExecution(const Graph& graph) {
   for (const auto& node : graph.nodes()) {
@@ -78,6 +92,9 @@ std::shared_ptr<const ExecutionPlan> ExecutionPlan::Build(
     fusion_span.set_arg("regions", static_cast<std::int64_t>(regions));
   }
   plan->memory_ = BuildMemoryPlan(*plan);
+  if (const PlanVerifyHookFn hook = GetPlanVerifyHook(); hook != nullptr) {
+    hook(graph, *plan);
+  }
   return plan;
 }
 

@@ -34,6 +34,10 @@ namespace janus {
 class RunContext;
 struct FusedRegionPlan;
 
+namespace verify {
+class PlanCorruptor;
+}  // namespace verify
+
 // Per-build knobs. `enable_fusion` is ANDed with the process-wide
 // fusion::GloballyEnabled() switch (JANUS_FUSION).
 struct PlanOptions {
@@ -132,6 +136,13 @@ class ExecutionPlan {
   // needed by the precomputed-outputs path of the eager tape.
   int DagIndexOf(const Node* node) const;
 
+  // The full node -> dense-index map (fused-region interiors resolve to
+  // their region's index). Exposed for the plan verifier's bijectivity and
+  // coverage checks (src/verify); executors use DagIndexOf.
+  const std::unordered_map<const Node*, int>& dag_index_map() const {
+    return dag_index_;
+  }
+
   // Dynamic accessors.
   const std::vector<DynNode>& dyn_nodes() const { return dyn_nodes_; }
   const std::vector<DagInput>& dyn_fetch_slots() const {
@@ -148,6 +159,10 @@ class ExecutionPlan {
   }
 
  private:
+  // The seeded-corruption harness (src/verify/corruption.h) mutates plan
+  // internals to prove the verifier catches each class of damage.
+  friend class verify::PlanCorruptor;
+
   ExecutionPlan() = default;
 
   void BuildDag(const Graph& graph);
@@ -172,6 +187,17 @@ class ExecutionPlan {
 // True if the graph uses any dataflow control-flow primitive and therefore
 // needs the dynamic (tagged-token) strategy.
 bool GraphNeedsDynamicExecution(const Graph& graph);
+
+// Post-build verification hook. When set, ExecutionPlan::Build invokes it
+// on every finished plan (after fusion and memory planning); the hook may
+// throw to reject the plan. Installed process-wide by
+// verify::InstallPlanVerifier() — a function pointer (not std::function)
+// so the runtime layer carries no dependency on src/verify and the
+// disabled path is one relaxed atomic load.
+using PlanVerifyHookFn = void (*)(const Graph& graph,
+                                  const ExecutionPlan& plan);
+void SetPlanVerifyHook(PlanVerifyHookFn hook);
+PlanVerifyHookFn GetPlanVerifyHook();
 
 // Returns the plan for (graph, fetches) from the graph's plan cache,
 // building and inserting it on first use. When `run` is non-null, a build

@@ -132,7 +132,7 @@ void BufferPool::Release(internal::BufferControl* ctrl) {
 }
 
 internal::BufferControl* BufferPool::CentralPop(int size_class) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   auto& list = central_[size_class];
   if (list.empty()) return nullptr;
   internal::BufferControl* ctrl = list.back();
@@ -144,7 +144,7 @@ void BufferPool::CentralPush(int size_class,
                              std::vector<internal::BufferControl*>& blocks) {
   std::vector<internal::BufferControl*> overflow;
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     for (internal::BufferControl* ctrl : blocks) {
       if (retained_bytes_.load(std::memory_order_relaxed) >
           static_cast<std::int64_t>(kMaxRetainedBytes)) {
@@ -172,7 +172,7 @@ void BufferPool::Trim() {
   }
   std::vector<internal::BufferControl*> reclaimed;
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     for (auto& list : central_) {
       reclaimed.insert(reclaimed.end(), list.begin(), list.end());
       list.clear();

@@ -21,9 +21,10 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "tensor/buffer.h"
 
 namespace janus {
@@ -92,8 +93,8 @@ class BufferPool {
   internal::BufferControl* CentralPop(int size_class);
   void CentralPush(int size_class, std::vector<internal::BufferControl*>& blocks);
 
-  std::mutex mu_;  // guards central_
-  std::vector<internal::BufferControl*> central_[kNumClasses];
+  Mutex mu_;
+  std::vector<internal::BufferControl*> central_[kNumClasses] GUARDED_BY(mu_);
 
   std::atomic<std::int64_t> allocations_{0};
   std::atomic<std::int64_t> pool_hits_{0};

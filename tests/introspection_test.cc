@@ -305,6 +305,48 @@ TEST_F(IntrospectionTest, KernelTimersCollapseIntoLabeledFamily) {
   IntrospectionHub::Global().UnregisterMetricsSource(&registry);
 }
 
+TEST_F(IntrospectionTest, PrometheusValidatorRejectsNonFiniteSamples) {
+  std::string error;
+  EXPECT_FALSE(obs::ValidatePrometheusText("janus_x NaN\n", &error, nullptr));
+  EXPECT_NE(error.find("non-finite"), std::string::npos) << error;
+  EXPECT_FALSE(obs::ValidatePrometheusText("janus_x +Inf\n", &error, nullptr));
+  EXPECT_NE(error.find("non-finite"), std::string::npos) << error;
+  EXPECT_FALSE(obs::ValidatePrometheusText("janus_x -Inf\n", &error, nullptr));
+  // Values that overflow double parse to infinity and are just as broken.
+  EXPECT_FALSE(obs::ValidatePrometheusText("janus_x 1e999\n", &error, nullptr));
+  EXPECT_NE(error.find("non-finite"), std::string::npos) << error;
+  // Finite values, including negative and exponent forms, stay valid.
+  EXPECT_TRUE(obs::ValidatePrometheusText("janus_x -3.5e2\n", &error, nullptr))
+      << error;
+  // The "+Inf" histogram-bucket LABEL is part of the format, not a sample
+  // value, and must still be accepted.
+  EXPECT_TRUE(obs::ValidatePrometheusText(
+      "janus_h_bucket{le=\"+Inf\"} 2\n", &error, nullptr))
+      << error;
+}
+
+TEST_F(IntrospectionTest, PrometheusValidatorRejectsDuplicateSeries) {
+  std::string error;
+  // Same bare series twice.
+  EXPECT_FALSE(obs::ValidatePrometheusText("janus_x 1\njanus_x 2\n", &error,
+                                           nullptr));
+  EXPECT_NE(error.find("duplicate series"), std::string::npos) << error;
+  // Same labeled series with the labels in a different order: still the
+  // same series identity.
+  EXPECT_FALSE(obs::ValidatePrometheusText(
+      "janus_x{a=\"1\",b=\"2\"} 1\njanus_x{b=\"2\",a=\"1\"} 2\n", &error,
+      nullptr));
+  EXPECT_NE(error.find("duplicate series"), std::string::npos) << error;
+  // Different label values are distinct series and fine.
+  EXPECT_TRUE(obs::ValidatePrometheusText(
+      "janus_x{a=\"1\"} 1\njanus_x{a=\"2\"} 2\n", &error, nullptr))
+      << error;
+  // Same name with and without labels are distinct series too.
+  EXPECT_TRUE(obs::ValidatePrometheusText(
+      "janus_x 1\njanus_x{a=\"1\"} 2\n", &error, nullptr))
+      << error;
+}
+
 TEST_F(IntrospectionTest, UnregisteredSourcesRetireInsteadOfVanishing) {
   {
     MetricsRegistry registry;

@@ -1,0 +1,330 @@
+// Tests for the plan/unit verifier (src/verify): clean plans pass, every
+// catalogued seeded corruption is diagnosed with its named invariant plus a
+// node attribution, the unit-level checks (captures, dtype, ladder
+// consistency) catch hand-built violations with distinct diagnostics, and
+// the auto-run hook rejects bad plans only when verification is enabled.
+#include "verify/plan_verifier.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "core/compiled_graph.h"
+#include "runtime/fusion.h"
+#include "verify/corruption.h"
+#include "verify/unit_verifier.h"
+
+namespace janus {
+namespace verify {
+namespace {
+
+// A built (graph, plan) pair; the graph must outlive the plan. Node
+// pointers survive the Graph move (nodes are heap-allocated).
+struct Built {
+  Graph g;
+  std::vector<NodeOutput> fetches;
+  std::shared_ptr<const ExecutionPlan> plan;
+};
+
+// Diamond DAG without fusable chains: x -> {Square, Transpose} -> MatMul.
+// Built with fusion off so the corruption tests see plain kernel nodes.
+Built BuildPlainDag() {
+  Built b;
+  const NodeOutput x = b.g.Placeholder("x", DType::kFloat32);
+  Node* sq = b.g.AddNode("Square", {x});
+  Node* tr = b.g.AddNode("Transpose", {x});
+  Node* mm = b.g.AddNode("MatMul", {{sq, 0}, {tr, 0}});
+  b.fetches = {{mm, 0}};
+  b.plan = ExecutionPlan::Build(b.g, b.fetches,
+                                PlanOptions{.enable_fusion = false});
+  return b;
+}
+
+// Six-Add elementwise chain that fuses into one region (fusion_test.cc),
+// followed by a non-fusable consumer so the plan keeps a kernel node
+// outside the region (the out-of-region rewiring corruption needs one).
+Built BuildFusedDag() {
+  Built b;
+  const NodeOutput x = b.g.Placeholder("x", DType::kFloat32);
+  const NodeOutput one = b.g.Constant(Tensor::Full(Shape{8, 8}, 1.0f));
+  NodeOutput v = x;
+  for (int i = 0; i < 6; ++i) v = {b.g.AddNode("Add", {v, one}), 0};
+  Node* tr = b.g.AddNode("Transpose", {v});
+  b.fetches = {{tr, 0}};
+  b.plan = ExecutionPlan::Build(b.g, b.fetches,
+                                PlanOptions{.enable_fusion = true});
+  return b;
+}
+
+// i = 0; while (i < n) i = i + 1 — the dynamic (tagged-token) strategy.
+Built BuildDynLoop() {
+  Built b;
+  const NodeOutput zero = b.g.Constant(Tensor::ScalarInt(0));
+  const NodeOutput n = b.g.Placeholder("n", DType::kInt64);
+  Node* enter_i =
+      b.g.AddNode("Enter", {zero}, {{"frame", std::string("loop")}});
+  Node* enter_n = b.g.AddNode(
+      "Enter", {n}, {{"frame", std::string("loop")}, {"is_constant", true}});
+  Node* merge = b.g.AddNode("Merge", {{enter_i, 0}, {enter_i, 0}}, {}, 2);
+  Node* less = b.g.AddNode("Less", {{merge, 0}, {enter_n, 0}});
+  Node* sw = b.g.AddNode("Switch", {{merge, 0}, {less, 0}}, {}, 2);
+  Node* one = b.g.AddNode("Const", {}, {{"value", Tensor::ScalarInt(1)}});
+  Node* inc = b.g.AddNode("Add", {{sw, 1}, {one, 0}});
+  Node* next = b.g.AddNode("NextIteration", {{inc, 0}});
+  merge->set_input(1, {next, 0});
+  Node* exit = b.g.AddNode("Exit", {{sw, 0}});
+  b.fetches = {{exit, 0}};
+  b.plan = ExecutionPlan::Build(b.g, b.fetches);
+  return b;
+}
+
+bool HasInvariant(const Report& report, const std::string& invariant) {
+  return std::any_of(report.issues.begin(), report.issues.end(),
+                     [&invariant](const Issue& issue) {
+                       return issue.invariant == invariant;
+                     });
+}
+
+// Applies every applicable corruption from `catalog` against a fresh build
+// from `make`, asserting each is diagnosed with its expected invariant and
+// that every reported issue carries a node attribution. Returns the names
+// of the corruptions that applied.
+std::set<std::string> RunCatalog(const std::vector<Corruption>& catalog,
+                                 Built (*make)()) {
+  std::set<std::string> applied;
+  for (const Corruption& corruption : catalog) {
+    Built b = make();
+    const Report baseline = VerifyPlan(b.g, *b.plan);
+    EXPECT_TRUE(baseline.ok())
+        << "baseline not clean for " << corruption.name << ":\n"
+        << baseline.ToString();
+    if (!baseline.ok()) continue;
+    PlanCorruptor corruptor(&b.g, b.plan.get());
+    if (!corruption.apply(corruptor)) continue;
+    applied.insert(corruption.name);
+    const Report report = VerifyPlan(b.g, *b.plan);
+    EXPECT_FALSE(report.ok())
+        << corruption.name << " was not detected at all";
+    EXPECT_TRUE(HasInvariant(report, corruption.expected_invariant))
+        << corruption.name << " expected invariant "
+        << corruption.expected_invariant << " but got:\n"
+        << report.ToString();
+    for (const Issue& issue : report.issues) {
+      EXPECT_FALSE(issue.node.empty())
+          << corruption.name << ": issue without node attribution";
+    }
+  }
+  return applied;
+}
+
+// ---- clean plans ----
+
+TEST(VerifyPlanTest, CleanPlainDagPasses) {
+  Built b = BuildPlainDag();
+  const Report report = VerifyPlan(b.g, *b.plan);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  EXPECT_GT(report.checks, 0);
+}
+
+TEST(VerifyPlanTest, CleanFusedDagPasses) {
+  Built b = BuildFusedDag();
+  ASSERT_EQ(b.plan->fused_regions().size(), 1u);
+  const Report report = VerifyPlan(b.g, *b.plan);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+TEST(VerifyPlanTest, CleanDynPlanPasses) {
+  Built b = BuildDynLoop();
+  ASSERT_EQ(b.plan->strategy(), ExecutionPlan::Strategy::kDynamic);
+  const Report report = VerifyPlan(b.g, *b.plan);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+// ---- seeded corruption catalogs ----
+
+TEST(VerifyPlanTest, PlainDagCorruptionsCaught) {
+  const std::set<std::string> applied =
+      RunCatalog(DagCorruptions(), &BuildPlainDag);
+  // Everything except the fusion-specific entries applies to a plain DAG.
+  EXPECT_GE(applied.size(), 15u);
+}
+
+TEST(VerifyPlanTest, FusedDagCorruptionsCaught) {
+  const std::set<std::string> applied =
+      RunCatalog(DagCorruptions(), &BuildFusedDag);
+  // The fused plan additionally exercises the fusion.* entries.
+  EXPECT_TRUE(applied.count("fusion-null-plan"));
+  EXPECT_TRUE(applied.count("fusion-drop-root-member"));
+  EXPECT_TRUE(applied.count("fusion-out-of-region-consumer"));
+  EXPECT_TRUE(applied.count("fusion-interior-fetched"));
+  EXPECT_TRUE(applied.count("fusion-interior-control"));
+}
+
+TEST(VerifyPlanTest, DynCorruptionsCaught) {
+  const std::set<std::string> applied =
+      RunCatalog(DynCorruptions(), &BuildDynLoop);
+  EXPECT_GE(applied.size(), 10u);
+}
+
+TEST(VerifyPlanTest, AtLeastTwentyDistinctCorruptionsCaught) {
+  std::set<std::string> all;
+  for (const std::string& name : RunCatalog(DagCorruptions(),
+                                            &BuildPlainDag)) {
+    all.insert(name);
+  }
+  for (const std::string& name : RunCatalog(DagCorruptions(),
+                                            &BuildFusedDag)) {
+    all.insert(name);
+  }
+  for (const std::string& name : RunCatalog(DynCorruptions(),
+                                            &BuildDynLoop)) {
+    all.insert(name);
+  }
+  EXPECT_GE(all.size(), 20u) << "only " << all.size()
+                             << " distinct corruptions applied";
+}
+
+// The ISSUE's named negative cases must each map to a distinct diagnostic.
+TEST(VerifyPlanTest, NamedNegativeCasesHaveDistinctDiagnostics) {
+  const std::vector<std::pair<std::string, Built (*)()>> cases = {
+      {"dag-back-edge", &BuildPlainDag},           // cycle injection
+      {"dag-fetch-dropped-remap", &BuildPlainDag}, // dropped fetch remap
+      {"liveness-undercount", &BuildPlainDag},
+      {"fusion-out-of-region-consumer", &BuildFusedDag},
+  };
+  std::set<std::string> invariants;
+  for (const auto& [name, make] : cases) {
+    const std::vector<Corruption> catalog = DagCorruptions();
+    const auto it = std::find_if(
+        catalog.begin(), catalog.end(),
+        [&name](const Corruption& c) { return c.name == name; });
+    ASSERT_NE(it, catalog.end()) << name;
+    Built b = make();
+    PlanCorruptor corruptor(&b.g, b.plan.get());
+    ASSERT_TRUE(it->apply(corruptor)) << name << " did not apply";
+    const Report report = VerifyPlan(b.g, *b.plan);
+    EXPECT_TRUE(HasInvariant(report, it->expected_invariant))
+        << name << ":\n" << report.ToString();
+    invariants.insert(it->expected_invariant);
+  }
+  // Four cases, four different invariants (dtype mismatch is the fifth,
+  // covered at the unit layer below).
+  EXPECT_EQ(invariants.size(), cases.size());
+}
+
+// ---- unit-level checks (janus_verify_unit) ----
+
+// A minimal, valid compiled unit: y = Square(x) with one tensor capture.
+CompiledGraph MakeCleanUnit() {
+  CompiledGraph unit;
+  const NodeOutput x = unit.graph.Placeholder("x", DType::kFloat32);
+  Node* sq = unit.graph.AddNode("Square", {x});
+  unit.fetches = {{sq, 0}};
+  CaptureSpec capture;
+  capture.placeholder_name = "x";
+  capture.kind = ObservedKind::kTensor;
+  capture.dtype = DType::kFloat32;
+  capture.shape = ShapeAssumption::Unknown();
+  unit.captures.push_back(capture);
+  unit.despecialization_level = 0;
+  unit.BuildPlans(false);
+  return unit;
+}
+
+TEST(VerifyUnitTest, CleanUnitPasses) {
+  const CompiledGraph unit = MakeCleanUnit();
+  const Report report = VerifyCompiledUnit(unit);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+TEST(VerifyUnitTest, CaptureDtypeMismatchCaught) {
+  CompiledGraph unit = MakeCleanUnit();
+  unit.captures[0].dtype = DType::kInt64;  // placeholder attr says float32
+  const Report report = VerifyCompiledUnit(unit);
+  EXPECT_TRUE(HasInvariant(report, "unit.capture_dtype"))
+      << report.ToString();
+}
+
+TEST(VerifyUnitTest, MissingCapturePlaceholderCaught) {
+  CompiledGraph unit = MakeCleanUnit();
+  unit.captures[0].placeholder_name = "not_a_node";
+  const Report report = VerifyCompiledUnit(unit);
+  EXPECT_TRUE(HasInvariant(report, "unit.capture_placeholder"))
+      << report.ToString();
+}
+
+TEST(VerifyUnitTest, ShapeAssumptionInconsistentWithLadderCaught) {
+  // A level-2 (DropShapes) unit must not pin a shape assumption.
+  CompiledGraph unit = MakeCleanUnit();
+  unit.despecialization_level = 2;
+  unit.captures[0].shape = ShapeAssumption::Exact(Shape{4, 4});
+  const Report report = VerifyCompiledUnit(unit);
+  EXPECT_TRUE(HasInvariant(report, "unit.shape_level"))
+      << report.ToString();
+}
+
+TEST(VerifyUnitTest, LadderLevelOutOfRangeCaught) {
+  CompiledGraph unit = MakeCleanUnit();
+  unit.despecialization_level = 7;
+  const Report report = VerifyCompiledUnit(unit);
+  EXPECT_TRUE(HasInvariant(report, "unit.ladder_level"))
+      << report.ToString();
+}
+
+TEST(VerifyUnitTest, MissingMainPlanCaught) {
+  CompiledGraph unit = MakeCleanUnit();
+  unit.plan = nullptr;
+  const Report report = VerifyCompiledUnit(unit);
+  EXPECT_TRUE(HasInvariant(report, "unit.plan_missing"))
+      << report.ToString();
+}
+
+TEST(VerifyUnitTest, DroppedAssertCaught) {
+  CompiledGraph unit = MakeCleanUnit();
+  unit.num_assert_ops = 5;  // generation claims guards the graph lacks
+  const Report report = VerifyCompiledUnit(unit);
+  EXPECT_TRUE(HasInvariant(report, "unit.assert_count"))
+      << report.ToString();
+}
+
+// ---- the auto-run hook ----
+
+class VerifyHookTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    SetPlanVerifyHook(nullptr);
+    SetVerifyEnabledForTesting(-1);
+  }
+};
+
+TEST_F(VerifyHookTest, HookPassesCleanBuildsAndRejectsCorruptPlans) {
+  InstallPlanVerifier();
+  SetVerifyEnabledForTesting(1);
+  // Clean plans build through the hook without throwing.
+  Built b = BuildPlainDag();
+  ASSERT_NE(GetPlanVerifyHook(), nullptr);
+  EXPECT_NO_THROW(GetPlanVerifyHook()(b.g, *b.plan));
+  // A corrupted plan is rejected with the report in the message.
+  PlanCorruptor corruptor(&b.g, b.plan.get());
+  ASSERT_GT(b.plan->memory().dag.size(), 0u);
+  corruptor.memory().dag[0].output_reads += 1;
+  EXPECT_THROW(GetPlanVerifyHook()(b.g, *b.plan), InternalError);
+}
+
+TEST_F(VerifyHookTest, DisabledHookSkipsVerification) {
+  InstallPlanVerifier();
+  SetVerifyEnabledForTesting(0);
+  Built b = BuildPlainDag();
+  PlanCorruptor corruptor(&b.g, b.plan.get());
+  ASSERT_GT(b.plan->memory().dag.size(), 0u);
+  corruptor.memory().dag[0].output_reads += 1;
+  EXPECT_NO_THROW(GetPlanVerifyHook()(b.g, *b.plan));
+}
+
+}  // namespace
+}  // namespace verify
+}  // namespace janus
