@@ -361,6 +361,9 @@ std::vector<NodeOutput> AddGradients(Graph& graph, FunctionLibrary& library,
   for (auto it = postorder.rbegin(); it != postorder.rend(); ++it) {
     Node* node = *it;
     if (node->num_inputs() == 0) continue;  // leaves: Const/Param/ReadVariable
+    // Gradient nodes (including AddN accumulators built by total_for)
+    // attribute to the forward node's imperative source site.
+    SourceSiteScope site_scope(node->site());
     std::vector<OptOut> gout(static_cast<std::size_t>(node->num_outputs()));
     bool any = false;
     for (int i = 0; i < node->num_outputs(); ++i) {
@@ -382,6 +385,7 @@ std::vector<NodeOutput> AddGradients(Graph& graph, FunctionLibrary& library,
   std::vector<NodeOutput> results;
   results.reserve(targets.size());
   for (const NodeOutput& target : targets) {
+    SourceSiteScope site_scope(target.node->site());
     const OptOut total = total_for(target.node, target.index);
     results.push_back(total.has_value() ? *total
                                         : ZerosLikeOf(graph, target));
@@ -392,7 +396,10 @@ std::vector<NodeOutput> AddGradients(Graph& graph, FunctionLibrary& library,
 std::vector<NodeOutput> AddGradients(Graph& graph, FunctionLibrary& library,
                                      NodeOutput loss,
                                      std::span<const NodeOutput> targets) {
-  const GradientSeed seed{loss, OnesLikeOf(graph, loss)};
+  const GradientSeed seed{loss, [&] {
+                            SourceSiteScope site_scope(loss.node->site());
+                            return OnesLikeOf(graph, loss);
+                          }()};
   return AddGradients(graph, library, std::span<const GradientSeed>(&seed, 1),
                       targets);
 }
@@ -416,6 +423,7 @@ std::unordered_map<const Node*, Node*> InlineBody(
     if (mapping.find(node.get()) != mapping.end()) continue;  // a parameter
     Node* copy =
         dst.AddNode(node->op(), {}, node->attrs(), node->num_outputs());
+    if (node->site().known()) copy->set_site(node->site());
     mapping[node.get()] = copy;
   }
   for (const auto& node : fn.graph.nodes()) {
@@ -458,12 +466,14 @@ const GraphFunction& EnsureGradientFunction(FunctionLibrary& library,
   for (std::size_t i = 0; i < fn.parameters.size(); ++i) {
     params.push_back(g.AddNode(
         "Param", {}, {{"index", static_cast<std::int64_t>(i)}}));
+    params.back()->set_site(fn.parameters[i]->site());
   }
   std::vector<Node*> grad_params;
   for (std::size_t j = 0; j < fn.results.size(); ++j) {
     grad_params.push_back(g.AddNode(
         "Param", {},
         {{"index", static_cast<std::int64_t>(fn.parameters.size() + j)}}));
+    grad_params.back()->set_site(fn.results[j].node->site());
   }
   grad.parameters = params;
   grad.parameters.insert(grad.parameters.end(), grad_params.begin(),
@@ -501,6 +511,7 @@ const GraphFunction& EnsureLoopBodyGradient(FunctionLibrary& library,
   for (std::size_t i = 0; i < body.parameters.size(); ++i) {
     params.push_back(g.AddNode(
         "Param", {}, {{"index", static_cast<std::int64_t>(i)}}));
+    params.back()->set_site(body.parameters[i]->site());
   }
   std::vector<Node*> grad_params;
   for (int j = 0; j < num_carried; ++j) {
@@ -508,6 +519,8 @@ const GraphFunction& EnsureLoopBodyGradient(FunctionLibrary& library,
         "Param", {},
         {{"index",
           static_cast<std::int64_t>(body.parameters.size()) + j}}));
+    grad_params.back()->set_site(
+        body.results[static_cast<std::size_t>(j)].node->site());
   }
   grad.parameters = params;
   grad.parameters.insert(grad.parameters.end(), grad_params.begin(),

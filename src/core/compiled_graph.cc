@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "common/error.h"
+#include "obs/profile.h"
 
 namespace janus {
 
@@ -86,6 +87,21 @@ int CompiledGraph::BuildPlans(bool enable_fusion) {
       ++built;
     }
   }
+  // Key every plan's profile accumulator by the unit that owns it, so
+  // /profilez and the pprof export can aggregate by (unit, variant, ladder
+  // level). Done here — the single choke point for plan construction —
+  // so test-injected graphs built through the defensive ExecuteCompiled
+  // path get keyed too.
+  const std::string variant =
+      training ? "training(lr=" + std::to_string(learning_rate) + ")"
+               : "inference";
+  const auto key_plan = [&](const std::shared_ptr<const ExecutionPlan>& p) {
+    if (p != nullptr && p->profile() != nullptr) {
+      p->profile()->SetKey(unit_name, variant, despecialization_level);
+    }
+  };
+  key_plan(plan);
+  for (const auto& fn_plan : function_plans) key_plan(fn_plan);
   return built;
 }
 

@@ -70,6 +70,9 @@ struct CompiledGraph {
   std::vector<std::string> runtime_assumptions;
   bool training = false;
   double learning_rate = 0.0;
+  // Qualified name of the imperative unit this graph was generated from;
+  // used as the profiler's unit label (obs::PlanProfile::SetKey).
+  std::string unit_name;
   int num_assert_ops = 0;
   // Ladder level (GraphGenerator::CompileHints) this graph was generated
   // at; 0 = fully specialized.

@@ -9,6 +9,7 @@
 #include "common/logging.h"
 #include "frontend/builtins.h"
 #include "obs/http_export.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 #include "runtime/fusion.h"
 #include "tensor/buffer_pool.h"
@@ -336,6 +337,12 @@ minipy::Value JanusEngine::Run(const std::shared_ptr<FunctionValue>& fn,
       valid = EntryValid(entry, fn, args, ledger_on ? &mismatch : nullptr);
       check_ns = obs::Trace::NowNs() - check_start_ns;
       validation_ns_->Record(check_ns);
+      if (entry.compiled->plan != nullptr &&
+          entry.compiled->plan->profile() != nullptr) {
+        // Guard cost charged to the unit it protects, so /profilez shows
+        // validation alongside execution per unit.
+        entry.compiled->plan->profile()->AddValidationNs(check_ns);
+      }
     }
     if (!valid) {
       if (ledger_on) {
@@ -456,6 +463,9 @@ minipy::Value JanusEngine::Run(const std::shared_ptr<FunctionValue>& fn,
             compiled->BuildPlans(options_.enable_fusion));
         build_cost_ns = obs::Trace::NowNs() - start_ns;
         generation_ns_->Record(build_cost_ns);
+        if (compiled->plan != nullptr && compiled->plan->profile() != nullptr) {
+          compiled->plan->profile()->SetGenerationNs(build_cost_ns);
+        }
       }
       counters_.graph_generations->Increment();
       auto cached = std::make_shared<CachedUnit>();

@@ -270,8 +270,23 @@ struct GraphGenerator::Impl {
   // across calls.
   std::map<std::pair<std::int64_t, std::string>, SymValue> trace_attrs;
   int fresh_counter = 0;
+  // Qualified names of the imperative functions currently being converted,
+  // innermost last. ExecStmt stamps each statement's SourceSiteScope with
+  // the innermost name so nodes created for inlined callees attribute to
+  // the callee's own source, not the call site.
+  std::vector<std::string> fn_name_stack;
 
   // ---- small helpers ----
+
+  const std::string& CurrentFunctionName() const {
+    static const std::string kEmpty;
+    return fn_name_stack.empty() ? kEmpty : fn_name_stack.back();
+  }
+
+  struct FnNameGuard {
+    std::vector<std::string>* stack;
+    ~FnNameGuard() { stack->pop_back(); }
+  };
 
   void SpendBudget(std::int64_t amount = 1) {
     budget -= amount;
@@ -600,6 +615,10 @@ struct GraphGenerator::Impl {
       const Stmt* stmt = body[i].get();
       if (stmt->kind == StmtKind::kIf) {
         SpendBudget();
+        // kIf at block level bypasses ExecStmt (it may consume the block's
+        // continuation), so establish its provenance scope here.
+        SourceSiteScope site_scope(CurrentFunctionName(), stmt->line,
+                                   stmt->id);
         if (ExecIf(stmt, frame, scope, body, i + 1)) return;
         continue;
       }
@@ -609,6 +628,9 @@ struct GraphGenerator::Impl {
 
   void ExecStmt(const Stmt* stmt, Frame& frame, Scope& scope) {
     SpendBudget();
+    // Every node materialised while converting this statement is stamped
+    // with {function, line, stmt} via the ambient site (Graph::AddNode).
+    SourceSiteScope site_scope(CurrentFunctionName(), stmt->line, stmt->id);
     switch (stmt->kind) {
       case StmtKind::kExpr:
         Eval(stmt->value.get(), frame, scope);
@@ -1645,8 +1667,11 @@ SymValue GraphGenerator::Impl::InlineCall(
     int* d;
     ~DepthGuard() { --*d; }
   } guard{&depth};
+  fn_name_stack.push_back(fn->qualified_name);
+  FnNameGuard name_guard{&fn_name_stack};
   if (fn->lambda != nullptr) {
     bind(fn->lambda->params);
+    SourceSiteScope site_scope(fn->qualified_name, fn->lambda->line);
     return Eval(fn->lambda->left.get(), frame, scope);
   }
   bind(fn->def->params);
@@ -1726,6 +1751,15 @@ std::string GraphGenerator::Impl::GenerateFunctionGraph(
   gf->name = name;
   out->library->Register(std::move(gf));
   GraphFunction& registered = out->library->LookupMutable(name);
+
+  fn_name_stack.push_back(fn->qualified_name);
+  FnNameGuard name_guard{&fn_name_stack};
+  // Function-level scope: prologue/epilogue nodes (Params, the Identity
+  // result wrapper, recursive-site patch Switches) attribute to the def
+  // line; per-statement scopes nested inside override it.
+  SourceSiteScope fn_scope(
+      fn->qualified_name,
+      fn->def != nullptr ? fn->def->line : fn->lambda->line);
 
   Frame fn_frame;
   fn_frame.graph = &registered.graph;
@@ -2717,6 +2751,7 @@ std::unique_ptr<CompiledGraph> GraphGenerator::Impl::Compile(
   artifact->library = std::make_shared<FunctionLibrary>();
   artifact->training = training;
   artifact->learning_rate = lr;
+  artifact->unit_name = fn->qualified_name;
   artifact->despecialization_level = compile_hints.despecialization_level;
   out = artifact.get();
 
@@ -2724,6 +2759,18 @@ std::unique_ptr<CompiledGraph> GraphGenerator::Impl::Compile(
   root_frame.graph = &artifact->graph;
   root = &root_frame;
   root_args = args;
+
+  fn_name_stack.clear();
+  fn_name_stack.push_back(fn->qualified_name);
+  FnNameGuard name_guard{&fn_name_stack};
+  // Unit-level scope: captures, the gradient/update epilogue (lr constant,
+  // ApplySGD, anchor NoOp) and anything else created outside a statement
+  // attribute to the unit's def line. AddGradients re-scopes each gradient
+  // node to its forward node's site.
+  SourceSiteScope fn_scope(
+      fn->qualified_name,
+      fn->def != nullptr ? fn->def->line
+                         : (fn->lambda != nullptr ? fn->lambda->line : 0));
 
   Scope scope;
   scope.closure = fn->closure;

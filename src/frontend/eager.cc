@@ -162,6 +162,12 @@ std::map<std::string, Tensor> EagerContext::GradientsAndStopTape(
   // the recorded forward values fed in as precomputed node outputs.
   const std::shared_ptr<const ExecutionPlan> plan =
       GetOrBuildPlan(tape->graph, grads, &run);
+  if (plan->profile() != nullptr && plan->profile()->unit().empty()) {
+    // Tape gradients run during the imperative profiling phase, before any
+    // conversion unit exists; label them so /profilez does not show them
+    // as unattributed.
+    plan->profile()->SetKey("<imperative tape>", "eager", 0);
+  }
   const std::vector<Tensor> grad_values = internal::ExecuteDag(
       run, *plan, {}, /*parallel=*/false, &tape->precomputed);
   ops_executed_ += run.ops_executed.load();

@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "frontend/parser.h"
+#include "graph/source_site.h"
 #include "tensor/ops.h"
 
 namespace janus::minipy {
@@ -47,6 +48,14 @@ struct Interpreter::Impl {
   std::vector<Module> modules;  // owns ASTs for the lifetime of the session
   std::shared_ptr<Environment> globals = std::make_shared<Environment>();
 
+  // Qualified names of the user functions currently on the call stack
+  // (innermost last; empty at module top level). ExecStmt stamps each
+  // statement's SourceSiteScope from this, so graphs built during eager
+  // execution — the tape EagerContext records and the gradient plans
+  // derived from it — carry the same imperative provenance the symbolic
+  // generator stamps on converted graphs.
+  std::vector<std::string> fn_name_stack;
+
   using HeapEntry =
       std::variant<std::weak_ptr<ListValue>, std::weak_ptr<DictValue>,
                    std::weak_ptr<ObjectValue>>;
@@ -84,6 +93,12 @@ struct Interpreter::Impl {
 
   void ExecStmt(const Stmt* stmt, const std::shared_ptr<Environment>& env) {
     ++self->statements_executed_;
+    // Ambient provenance for any graph nodes built while this statement
+    // executes (eager tape recording). Cost when nothing records: one
+    // SSO string copy and two pointer writes.
+    SourceSiteScope site_scope(
+        fn_name_stack.empty() ? std::string() : fn_name_stack.back(),
+        stmt->line, stmt->id);
     switch (stmt->kind) {
       case StmtKind::kExpr:
         Eval(stmt->value.get(), env);
@@ -606,6 +621,17 @@ Value Interpreter::CallFunction(const std::shared_ptr<FunctionValue>& fn,
   }
   auto env = std::make_shared<Environment>(
       fn->closure != nullptr ? fn->closure : impl_->globals);
+  // Track the qualified-name call stack so ExecStmt can stamp provenance;
+  // the guard survives MiniPyError / ReturnSignal unwinding.
+  struct FnNameGuard {
+    std::vector<std::string>* stack;
+    explicit FnNameGuard(std::vector<std::string>* s, std::string name)
+        : stack(s) {
+      stack->push_back(std::move(name));
+    }
+    ~FnNameGuard() { stack->pop_back(); }
+  };
+  FnNameGuard name_guard(&impl_->fn_name_stack, fn->qualified_name);
   if (fn->lambda != nullptr) {
     if (args.size() != fn->lambda->params.size()) {
       throw MiniPyError(fn->qualified_name + "() takes " +
@@ -615,6 +641,9 @@ Value Interpreter::CallFunction(const std::shared_ptr<FunctionValue>& fn,
     for (std::size_t i = 0; i < args.size(); ++i) {
       env->Define(fn->lambda->params[i], std::move(args[i]));
     }
+    // Lambda bodies are single expressions with no statement scope of their
+    // own; attribute their nodes to the lambda itself.
+    SourceSiteScope lambda_scope(fn->qualified_name, fn->lambda->line);
     return impl_->Eval(fn->lambda->left.get(), env);
   }
   const Stmt* def = fn->def;

@@ -7,21 +7,30 @@
 #include <sstream>
 
 #include "obs/metrics.h"
+#include "obs/profile.h"
 
 namespace janus {
 namespace {
 
-// Per-op mean latencies from the sampled kernel timers, plus the hottest
-// mean for heat scaling. Empty when no timers have been recorded.
+// Node-resolved mean latencies from the source-attributed profiler
+// (preferred: distinguishes two MatMuls of different shapes), falling back
+// to per-op means from the sampled kernel timers. The hottest mean across
+// both sources scales the heat ramp. Empty when nothing has been recorded.
 struct TimingIndex {
-  std::map<std::string, double> mean_ns;  // op -> mean sampled latency
+  std::map<std::string, double> node_mean_ns;  // node name -> mean latency
+  std::map<std::string, double> mean_ns;       // op -> mean sampled latency
   double max_mean_ns = 0.0;
 };
 
 TimingIndex BuildTimingIndex(const Graph& graph) {
   TimingIndex index;
+  const std::map<std::string, double> profiled = obs::ProfileNodeMeanNs();
   obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
   for (const auto& node : graph.nodes()) {
+    if (const auto it = profiled.find(node->name()); it != profiled.end()) {
+      index.node_mean_ns[node->name()] = it->second;
+      index.max_mean_ns = std::max(index.max_mean_ns, it->second);
+    }
     const std::string& op = node->op();
     if (index.mean_ns.count(op) != 0u) continue;
     const obs::Histogram* histogram =
@@ -90,9 +99,15 @@ void EmitNode(std::ostringstream& oss, const Node& node,
   }
   std::string timing_label;
   if (timing != nullptr) {
-    const auto it = timing->mean_ns.find(op);
-    if (it != timing->mean_ns.end()) {
-      timing_label = "\\n" + FormatMeanNs(it->second);
+    // Per-node profile data first (exact for this node), op-wide mean as
+    // the fallback when the profiler never sampled this node.
+    const auto node_it = timing->node_mean_ns.find(node.name());
+    if (node_it != timing->node_mean_ns.end()) {
+      timing_label = "\\n" + FormatMeanNs(node_it->second);
+      color = HeatColor(node_it->second, timing->max_mean_ns);
+    } else if (const auto it = timing->mean_ns.find(op);
+               it != timing->mean_ns.end()) {
+      timing_label = "\\n" + FormatMeanNs(it->second) + " (op avg)";
       color = HeatColor(it->second, timing->max_mean_ns);
     }
   }

@@ -148,6 +148,9 @@ Node* Graph::AddNode(std::string op, std::vector<NodeOutput> inputs,
                                           std::move(attrs), num_outputs));
   ++next_id_;
   ++version_;
+  if (const SourceSite* ambient = AmbientSourceSite()) {
+    nodes_.back()->set_site(*ambient);
+  }
   return nodes_.back().get();
 }
 

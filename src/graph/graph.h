@@ -16,6 +16,7 @@
 
 #include "cache/plan_cache.h"
 #include "graph/attr.h"
+#include "graph/source_site.h"
 
 namespace janus {
 
@@ -70,6 +71,13 @@ class Node {
   const Tensor& GetTensorAttr(std::string_view key) const;
   DType GetDTypeAttr(std::string_view key) const;
 
+  // Imperative source provenance. Stamped from the ambient SourceSiteScope
+  // at creation (Graph::AddNode); gradient/rewrite passes re-stamp clones
+  // with the originating forward node's site. Unknown sites have
+  // !site().known().
+  const SourceSite& site() const { return site_; }
+  void set_site(SourceSite site) { site_ = std::move(site); }
+
   std::string DebugString() const;
 
  private:
@@ -80,6 +88,7 @@ class Node {
   std::vector<Node*> control_inputs_;
   AttrMap attrs_;
   int num_outputs_;
+  SourceSite site_;
 };
 
 // A named subgraph with explicit parameters and results, invoked through

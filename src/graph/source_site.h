@@ -1,0 +1,90 @@
+// Source provenance for graph nodes.
+//
+// JANUS swaps the user's imperative program for a generated symbolic graph,
+// which by itself destroys the mapping from execution cost back to the line
+// of imperative code that caused it. A SourceSite records where a node came
+// from: the qualified imperative function, the 1-based source line of the
+// statement the symbolic executor was converting, and the statement's id
+// (stable within a function definition, -1 when unknown).
+//
+// Sites are stamped at the single choke point every node passes through —
+// Graph::AddNode — by consulting an *ambient* thread-local site that the
+// producer (symbolic generator, autodiff, optimisation passes) establishes
+// with the RAII SourceSiteScope. Graph construction is single-threaded per
+// compilation, so a thread-local ambient is race-free; executors only ever
+// read sites.
+//
+// Header-only on purpose: obs/ (which must not link against janus_graph)
+// mirrors these fields into its own ProfileSite at plan-build time, and the
+// graph layer itself needs nothing beyond the struct and the scope.
+#ifndef JANUS_GRAPH_SOURCE_SITE_H_
+#define JANUS_GRAPH_SOURCE_SITE_H_
+
+#include <string>
+#include <utility>
+
+namespace janus {
+
+struct SourceSite {
+  // Qualified name of the imperative function being converted
+  // (e.g. "train_step"); empty when unknown.
+  std::string function;
+  // 1-based line within the imperative program; 0 when unknown.
+  int line = 0;
+  // Statement id within the function definition; -1 when unknown.
+  int stmt = -1;
+
+  bool known() const { return !function.empty() || line > 0; }
+
+  // "function:line" (or "function" / "line:N" when one half is missing);
+  // "?" when nothing is known. Used by DOT tooltips and text exports.
+  std::string Label() const {
+    if (!known()) return "?";
+    if (function.empty()) return "line:" + std::to_string(line);
+    if (line <= 0) return function;
+    return function + ":" + std::to_string(line);
+  }
+
+  bool operator==(const SourceSite& other) const {
+    return line == other.line && stmt == other.stmt &&
+           function == other.function;
+  }
+};
+
+namespace internal {
+// Ambient site consulted by Graph::AddNode. Null when no scope is active.
+inline thread_local const SourceSite* ambient_source_site = nullptr;
+}  // namespace internal
+
+inline const SourceSite* AmbientSourceSite() {
+  return internal::ambient_source_site;
+}
+
+// Establishes an ambient source site for the current thread for the scope's
+// lifetime; restores the previous ambient on destruction (scopes nest — the
+// autodiff pass re-establishes a forward node's site while emitting its
+// gradient ops inside the generator's function-level scope).
+class SourceSiteScope {
+ public:
+  explicit SourceSiteScope(SourceSite site)
+      : site_(std::move(site)), previous_(internal::ambient_source_site) {
+    internal::ambient_source_site = &site_;
+  }
+  SourceSiteScope(std::string function, int line, int stmt = -1)
+      : SourceSiteScope(SourceSite{std::move(function), line, stmt}) {}
+
+  SourceSiteScope(const SourceSiteScope&) = delete;
+  SourceSiteScope& operator=(const SourceSiteScope&) = delete;
+
+  ~SourceSiteScope() { internal::ambient_source_site = previous_; }
+
+  const SourceSite& site() const { return site_; }
+
+ private:
+  SourceSite site_;
+  const SourceSite* previous_;
+};
+
+}  // namespace janus
+
+#endif  // JANUS_GRAPH_SOURCE_SITE_H_

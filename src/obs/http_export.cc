@@ -15,6 +15,8 @@
 
 #include "common/logging.h"
 #include "obs/ledger.h"
+#include "obs/pprof_encode.h"
+#include "obs/profile.h"
 
 namespace janus {
 namespace obs {
@@ -331,6 +333,25 @@ HttpResponse HttpExportServer::HandlePath(std::string_view path) {
     }
     return response;
   }
+  if (path == "/profilez") {
+    // Source-attributed profiler: per-unit / per-source-line cost report.
+    // ?format=json returns the machine-readable form.
+    if (query.find("format=json") != std::string_view::npos) {
+      response.content_type = "application/json";
+      response.body = RenderProfileJson();
+    } else {
+      response.body = RenderProfileText();
+    }
+    return response;
+  }
+  if (path == "/pprof/profile") {
+    // Gzipped pprof protobuf (go tool pprof / speedscope compatible). The
+    // body is binary; ServeConnection frames it with Content-Length, so
+    // embedded NULs are fine.
+    response.content_type = "application/octet-stream";
+    response.body = GzipCompress(SerializeCurrentProfileProto());
+    return response;
+  }
   if (path == "/healthz") {
     response.body = "ok\n";
     return response;
@@ -346,6 +367,8 @@ HttpResponse HttpExportServer::HandlePath(std::string_view path) {
         "  /metrics   Prometheus text exposition\n"
         "  /statusz   engine status reports\n"
         "  /flightz   recent speculation-ledger records (JSONL, ?n=N)\n"
+        "  /profilez  source-attributed profile (text; ?format=json)\n"
+        "  /pprof/profile  gzipped pprof protobuf for `go tool pprof`\n"
         "  /healthz   liveness probe\n"
         "  /quitquitquit  release a lingering process\n";
     return response;
@@ -388,7 +411,7 @@ bool HttpExportServer::Start(int port) {
   running_.store(true, std::memory_order_release);
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   JANUS_LOG(kInfo) << "http_export: serving on http://127.0.0.1:" << port_
-                   << " (/metrics /statusz /flightz)";
+                   << " (/metrics /statusz /flightz /profilez /pprof/profile)";
   return true;
 }
 

@@ -94,6 +94,62 @@ class Parser {
     if (pos_ != text_.size()) Fail("trailing content after JSON object");
   }
 
+  // Parses a /profilez?format=json document against the obs/profile.h
+  // schema and requires end-of-input after it.
+  void ParseProfileDocument(ProfileJsonSummary* summary) {
+    SkipWhitespace();
+    Expect('{');
+    bool saw_enabled = false;
+    bool saw_stride = false;
+    bool saw_units = false;
+    SkipWhitespace();
+    if (Peek() == '}') {
+      ++pos_;
+      Fail("missing \"units\" array");
+    }
+    while (true) {
+      SkipWhitespace();
+      const std::string key = ParseString();
+      SkipWhitespace();
+      Expect(':');
+      SkipWhitespace();
+      if (key == "enabled") {
+        saw_enabled = true;
+        if (Peek() == 't') {
+          ParseLiteral("true");
+          if (summary != nullptr) summary->enabled = true;
+        } else {
+          ParseLiteral("false");
+        }
+      } else if (key == "sample_stride") {
+        saw_stride = true;
+        const std::size_t start = pos_;
+        ParseNumber();
+        if (summary != nullptr) {
+          summary->sample_stride =
+              std::atoi(std::string(text_.substr(start, pos_ - start)).c_str());
+        }
+      } else if (key == "units") {
+        saw_units = true;
+        ParseProfileUnitArray(summary);
+      } else {
+        ParseValue();
+      }
+      SkipWhitespace();
+      const char c = Next();
+      if (c == '}') break;
+      if (c != ',') {
+        --pos_;
+        Fail("expected ',' or '}' in object");
+      }
+    }
+    if (!saw_enabled) Fail("missing boolean field \"enabled\"");
+    if (!saw_stride) Fail("missing numeric field \"sample_stride\"");
+    if (!saw_units) Fail("missing \"units\" array");
+    SkipWhitespace();
+    if (pos_ != text_.size()) Fail("trailing content after JSON document");
+  }
+
  private:
   [[noreturn]] void Fail(const std::string& message) const {
     throw ParseError{pos_, message};
@@ -273,6 +329,165 @@ class Parser {
       if (c != ',') {
         --pos_;
         Fail("expected ',' or '}' in object");
+      }
+    }
+  }
+
+  // Parses an object into string fields (like ParseObject) but also records
+  // which keys held numeric values, so schema walkers can distinguish a
+  // missing field from a mistyped one.
+  void ParseTypedObject(std::map<std::string, std::string>* strings,
+                        std::set<std::string>* numbers) {
+    Expect('{');
+    SkipWhitespace();
+    if (Peek() == '}') {
+      ++pos_;
+      return;
+    }
+    while (true) {
+      SkipWhitespace();
+      const std::string key = ParseString();
+      SkipWhitespace();
+      Expect(':');
+      SkipWhitespace();
+      const char c = Peek();
+      if (c == '"') {
+        (*strings)[key] = ParseString();
+      } else if (c == '-' || (c >= '0' && c <= '9')) {
+        ParseNumber();
+        numbers->insert(key);
+      } else {
+        ParseValue();
+      }
+      SkipWhitespace();
+      const char sep = Next();
+      if (sep == '}') return;
+      if (sep != ',') {
+        --pos_;
+        Fail("expected ',' or '}' in object");
+      }
+    }
+  }
+
+  // An array of flat record objects, each validated against required
+  // string/number keys; returns the element count.
+  int ParseProfileRecordArray(std::initializer_list<const char*> req_strings,
+                              std::initializer_list<const char*> req_numbers,
+                              const char* what) {
+    Expect('[');
+    SkipWhitespace();
+    int count = 0;
+    if (Peek() == ']') {
+      ++pos_;
+      return count;
+    }
+    while (true) {
+      SkipWhitespace();
+      if (Peek() != '{') Fail(std::string(what) + " entry is not an object");
+      std::map<std::string, std::string> strings;
+      std::set<std::string> numbers;
+      ParseTypedObject(&strings, &numbers);
+      for (const char* key : req_strings) {
+        if (strings.find(key) == strings.end()) {
+          Fail(std::string(what) + " entry missing string field \"" + key +
+               "\"");
+        }
+      }
+      for (const char* key : req_numbers) {
+        if (numbers.find(key) == numbers.end()) {
+          Fail(std::string(what) + " entry missing numeric field \"" + key +
+               "\"");
+        }
+      }
+      ++count;
+      SkipWhitespace();
+      const char c = Next();
+      if (c == ']') return count;
+      if (c != ',') {
+        --pos_;
+        Fail(std::string("expected ',' or ']' in ") + what);
+      }
+    }
+  }
+
+  void ParseProfileUnitArray(ProfileJsonSummary* summary) {
+    Expect('[');
+    SkipWhitespace();
+    if (Peek() == ']') {
+      ++pos_;
+      return;
+    }
+    while (true) {
+      SkipWhitespace();
+      if (Peek() != '{') Fail("unit entry is not an object");
+      Expect('{');
+      std::map<std::string, std::string> strings;
+      std::set<std::string> numbers;
+      bool saw_lines = false;
+      bool saw_nodes = false;
+      SkipWhitespace();
+      if (Peek() == '}') {
+        ++pos_;
+        Fail("empty unit entry");
+      }
+      while (true) {
+        SkipWhitespace();
+        const std::string key = ParseString();
+        SkipWhitespace();
+        Expect(':');
+        SkipWhitespace();
+        if (key == "lines") {
+          saw_lines = true;
+          const int n = ParseProfileRecordArray(
+              {"function"}, {"line", "execution_ns", "count"}, "lines");
+          if (summary != nullptr) summary->num_lines += n;
+        } else if (key == "top_nodes") {
+          saw_nodes = true;
+          const int n = ParseProfileRecordArray(
+              {"node", "op", "function"},
+              {"line", "count", "total_ns", "max_ns"}, "top_nodes");
+          if (summary != nullptr) summary->num_nodes += n;
+        } else if (Peek() == '"') {
+          strings[key] = ParseString();
+        } else if (Peek() == '-' || (Peek() >= '0' && Peek() <= '9')) {
+          ParseNumber();
+          numbers.insert(key);
+        } else {
+          ParseValue();
+        }
+        SkipWhitespace();
+        const char c = Next();
+        if (c == '}') break;
+        if (c != ',') {
+          --pos_;
+          Fail("expected ',' or '}' in unit entry");
+        }
+      }
+      for (const char* key : {"unit", "variant"}) {
+        if (strings.find(key) == strings.end()) {
+          Fail(std::string("unit entry missing string field \"") + key +
+               "\"");
+        }
+      }
+      for (const char* key : {"level", "runs", "generation_ns",
+                              "validation_ns", "execution_ns"}) {
+        if (numbers.find(key) == numbers.end()) {
+          Fail(std::string("unit entry missing numeric field \"") + key +
+               "\"");
+        }
+      }
+      if (!saw_lines) Fail("unit entry missing \"lines\" array");
+      if (!saw_nodes) Fail("unit entry missing \"top_nodes\" array");
+      if (summary != nullptr) {
+        ++summary->num_units;
+        summary->units.insert(strings["unit"]);
+      }
+      SkipWhitespace();
+      const char c = Next();
+      if (c == ']') return;
+      if (c != ',') {
+        --pos_;
+        Fail("expected ',' or ']' in units");
       }
     }
   }
@@ -587,6 +802,20 @@ bool ValidateLedgerLine(std::string_view line, FlatObject* fields,
   }
 
   if (fields != nullptr) *fields = std::move(local);
+  if (error != nullptr) error->clear();
+  return true;
+}
+
+bool ValidateProfileJson(std::string_view json, std::string* error,
+                         ProfileJsonSummary* summary) {
+  ProfileJsonSummary local;
+  try {
+    Parser(json).ParseProfileDocument(&local);
+  } catch (const Parser::ParseError& parse_error) {
+    FormatParseError(parse_error, error);
+    return false;
+  }
+  if (summary != nullptr) *summary = std::move(local);
   if (error != nullptr) error->clear();
   return true;
 }

@@ -54,6 +54,25 @@ bool ParseFlatJsonObject(std::string_view line, FlatObject* fields,
 bool ValidateLedgerLine(std::string_view line, FlatObject* fields,
                         std::string* error);
 
+struct ProfileJsonSummary {
+  bool enabled = false;
+  int sample_stride = 0;
+  int num_units = 0;
+  int num_lines = 0;   // per-source-line rollup entries across all units
+  int num_nodes = 0;   // top_nodes entries across all units
+  std::set<std::string> units;
+};
+
+// Validates the /profilez?format=json document (obs/profile.h schema): a
+// top-level object with boolean "enabled", numeric "sample_stride", and a
+// "units" array whose entries carry string unit/variant, numeric
+// level/runs/generation_ns/validation_ns/execution_ns, a "lines" array
+// ({function, line, execution_ns, count}), and a "top_nodes" array
+// ({node, op, function, line, count, total_ns, max_ns}). On success fills
+// *summary when non-null.
+bool ValidateProfileJson(std::string_view json, std::string* error,
+                         ProfileJsonSummary* summary = nullptr);
+
 struct PrometheusSummary {
   int num_samples = 0;
   // Family names declared by "# TYPE" lines, and the (possibly suffixed)

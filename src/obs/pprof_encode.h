@@ -1,0 +1,72 @@
+// Hand-rolled pprof profile.proto encoder (and a minimal decoder for
+// tests/CI) — no protobuf or zlib dependency.
+//
+// The /pprof/profile endpoint serves the continuous profiler's samples in
+// the format `go tool pprof` / `pprof -http` consume: a gzipped
+// profile.proto where each sample is one plan node and its location stack
+// is imperative function -> statement (function:line) -> op, leaf first —
+// so standard pprof renders a *source-level* flame graph of the generated
+// graph's execution cost.
+//
+// Encoding is protobuf wire format by hand: varints, length-delimited
+// submessages, packed repeated integers. Compression is a gzip container
+// around *stored* (uncompressed) deflate blocks — every gzip reader
+// accepts it, and it needs no compressor. The decoder half understands
+// exactly what the encoder emits (plus raw uncompressed input) and exists
+// so tests and trace_validate can round-trip scraped profiles without
+// external tooling.
+#ifndef JANUS_OBS_PPROF_ENCODE_H_
+#define JANUS_OBS_PPROF_ENCODE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/profile.h"
+
+namespace janus {
+namespace obs {
+
+// Serializes `samples` as an uncompressed pprof Profile message. Sample
+// values are [executions/count, time/nanoseconds]; each sample carries
+// string labels unit/variant/level/node.
+std::string EncodeProfileProto(const std::vector<ProfileSample>& samples);
+
+// EncodeProfileProto over the live registry (CollectProfileSamples).
+std::string SerializeCurrentProfileProto();
+
+// Wraps `raw` in a gzip container using stored deflate blocks (RFC 1951
+// BTYPE=00 + RFC 1952 framing, CRC-32 + ISIZE trailer).
+std::string GzipCompress(std::string_view raw);
+
+// Inflates a gzip container holding only stored deflate blocks (what
+// GzipCompress emits). Verifies CRC-32 and ISIZE. Returns false with a
+// message in *error on anything else.
+bool GunzipStored(std::string_view data, std::string* out,
+                  std::string* error);
+
+struct DecodedPprof {
+  struct Sample {
+    // Leaf-first frames, rendered "function:line" (line > 0) or
+    // "function".
+    std::vector<std::string> stack;
+    std::vector<std::int64_t> values;
+    std::map<std::string, std::string> labels;
+  };
+  std::vector<std::pair<std::string, std::string>> sample_types;
+  std::vector<Sample> samples;
+};
+
+// Parses a pprof Profile (gzipped — detected by the 0x1f 0x8b magic — or
+// raw). Resolves string/function/location tables into readable frames.
+// Returns false with a message in *error on malformed input.
+bool DecodePprof(std::string_view data, DecodedPprof* out,
+                 std::string* error);
+
+}  // namespace obs
+}  // namespace janus
+
+#endif  // JANUS_OBS_PPROF_ENCODE_H_

@@ -134,6 +134,23 @@ std::atomic<bool> Trace::enabled_{false};
 namespace internal {
 std::atomic<bool> kernel_sampling_active{false};
 thread_local std::uint32_t kernel_sample_countdown = 0;
+
+std::uint32_t NextSampleGap(std::uint32_t nominal) {
+  // Per-thread xorshift32, seeded from the thread-local's address so
+  // threads decorrelate without any shared state.
+  thread_local std::uint32_t state = [] {
+    const auto seed = static_cast<std::uint32_t>(
+        reinterpret_cast<std::uintptr_t>(&kernel_sample_countdown) >> 4);
+    return seed | 1u;  // xorshift must not start at 0
+  }();
+  state ^= state << 13;
+  state ^= state >> 17;
+  state ^= state << 5;
+  if (nominal <= 1) return 1;
+  // Uniform in [nominal/2, 3*nominal/2): mean = nominal, never 0.
+  const std::uint32_t half = nominal / 2;
+  return half + state % nominal + (half == 0 ? 1 : 0);
+}
 }  // namespace internal
 
 namespace {

@@ -100,6 +100,14 @@ namespace internal {
 // in sync by the toggles so hot paths test one atomic.
 extern std::atomic<bool> kernel_sampling_active;
 extern thread_local std::uint32_t kernel_sample_countdown;
+// Next countdown reload for a sampler with the given nominal stride:
+// uniform in [nominal/2, 3*nominal/2) from a per-thread xorshift PRNG
+// (mean = nominal). A deterministic every-Nth stride aliases with
+// fixed-length plans — a 16-op chain under a 16-stride sampler times the
+// same node forever — so both the kernel and the plan-node profilers
+// draw jittered gaps instead. Only the enable flag is process-global;
+// all countdown state is thread-local (no cross-thread contention).
+std::uint32_t NextSampleGap(std::uint32_t nominal);
 }  // namespace internal
 
 // Executors call this per kernel: returns true on the first and then every
@@ -115,7 +123,8 @@ inline bool KernelSamplingActive() {
 inline bool ShouldSampleKernel() {
   if (!KernelSamplingActive()) return false;
   if (internal::kernel_sample_countdown == 0) {
-    internal::kernel_sample_countdown = kKernelSampleEvery - 1;
+    internal::kernel_sample_countdown =
+        internal::NextSampleGap(kKernelSampleEvery) - 1;
     return true;
   }
   --internal::kernel_sample_countdown;

@@ -147,6 +147,8 @@ int ConstantFolding(Graph& graph) {
     } catch (const Error&) {
       continue;  // e.g. data-dependent failure; leave for runtime
     }
+    // The folded constant inherits the replaced node's source site.
+    SourceSiteScope site_scope(node->site());
     for (int i = 0; i < node->num_outputs(); ++i) {
       repl[{node, i}] =
           graph.Constant(ctx.outputs[static_cast<std::size_t>(i)]);
@@ -222,6 +224,8 @@ int ArithmeticSimplification(Graph& graph) {
                  IsScalarConst(in(0).node, 0.0f)) {
         const NodeOutput operand =
             IsScalarConst(in(1).node, 0.0f) ? in(0) : in(1);
+        // The replacement ZerosLike inherits the Mul's source site.
+        SourceSiteScope site_scope(node->site());
         replace(node, {graph.AddNode("ZerosLike", {operand}), 0});
       }
     } else if (op == "Div") {

@@ -17,6 +17,7 @@
 #include <mutex>
 
 #include "common/logging.h"
+#include "obs/profile.h"
 #include "runtime/executor.h"
 #include "runtime/fusion.h"
 
@@ -51,7 +52,15 @@ std::vector<Tensor> ExecuteDag(RunContext& run, const ExecutionPlan& plan,
     state.outputs.clear();
   };
 
+  obs::PlanProfile* const profile = plan.profile();
+
   const auto run_node = [&](int index) {
+    // Source-attributed profiler: sampled per-node wall time (disabled
+    // path is one relaxed load inside ShouldSampleProfileNode).
+    const bool prof_sampled = obs::ShouldSampleProfileNode();
+    const ProfRecord prof_record{profile, index,
+                                 prof_sampled ? obs::Trace::NowNs() : 0,
+                                 prof_sampled};
     const ExecutionPlan::DagNode& entry =
         nodes[static_cast<std::size_t>(index)];
     const MemoryPlan::DagNodeInfo& minfo =

@@ -67,6 +67,7 @@ struct PendingNode {
 std::vector<Tensor> ExecuteDynamic(RunContext& run, const ExecutionPlan& plan,
                                    const Bindings& bindings) {
   const std::vector<ExecutionPlan::DynNode>& nodes = plan.dyn_nodes();
+  obs::PlanProfile* const profile = plan.profile();
 
   // Execution state per (node, tag); nodes are dense plan indices.
   struct Key {
@@ -230,6 +231,10 @@ std::vector<Tensor> ExecuteDynamic(RunContext& run, const ExecutionPlan& plan,
   for (std::size_t i = 0; i < nodes.size(); ++i) {
     const ExecutionPlan::DynNode& info = nodes[i];
     if (!info.is_root_source) continue;
+    const bool prof_sampled = obs::ShouldSampleProfileNode();
+    const ProfRecord prof_record{profile, static_cast<int>(i),
+                                 prof_sampled ? obs::Trace::NowNs() : 0,
+                                 prof_sampled};
     if (info.kind != OpKind::kKernel) {
       source_values[i] = {
           Token{ResolveSource(run, info.kind, *info.node, bindings), false}};
@@ -262,6 +267,13 @@ std::vector<Tensor> ExecuteDynamic(RunContext& run, const ExecutionPlan& plan,
         nodes[static_cast<std::size_t>(key.node)];
     const Node& node = *info.node;
     const std::string& tag = key.tag;
+
+    // Source-attributed profiler: RAII so the control-flow `continue`s
+    // above the kernel dispatch are all covered.
+    const bool prof_sampled = obs::ShouldSampleProfileNode();
+    const ProfRecord prof_record{profile, key.node,
+                                 prof_sampled ? obs::Trace::NowNs() : 0,
+                                 prof_sampled};
 
     // Collect input tokens (absent cells are only legal for Merge). Tokens
     // are MOVED out of the dead pending-node state so a single-consumer

@@ -185,6 +185,7 @@ std::vector<Tensor> Executor::RunPlan(
   run.library = library_;
   run.rng = rng_;
   run.pool = options_.parallel ? options_.pool : nullptr;
+  if (obs::PlanProfile* profile = plan.profile()) profile->AddRun();
 
   std::vector<Tensor> results;
   if (plan.strategy() == ExecutionPlan::Strategy::kDynamic) {

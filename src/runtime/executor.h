@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "obs/profile.h"
 #include "runtime/kernel.h"
 #include "runtime/plan.h"
 #include "runtime/run_context.h"
@@ -120,6 +121,22 @@ using Bindings = std::map<const Node*, Tensor>;
 // re-executed; their recorded outputs are used directly. The eager tape uses
 // this to run gradient subgraphs without recomputing the forward pass.
 using Precomputed = std::map<const Node*, std::vector<Tensor>>;
+
+// RAII sampled-time recorder for one plan-node execution, shared by both
+// strategies. Destructor-based so every exit path of a node body
+// (precomputed shortcut, source kinds, control-flow `continue`s, kernel
+// dispatch) is covered. Construct with armed = ShouldSampleProfileNode().
+struct ProfRecord {
+  obs::PlanProfile* profile;
+  int index;
+  std::int64_t start_ns;
+  bool armed;
+  ~ProfRecord() {
+    if (armed && profile != nullptr) {
+      profile->Record(index, obs::Trace::NowNs() - start_ns);
+    }
+  }
+};
 
 // Shared by both strategy implementations (defined in executor.cc).
 Tensor ResolveSource(RunContext& run, ExecutionPlan::OpKind kind,

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <queue>
 #include <unordered_set>
+#include <utility>
 
 #include "common/error.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 #include "runtime/fusion.h"
 #include "runtime/run_context.h"
@@ -92,6 +95,61 @@ std::shared_ptr<const ExecutionPlan> ExecutionPlan::Build(
     fusion_span.set_arg("regions", static_cast<std::int64_t>(regions));
   }
   plan->memory_ = BuildMemoryPlan(*plan);
+
+  // Attach the source-attributed profiler's per-node accumulator, copying
+  // each node's provenance (graph-layer SourceSite -> obs ProfileSite) so
+  // the obs layer stays link-independent of the graph. Fused regions keep
+  // per-member sites; cost recorded against the region is split across
+  // them at export. Registration is unconditional — plan build is a cold
+  // path, and a later EnableProfiling() must see already-built plans.
+  {
+    const auto site_of = [](const Node* node) {
+      obs::ProfileSite site;
+      if (node != nullptr) {
+        site.function = node->site().function;
+        site.line = node->site().line;
+        site.stmt = node->site().stmt;
+      }
+      return site;
+    };
+    const auto info_of = [&](const Node* node, OpKind kind,
+                             const FusedRegionPlan* fused) {
+      obs::ProfileNodeInfo info;
+      if (node != nullptr) {
+        info.name = node->name();
+        info.op = node->op();
+        info.site = site_of(node);
+      }
+      if (kind == OpKind::kFusedRegion && fused != nullptr) {
+        info.op = "FusedRegion";
+        for (const FusedRegionPlan::Member& member : fused->members) {
+          obs::ProfileNodeInfo member_info;
+          member_info.name = member.node->name();
+          member_info.op = member.node->op();
+          member_info.site = site_of(member.node);
+          info.members.push_back(std::move(member_info));
+        }
+      }
+      return info;
+    };
+    std::vector<obs::ProfileNodeInfo> infos;
+    if (plan->strategy_ == Strategy::kDag) {
+      infos.reserve(plan->dag_nodes_.size());
+      for (const DagNode& dag_node : plan->dag_nodes_) {
+        infos.push_back(
+            info_of(dag_node.node, dag_node.kind, dag_node.fused));
+      }
+    } else {
+      infos.reserve(plan->dyn_nodes_.size());
+      for (const DynNode& dyn_node : plan->dyn_nodes_) {
+        infos.push_back(
+            info_of(dyn_node.node, dyn_node.kind, dyn_node.fused));
+      }
+    }
+    plan->profile_ = std::make_shared<obs::PlanProfile>(std::move(infos));
+    obs::ProfileRegistry::Global().Register(plan->profile_);
+  }
+
   if (const PlanVerifyHookFn hook = GetPlanVerifyHook(); hook != nullptr) {
     hook(graph, *plan);
   }
@@ -115,12 +173,69 @@ void ExecutionPlan::BuildDag(const Graph& graph) {
     }
   }
 
+  // Dense schedule in stable topological order. Freshly generated graphs
+  // insert nodes topologically, but optimization passes append replacement
+  // nodes (folded constants, ZerosLike) at the END of the graph while
+  // rewiring earlier consumers onto them — and both fusion's region
+  // collection and the plan verifier rely on producers preceding consumers
+  // in the dense array. Kahn's algorithm with a min-heap on graph position
+  // keeps the order deterministic and as close to insertion order as the
+  // edges allow.
+  std::vector<const Node*> order;
+  {
+    std::vector<const Node*> graph_order;
+    graph_order.reserve(needed.size());
+    std::unordered_map<const Node*, int> position;
+    for (const auto& node : graph.nodes()) {
+      if (needed.find(node.get()) == needed.end()) continue;
+      position[node.get()] = static_cast<int>(graph_order.size());
+      graph_order.push_back(node.get());
+    }
+    std::unordered_map<const Node*, int> indegree;
+    std::unordered_map<const Node*, std::vector<const Node*>> dependents;
+    for (const Node* node : graph_order) {
+      std::unordered_set<const Node*> producers;
+      for (const NodeOutput& input : node->inputs()) {
+        producers.insert(input.node);
+      }
+      for (const Node* control : node->control_inputs()) {
+        producers.insert(control);
+      }
+      indegree[node] = static_cast<int>(producers.size());
+      for (const Node* producer : producers) {
+        dependents[producer].push_back(node);
+      }
+    }
+    std::priority_queue<std::pair<int, const Node*>,
+                        std::vector<std::pair<int, const Node*>>,
+                        std::greater<>>
+        ready;
+    for (const Node* node : graph_order) {
+      if (indegree[node] == 0) ready.emplace(position[node], node);
+    }
+    order.reserve(graph_order.size());
+    while (!ready.empty()) {
+      const Node* node = ready.top().second;
+      ready.pop();
+      order.push_back(node);
+      for (const Node* consumer : dependents[node]) {
+        if (--indegree[consumer] == 0) {
+          ready.emplace(position[consumer], consumer);
+        }
+      }
+    }
+    if (order.size() != graph_order.size()) {
+      // Cycle: schedule in graph order and let the executor's
+      // executed-count check report it.
+      order = std::move(graph_order);
+    }
+  }
+
   dag_nodes_.reserve(needed.size());
-  for (const auto& node : graph.nodes()) {
-    if (needed.find(node.get()) == needed.end()) continue;
-    dag_index_[node.get()] = static_cast<int>(dag_nodes_.size());
+  for (const Node* node : order) {
+    dag_index_[node] = static_cast<int>(dag_nodes_.size());
     DagNode entry;
-    entry.node = node.get();
+    entry.node = node;
     entry.kind = ClassifyOp(node->op());
     if (entry.kind == OpKind::kKernel) {
       entry.kernel = &KernelRegistry::Global().Lookup(node->op());

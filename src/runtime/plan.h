@@ -34,6 +34,10 @@ namespace janus {
 class RunContext;
 struct FusedRegionPlan;
 
+namespace obs {
+class PlanProfile;
+}  // namespace obs
+
 namespace verify {
 class PlanCorruptor;
 }  // namespace verify
@@ -158,6 +162,12 @@ class ExecutionPlan {
     return fused_regions_;
   }
 
+  // Per-node cost accumulator for the source-attributed profiler
+  // (obs/profile.h), sized to the plan's dense node array and registered
+  // with the global ProfileRegistry at build. Executors record into it
+  // when profiling is enabled; never null after Build.
+  obs::PlanProfile* profile() const { return profile_.get(); }
+
  private:
   // The seeded-corruption harness (src/verify/corruption.h) mutates plan
   // internals to prove the verifier catches each class of damage.
@@ -182,6 +192,8 @@ class ExecutionPlan {
   std::vector<std::shared_ptr<const FusedRegionPlan>> fused_regions_;
 
   MemoryPlan memory_;
+
+  std::shared_ptr<obs::PlanProfile> profile_;
 };
 
 // True if the graph uses any dataflow control-flow primitive and therefore

@@ -415,8 +415,10 @@ TEST_F(ObsTest, KernelTimingWithoutTracerFillsRegistryOnly) {
     eager.Execute("Add", {a, a});
   }
   obs::SetKernelTimingEnabled(false);
-  // 64 ops sampled every 16th on this thread: at least 4 new samples.
-  EXPECT_GE(timer.Count() - count_before, 4);
+  // 64 ops sampled at a jittered ~16 stride: the first op samples, and
+  // every gap is < 24 (NextSampleGap draws from [8, 24)), so at least 3
+  // new samples land even in the worst draw.
+  EXPECT_GE(timer.Count() - count_before, 3);
   // No tracer: nothing hit the ring buffers.
   EXPECT_EQ(Trace::TotalRecorded(), 0);
 }

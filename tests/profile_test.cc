@@ -1,0 +1,443 @@
+// Tests for the source-attributed continuous profiler (src/obs/profile,
+// src/obs/pprof_encode): provenance stamping through generation, autodiff
+// and fusion for every zoo model; the lock-free per-plan accumulator under
+// threaded recording; the hand-rolled pprof encoder round-tripped through
+// the in-repo decoder (gzip container included); the live /profilez and
+// /pprof/profile endpoints scraped over a real socket; folded-stacks
+// parsing; and profdiff regression detection.
+#include "obs/profile.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+#include "frontend/builtins.h"
+#include "models/zoo.h"
+#include "obs/http_export.h"
+#include "obs/json_check.h"
+#include "obs/pprof_encode.h"
+
+namespace janus {
+namespace {
+
+using obs::DecodePprof;
+using obs::DecodedPprof;
+using obs::FoldedProfile;
+using obs::GunzipStored;
+using obs::GzipCompress;
+using obs::HttpExportServer;
+using obs::PlanProfile;
+using obs::ProfileNodeInfo;
+using obs::ProfileRegistry;
+using obs::ProfileSample;
+
+class ProfileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::DisableProfiling();
+    ProfileRegistry::Global().Reset();
+  }
+  void TearDown() override {
+    obs::DisableProfiling();
+    ProfileRegistry::Global().Reset();
+  }
+};
+
+// Interpreter + engine pair (mirrors janus_test.cc's Session).
+struct Session {
+  explicit Session(EngineOptions options = EngineOptions{})
+      : rng(17), interp(&variables, &rng), engine(&interp, options) {
+    minipy::InstallBuiltins(interp);
+    engine.Attach();
+  }
+  VariableStore variables;
+  Rng rng;
+  minipy::Interpreter interp;
+  JanusEngine engine;
+};
+
+constexpr const char* kTrainingScript = R"(
+w = variable('w', constant([[0.5], [0.25]]))
+x = constant([[1.0, 2.0], [3.0, 4.0], [5.0, 6.0]])
+def loss_fn():
+    h = matmul(x, w)
+    return reduce_mean(h * h)
+for i in range(24):
+    optimize(loss_fn, 0.01)
+)";
+
+// ---- provenance through generation + autodiff + fusion (zoo sweep) ----
+
+class ZooProvenance : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override { ProfileRegistry::Global().Reset(); }
+  void TearDown() override { ProfileRegistry::Global().Reset(); }
+};
+
+TEST_P(ZooProvenance, EveryPlanNodeCarriesASourceSite) {
+  const models::ModelSpec& spec = models::FindModel(GetParam());
+  models::ModelSession session(spec, EngineOptions{});
+  for (int i = 0; i < 12; ++i) session.Step();
+
+  // Every engine-generated plan (unit-keyed at BuildPlans) must attribute
+  // all of its nodes — including autodiff-cloned gradient nodes and every
+  // member of a fused region — back to an imperative source site.
+  int unit_plans = 0;
+  int nodes_checked = 0;
+  for (const auto& profile : ProfileRegistry::Global().Profiles()) {
+    if (profile->unit().empty()) continue;
+    ++unit_plans;
+    for (const ProfileNodeInfo& info : profile->nodes()) {
+      ++nodes_checked;
+      EXPECT_TRUE(info.site.known())
+          << spec.name << ": node '" << info.name << "' (" << info.op
+          << ") in unit '" << profile->unit() << "' has no source site";
+      for (const ProfileNodeInfo& member : info.members) {
+        ++nodes_checked;
+        EXPECT_TRUE(member.site.known())
+            << spec.name << ": fused member '" << member.name << "' ("
+            << member.op << ") has no source site";
+      }
+    }
+  }
+  if (session.engine().stats().graph_executions > 0) {
+    EXPECT_GT(unit_plans, 0) << "converted model registered no keyed plans";
+    EXPECT_GT(nodes_checked, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, ZooProvenance,
+    ::testing::Values("LeNet", "ResNet50", "Inception-v3", "LSTM", "LM",
+                      "TreeRNN", "TreeLSTM", "A3C", "PPO", "AN", "pix2pix"));
+
+// ---- end-to-end accumulation against a live engine ----
+
+TEST_F(ProfileTest, EngineRunAccumulatesSourceAttributedSamples) {
+  obs::EnableProfiling();
+  Session session;
+  session.interp.Run(kTrainingScript);
+  ASSERT_GT(session.engine.stats().graph_executions, 0);
+
+  const std::vector<ProfileSample> samples = obs::CollectProfileSamples();
+  ASSERT_FALSE(samples.empty());
+  bool found_attributed = false;
+  for (const ProfileSample& sample : samples) {
+    if (sample.unit == "loss_fn" && sample.count > 0 &&
+        !sample.function.empty() && sample.line > 0) {
+      found_attributed = true;
+      EXPECT_EQ(sample.function, "loss_fn");
+    }
+  }
+  EXPECT_TRUE(found_attributed)
+      << "no sampled node attributed to loss_fn source";
+
+  // Unit totals carry the engine-side phase accounting.
+  bool found_unit = false;
+  for (const obs::ProfileUnitTotals& unit :
+       obs::CollectProfileUnitTotals()) {
+    if (unit.unit != "loss_fn") continue;
+    found_unit = true;
+    EXPECT_EQ(unit.variant.rfind("training(", 0), 0u) << unit.variant;
+    EXPECT_GT(unit.runs, 0u);
+    EXPECT_GT(unit.generation_ns, 0);
+  }
+  EXPECT_TRUE(found_unit);
+
+  // The renderers agree with the validator.
+  std::string error;
+  obs::ProfileJsonSummary summary;
+  ASSERT_TRUE(obs::ValidateProfileJson(obs::RenderProfileJson(), &error,
+                                       &summary))
+      << error;
+  EXPECT_TRUE(summary.enabled);
+  EXPECT_EQ(summary.sample_stride,
+            static_cast<int>(obs::kProfileSampleEvery));
+  EXPECT_NE(summary.units.count("loss_fn"), 0u);
+  const std::string text = obs::RenderProfileText();
+  EXPECT_NE(text.find("loss_fn"), std::string::npos);
+  EXPECT_NE(text.find("== by source line =="), std::string::npos);
+}
+
+TEST_F(ProfileTest, DisabledProfilingRecordsNoSamples) {
+  ASSERT_FALSE(obs::ProfilingEnabled());
+  Session session;
+  session.interp.Run(kTrainingScript);
+  for (const ProfileSample& sample : obs::CollectProfileSamples()) {
+    EXPECT_EQ(sample.count, 0u) << sample.node;
+  }
+}
+
+// ---- threaded accumulator ----
+
+TEST_F(ProfileTest, ThreadedRecordingLosesNoCountsOrTime) {
+  std::vector<ProfileNodeInfo> infos(4);
+  for (int i = 0; i < 4; ++i) {
+    infos[static_cast<std::size_t>(i)].name = "n" + std::to_string(i);
+  }
+  PlanProfile profile(std::move(infos));
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&profile, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        profile.Record(i % 4, (i % 100) + t);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  std::uint64_t total_count = 0;
+  for (int i = 0; i < 4; ++i) {
+    const PlanProfile::NodeSnapshot snap = profile.Snapshot(i);
+    EXPECT_EQ(snap.count, static_cast<std::uint64_t>(kThreads) * kPerThread / 4);
+    total_count += snap.count;
+    // max = largest duration any thread recorded on this slot.
+    EXPECT_GE(snap.max_ns, 99u);
+    std::uint64_t bucket_sum = 0;
+    for (const std::uint64_t b : snap.buckets) bucket_sum += b;
+    EXPECT_EQ(bucket_sum, snap.count) << "histogram lost samples";
+  }
+  EXPECT_EQ(total_count,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  // Out-of-range indices are ignored, not UB.
+  profile.Record(-1, 5);
+  profile.Record(4, 5);
+}
+
+// ---- pprof encoding: gzip container + protobuf round-trip ----
+
+TEST_F(ProfileTest, GzipRoundTripsIncludingMultiBlockAndEmpty) {
+  for (const std::size_t size : {std::size_t{0}, std::size_t{1},
+                                 std::size_t{65535}, std::size_t{200000}}) {
+    std::string raw(size, '\0');
+    for (std::size_t i = 0; i < size; ++i) {
+      raw[i] = static_cast<char>((i * 131 + 17) & 0xff);
+    }
+    const std::string gz = GzipCompress(raw);
+    ASSERT_GE(gz.size(), 18u);
+    EXPECT_EQ(static_cast<unsigned char>(gz[0]), 0x1f);
+    EXPECT_EQ(static_cast<unsigned char>(gz[1]), 0x8b);
+    std::string out;
+    std::string error;
+    ASSERT_TRUE(GunzipStored(gz, &out, &error)) << error;
+    EXPECT_EQ(out, raw);
+  }
+  // Corruption is detected via CRC.
+  std::string gz = GzipCompress("hello profiler");
+  gz[12] ^= 0x01;
+  std::string out;
+  std::string error;
+  EXPECT_FALSE(GunzipStored(gz, &out, &error));
+}
+
+TEST_F(ProfileTest, PprofEncodingRoundTripsThroughDecoder) {
+  std::vector<ProfileSample> samples(2);
+  samples[0].unit = "loss_fn";
+  samples[0].variant = "training(lr=0.010000)";
+  samples[0].level = 1;
+  samples[0].function = "loss_fn";
+  samples[0].line = 3;
+  samples[0].op = "MatMul";
+  samples[0].node = "MatMul_1";
+  samples[0].count = 42;
+  samples[0].total_ns = 123456;
+  samples[1].unit = "loss_fn";
+  samples[1].variant = "training(lr=0.010000)";
+  samples[1].function = "loss_fn";
+  samples[1].line = 4;
+  samples[1].op = "Mul";
+  samples[1].node = "Mul_2";
+  samples[1].count = 7;
+  samples[1].total_ns = 999;
+
+  const std::string proto = obs::EncodeProfileProto(samples);
+  // Deterministic encoder: same input, same bytes.
+  EXPECT_EQ(proto, obs::EncodeProfileProto(samples));
+
+  DecodedPprof decoded;
+  std::string error;
+  ASSERT_TRUE(DecodePprof(proto, &decoded, &error)) << error;
+  ASSERT_EQ(decoded.sample_types.size(), 2u);
+  EXPECT_EQ(decoded.sample_types[0].first, "executions");
+  EXPECT_EQ(decoded.sample_types[1].first, "time");
+  EXPECT_EQ(decoded.sample_types[1].second, "nanoseconds");
+  ASSERT_EQ(decoded.samples.size(), 2u);
+
+  // Leaf-first stack: op, then function:line, then the function frame.
+  const DecodedPprof::Sample& first = decoded.samples[0];
+  ASSERT_EQ(first.stack.size(), 3u);
+  EXPECT_EQ(first.stack[0], "MatMul");
+  EXPECT_EQ(first.stack[1], "loss_fn:3");
+  EXPECT_EQ(first.stack[2], "loss_fn");
+  ASSERT_EQ(first.values.size(), 2u);
+  EXPECT_EQ(first.values[0], 42);
+  EXPECT_EQ(first.values[1], 123456);
+  EXPECT_EQ(first.labels.at("unit"), "loss_fn");
+  EXPECT_EQ(first.labels.at("node"), "MatMul_1");
+
+  // The gzip wrapper decodes transparently too.
+  DecodedPprof via_gzip;
+  ASSERT_TRUE(DecodePprof(GzipCompress(proto), &via_gzip, &error)) << error;
+  EXPECT_EQ(via_gzip.samples.size(), 2u);
+}
+
+// ---- live socket scrape of /profilez and /pprof/profile ----
+
+TEST_F(ProfileTest, HttpEndpointsServeProfileAndPprof) {
+  obs::EnableProfiling();
+  Session session;
+  session.interp.Run(kTrainingScript);
+
+  HttpExportServer& server = HttpExportServer::Global();
+  ASSERT_TRUE(server.Start(0));  // free port
+  ASSERT_GT(server.port(), 0);
+
+  const auto http_get = [&](const std::string& path) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(server.port()));
+    EXPECT_EQ(
+        ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)),
+        0);
+    const std::string request =
+        "GET " + path + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+    ::send(fd, request.data(), request.size(), MSG_NOSIGNAL);
+    std::string response;
+    char buffer[4096];
+    for (;;) {
+      const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+      if (n <= 0) break;
+      response.append(buffer, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    const std::size_t split = response.find("\r\n\r\n");
+    EXPECT_NE(split, std::string::npos) << path;
+    EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos) << path;
+    return split == std::string::npos ? std::string()
+                                      : response.substr(split + 4);
+  };
+
+  const std::string text = http_get("/profilez");
+  EXPECT_NE(text.find("loss_fn"), std::string::npos);
+
+  const std::string json = http_get("/profilez?format=json");
+  std::string error;
+  obs::ProfileJsonSummary summary;
+  ASSERT_TRUE(obs::ValidateProfileJson(json, &error, &summary)) << error;
+  EXPECT_NE(summary.units.count("loss_fn"), 0u);
+
+  // Binary-safe: the gzipped pprof body survives HTTP framing intact.
+  const std::string pprof_body = http_get("/pprof/profile");
+  ASSERT_GE(pprof_body.size(), 2u);
+  EXPECT_EQ(static_cast<unsigned char>(pprof_body[0]), 0x1f);
+  EXPECT_EQ(static_cast<unsigned char>(pprof_body[1]), 0x8b);
+  DecodedPprof decoded;
+  ASSERT_TRUE(DecodePprof(pprof_body, &decoded, &error)) << error;
+  bool found_loss_fn_stack = false;
+  for (const DecodedPprof::Sample& sample : decoded.samples) {
+    if (sample.labels.count("unit") != 0u &&
+        sample.labels.at("unit") == "loss_fn" && sample.stack.size() == 3 &&
+        sample.stack[2] == "loss_fn") {
+      found_loss_fn_stack = true;
+    }
+  }
+  EXPECT_TRUE(found_loss_fn_stack)
+      << "no function->line->op stack for loss_fn in live pprof scrape";
+
+  server.Stop();
+}
+
+// ---- folded stacks + profdiff ----
+
+TEST_F(ProfileTest, FoldedStacksRenderWriteAndParse) {
+  obs::EnableProfiling();
+  Session session;
+  session.interp.Run(kTrainingScript);
+
+  const std::string folded = obs::RenderFoldedStacks();
+  ASSERT_FALSE(folded.empty());
+  FoldedProfile parsed;
+  std::string error;
+  ASSERT_TRUE(obs::ParseFoldedProfile(folded, &parsed, &error)) << error;
+  EXPECT_GT(parsed.total_ns, 0.0);
+  bool found = false;
+  for (const auto& [stack, ns] : parsed.stack_ns) {
+    if (stack.rfind("loss_fn;", 0) == 0) found = true;
+  }
+  EXPECT_TRUE(found) << "no stack rooted at the unit name";
+
+  // WriteFoldedStacks (the JANUS_PROFILE exit path) round-trips via file.
+  const std::string path =
+      ::testing::TempDir() + "/profile_test_folded.txt";
+  obs::WriteFoldedStacks(path);
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(file, nullptr);
+  std::string content;
+  char buffer[4096];
+  std::size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    content.append(buffer, n);
+  }
+  std::fclose(file);
+  std::remove(path.c_str());
+  FoldedProfile from_file;
+  ASSERT_TRUE(obs::ParseFoldedProfile(content, &from_file, &error)) << error;
+  EXPECT_EQ(from_file.stack_ns.size(), parsed.stack_ns.size());
+}
+
+TEST_F(ProfileTest, ParseFoldedProfileRejectsMalformedInput) {
+  FoldedProfile out;
+  std::string error;
+  EXPECT_FALSE(obs::ParseFoldedProfile("stack_without_value\n", &out, &error));
+  EXPECT_FALSE(obs::ParseFoldedProfile("a;b not_a_number\n", &out, &error));
+  EXPECT_FALSE(obs::ParseFoldedProfile("a;b -5\n", &out, &error));
+  ASSERT_TRUE(obs::ParseFoldedProfile("a;b;Op 10\na;b;Op 5\nc;d;Op 5\n",
+                                      &out, &error))
+      << error;
+  EXPECT_DOUBLE_EQ(out.stack_ns.at("a;b;Op"), 15.0);  // duplicates sum
+  EXPECT_DOUBLE_EQ(out.total_ns, 20.0);
+}
+
+TEST_F(ProfileTest, ProfDiffFlagsShareRegressionsBySite) {
+  FoldedProfile before;
+  std::string error;
+  ASSERT_TRUE(obs::ParseFoldedProfile(
+      "unit;fn;fn:3;MatMul 800\nunit;fn;fn:4;Mul 200\n", &before, &error));
+  // After: fn:4 grew from 20% to 60% of total; fn:3 shrank. Absolute times
+  // doubled everywhere, which share-based diffing ignores.
+  FoldedProfile after;
+  ASSERT_TRUE(obs::ParseFoldedProfile(
+      "unit;fn;fn:3;MatMul 1600\nunit;fn;fn:4;Mul 2400\n", &after, &error));
+
+  const obs::ProfileDiffResult diff = obs::DiffProfilesBySite(before, after);
+  ASSERT_FALSE(diff.entries.empty());
+  // Sorted by delta descending: the regressing site leads.
+  EXPECT_EQ(diff.entries.front().site, "unit;fn;fn:4");
+  EXPECT_NEAR(diff.entries.front().delta_pp, 40.0, 1e-9);
+  EXPECT_NEAR(diff.max_regression_pp, 40.0, 1e-9);
+  // The leaf op frame is folded away: two ops on one line are one site.
+  for (const obs::ProfileDiffEntry& entry : diff.entries) {
+    EXPECT_EQ(entry.site.find("MatMul"), std::string::npos);
+  }
+
+  // A uniform scale-up is not a regression.
+  const obs::ProfileDiffResult same = obs::DiffProfilesBySite(before, before);
+  EXPECT_NEAR(same.max_regression_pp, 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace janus

@@ -1,0 +1,111 @@
+// Compares two folded-stacks profile dumps (JANUS_PROFILE=<path> or
+// RenderFoldedStacks) per source site and fails when any site's share of
+// total time regressed past a threshold.
+//
+//   janus_profdiff [--threshold <pp>] [--top <n>] <before.txt> <after.txt>
+//
+// Sites are stacks minus the leaf op frame (unit;function;function:line),
+// so the diff is stable across fusion/codegen changes that rename ops but
+// keep source attribution. Shares are each site's fraction of its own
+// dump's total, making dumps of different lengths comparable; the
+// threshold is in percentage points of that share.
+//
+// Exit codes: 0 = no regression past threshold, 1 = regression,
+// 2 = usage/IO/parse error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/profile.h"
+
+namespace {
+
+bool ReadFile(const char* path, std::string* out) {
+  std::ifstream file(path);
+  if (!file) return false;
+  std::ostringstream content;
+  content << file.rdbuf();
+  *out = content.str();
+  return true;
+}
+
+bool LoadFolded(const char* path, janus::obs::FoldedProfile* out) {
+  std::string content;
+  if (!ReadFile(path, &content)) {
+    std::fprintf(stderr, "janus_profdiff: cannot open '%s'\n", path);
+    return false;
+  }
+  std::string error;
+  if (!janus::obs::ParseFoldedProfile(content, out, &error)) {
+    std::fprintf(stderr, "janus_profdiff: %s: %s\n", path, error.c_str());
+    return false;
+  }
+  return true;
+}
+
+void PrintEntry(const janus::obs::ProfileDiffEntry& entry) {
+  std::printf("  %+7.2fpp  %6.2f%% -> %6.2f%%  %10.0fns -> %10.0fns  %s\n",
+              entry.delta_pp, entry.before_share * 100.0,
+              entry.after_share * 100.0, entry.before_ns, entry.after_ns,
+              entry.site.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double threshold_pp = 5.0;
+  int top = 20;
+  int arg = 1;
+  while (arg < argc && argv[arg][0] == '-') {
+    if (std::strcmp(argv[arg], "--threshold") == 0 && arg + 1 < argc) {
+      threshold_pp = std::atof(argv[arg + 1]);
+      arg += 2;
+    } else if (std::strcmp(argv[arg], "--top") == 0 && arg + 1 < argc) {
+      top = std::atoi(argv[arg + 1]);
+      arg += 2;
+    } else {
+      std::fprintf(stderr, "janus_profdiff: unknown option '%s'\n",
+                   argv[arg]);
+      return 2;
+    }
+  }
+  if (argc - arg != 2) {
+    std::fprintf(stderr,
+                 "usage: janus_profdiff [--threshold <pp>] [--top <n>] "
+                 "<before.txt> <after.txt>\n");
+    return 2;
+  }
+
+  janus::obs::FoldedProfile before;
+  janus::obs::FoldedProfile after;
+  if (!LoadFolded(argv[arg], &before) || !LoadFolded(argv[arg + 1], &after)) {
+    return 2;
+  }
+
+  const janus::obs::ProfileDiffResult diff =
+      janus::obs::DiffProfilesBySite(before, after);
+  std::printf("before: %zu stacks, %.3fms   after: %zu stacks, %.3fms\n",
+              before.stack_ns.size(), before.total_ns / 1e6,
+              after.stack_ns.size(), after.total_ns / 1e6);
+  std::printf("%zu sites compared, worst regression %+.2fpp "
+              "(threshold %.2fpp)\n",
+              diff.entries.size(), diff.max_regression_pp, threshold_pp);
+  int printed = 0;
+  for (const janus::obs::ProfileDiffEntry& entry : diff.entries) {
+    if (printed++ >= top) break;
+    PrintEntry(entry);
+  }
+
+  if (diff.max_regression_pp > threshold_pp) {
+    std::fprintf(stderr,
+                 "janus_profdiff: FAIL — a site's share of total time grew "
+                 "by %.2fpp (> %.2fpp)\n",
+                 diff.max_regression_pp, threshold_pp);
+    return 1;
+  }
+  std::printf("janus_profdiff: OK\n");
+  return 0;
+}

@@ -17,6 +17,15 @@
 //     Prometheus text exposition 0.0.4 (the /metrics endpoint): per-line
 //     syntax check of comments, metric/label names, escapes, and values.
 //     Extra arguments are metric families that must appear as samples.
+//
+//   trace_validate --profile <profile.json> [required-unit...]
+//     Source-attributed profile JSON (the /profilez?format=json endpoint):
+//     full schema check (units, per-line rollups, top nodes). Extra
+//     arguments are unit names that must appear.
+//
+//   trace_validate --folded <stacks.txt>
+//     Folded-stacks dump (JANUS_PROFILE=<path>): every line must be
+//     "frame;frame;... <total_ns>" with a non-negative value.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -25,6 +34,7 @@
 #include <string>
 
 #include "obs/json_check.h"
+#include "obs/profile.h"
 
 namespace {
 
@@ -150,6 +160,60 @@ int ValidatePrometheus(const char* path, int argc, char** argv,
   return missing == 0 ? 0 : 1;
 }
 
+int ValidateProfile(const char* path, int argc, char** argv,
+                    int first_extra) {
+  std::string content;
+  if (!ReadFile(path, &content)) {
+    std::fprintf(stderr, "trace_validate: cannot open '%s'\n", path);
+    return 2;
+  }
+  std::string error;
+  janus::obs::ProfileJsonSummary summary;
+  if (!janus::obs::ValidateProfileJson(content, &error, &summary)) {
+    std::fprintf(stderr, "trace_validate: %s: invalid profile: %s\n", path,
+                 error.c_str());
+    return 1;
+  }
+  std::printf("%s: enabled=%s stride=%d, %d units, %d lines, %d nodes\n",
+              path, summary.enabled ? "true" : "false",
+              summary.sample_stride, summary.num_units, summary.num_lines,
+              summary.num_nodes);
+  int missing = 0;
+  for (int i = first_extra; i < argc; ++i) {
+    if (summary.units.count(argv[i]) == 0u) {
+      std::fprintf(stderr,
+                   "trace_validate: required unit '%s' not present\n",
+                   argv[i]);
+      ++missing;
+    } else {
+      std::printf("  found required unit '%s'\n", argv[i]);
+    }
+  }
+  return missing == 0 ? 0 : 1;
+}
+
+int ValidateFolded(const char* path) {
+  std::string content;
+  if (!ReadFile(path, &content)) {
+    std::fprintf(stderr, "trace_validate: cannot open '%s'\n", path);
+    return 2;
+  }
+  std::string error;
+  janus::obs::FoldedProfile folded;
+  if (!janus::obs::ParseFoldedProfile(content, &folded, &error)) {
+    std::fprintf(stderr, "trace_validate: %s: invalid folded stacks: %s\n",
+                 path, error.c_str());
+    return 1;
+  }
+  std::printf("%s: %zu stacks, %.3fms total\n", path,
+              folded.stack_ns.size(), folded.total_ns / 1e6);
+  if (folded.stack_ns.empty()) {
+    std::fprintf(stderr, "trace_validate: dump contains no stacks\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -159,6 +223,12 @@ int main(int argc, char** argv) {
   if (argc >= 3 && std::strcmp(argv[1], "--prom") == 0) {
     return ValidatePrometheus(argv[2], argc, argv, 3);
   }
+  if (argc >= 3 && std::strcmp(argv[1], "--profile") == 0) {
+    return ValidateProfile(argv[2], argc, argv, 3);
+  }
+  if (argc >= 3 && std::strcmp(argv[1], "--folded") == 0) {
+    return ValidateFolded(argv[2]);
+  }
   if (argc >= 2 && argv[1][0] != '-') {
     return ValidateTrace(argv[1], argc, argv, 2);
   }
@@ -167,6 +237,9 @@ int main(int argc, char** argv) {
                "       trace_validate --ledger <ledger.jsonl> "
                "[required-kind...]\n"
                "       trace_validate --prom <metrics.txt> "
-               "[required-family...]\n");
+               "[required-family...]\n"
+               "       trace_validate --profile <profile.json> "
+               "[required-unit...]\n"
+               "       trace_validate --folded <stacks.txt>\n");
   return 2;
 }
